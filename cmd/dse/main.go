@@ -1,0 +1,144 @@
+// Command dse runs the paper's end-to-end workflow (Figure 1): generate the
+// graph workload, trace it on the system simulator, sweep the 416-point
+// memory design space through the memory simulator, train the four ML
+// surrogates, and print the paper's artifacts — the Figure 2 summary table,
+// the Table I model comparison, the Figure 3 prediction series, and the
+// §IV-B recommendations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"graphdse/internal/dse"
+)
+
+func main() {
+	var (
+		vertices   = flag.Int("n", 1024, "graph vertices (paper: 1024)")
+		edgeFactor = flag.Int("ef", 16, "edge factor (paper: 16)")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		repeats    = flag.Int("repeats", 2, "BFS roots traced")
+		failures   = flag.Bool("failures", true, "inject the paper's ~10% simulation crash rate")
+		figure2    = flag.Bool("figure2", false, "print the Figure 2 summary table")
+		table1     = flag.Bool("table1", false, "print the Table I model comparison")
+		figure3    = flag.String("figure3", "", "print the Figure 3 series for one metric (e.g. Power), or 'all'")
+		recommend  = flag.Bool("recommend", false, "print the co-design recommendations")
+		pareto     = flag.Bool("pareto", false, "print the Pareto-optimal configurations")
+		importance = flag.Bool("importance", false, "print per-metric feature importances")
+		extended   = flag.Bool("extended", false, "add Ridge/KNN/MLP to the model comparison")
+		csvPath    = flag.String("csv", "", "export the ML dataset as CSV to this path")
+		all        = flag.Bool("all", false, "print everything")
+	)
+	flag.Parse()
+	if !*figure2 && !*table1 && *figure3 == "" && !*recommend && !*pareto && !*importance && *csvPath == "" {
+		*all = true
+	}
+
+	opts := dse.WorkflowOptions{
+		Vertices:   *vertices,
+		EdgeFactor: *edgeFactor,
+		Seed:       *seed,
+		Repeats:    *repeats,
+		SplitSeed:  7,
+	}
+	if *extended {
+		opts.Models = dse.ExtendedModels(*seed)
+	}
+	if *failures {
+		opts.Sweep.FailureRate = dse.PaperFailureRate
+		opts.Sweep.FailureSeed = 1
+	}
+
+	start := time.Now()
+	res, err := dse.RunWorkflow(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dse:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "workflow completed in %v: %d trace events, %d/%d configurations survived\n",
+		time.Since(start).Round(time.Millisecond), res.TraceEvents, res.SurvivorCount, len(res.Records))
+
+	if *all || *figure2 {
+		fmt.Println("== Figure 2: memory performance summary (means per cell) ==")
+		dse.RenderFigure2(os.Stdout, res.Figure2)
+		fmt.Println()
+	}
+	if *all || *table1 {
+		fmt.Println("== Table I: ML model performance (min-max scaled, 80/20 split) ==")
+		dse.RenderTable1(os.Stdout, res.Table1)
+		fmt.Println()
+	}
+	if *all || *figure3 != "" {
+		metrics := []string{*figure3}
+		if *all || *figure3 == "all" {
+			metrics = metrics[:0]
+			for m := range res.Figure3 {
+				metrics = append(metrics, m)
+			}
+			sort.Strings(metrics)
+		}
+		for _, m := range metrics {
+			s, ok := res.Figure3[m]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dse: unknown metric %q\n", m)
+				os.Exit(1)
+			}
+			if err := dse.PlotFigure3(os.Stdout, s, "SVM", 16); err != nil {
+				fmt.Fprintln(os.Stderr, "dse:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			dse.RenderFigure3(os.Stdout, s)
+			fmt.Println()
+		}
+	}
+	if *all || *recommend {
+		fmt.Println("== Recommendations (§IV-B) ==")
+		dse.RenderRecommendations(os.Stdout, res.Recommendation)
+	}
+	if *all || *pareto {
+		front, err := dse.ParetoFront(res.Records, dse.DefaultObjectives())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dse:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n== Pareto front (min power & latencies, max bandwidth): %d of %d configurations ==\n",
+			len(front), res.SurvivorCount)
+		for _, r := range front {
+			m := r.Result
+			fmt.Printf("  %-44s power=%.3fW bw=%.0fMB/s avgLat=%.1f totLat=%.1f\n",
+				r.Point.ID(), m.AvgPowerPerChannel, m.AvgBandwidthPerBank, m.AvgLatency, m.AvgTotalLatency)
+		}
+	}
+	if *all || *importance {
+		fmt.Println("\n== Feature importances ==")
+		for _, metric := range []string{"Power", "Bandwidth", "TotalLatency"} {
+			imps, err := dse.FeatureImportanceReport(res.Dataset, metric, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dse:", err)
+				os.Exit(1)
+			}
+			dse.RenderImportance(os.Stdout, metric, imps)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dse:", err)
+			os.Exit(1)
+		}
+		if err := dse.WriteCSV(f, res.Dataset); err != nil {
+			fmt.Fprintln(os.Stderr, "dse:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dse:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dataset written to %s (%d rows)\n", *csvPath, res.Dataset.Len())
+	}
+}

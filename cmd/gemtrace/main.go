@@ -1,0 +1,100 @@
+// Command gemtrace is the gem5 stand-in of the workflow: it runs an
+// instrumented graph kernel (BFS, PageRank or connected components) on the
+// atomic-CPU system simulator and writes the resulting main-memory trace in
+// gem5, NVMain, or binary format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphdse/internal/graph"
+	"graphdse/internal/sysim"
+	"graphdse/internal/trace"
+)
+
+func main() {
+	var (
+		kernel     = flag.String("kernel", "bfs", "workload: bfs, bfs-parallel, pagerank, cc, or sssp")
+		vertices   = flag.Int("n", 1024, "graph vertices (paper: 1024)")
+		edgeFactor = flag.Int("ef", 16, "edges per vertex (paper: 16)")
+		seed       = flag.Int64("seed", 42, "graph + root seed")
+		repeats    = flag.Int("repeats", 1, "BFS roots to trace")
+		prIters    = flag.Int("pr-iters", 5, "PageRank iterations")
+		threads    = flag.Int("threads", 4, "hardware threads for bfs-parallel")
+		caches     = flag.Bool("caches", false, "enable the L1/L2 hierarchy (default off, like gem5 SE atomic)")
+		format     = flag.String("format", "nvmain", "output format: gem5, nvmain, or binary")
+		ticks      = flag.Uint64("ticks-per-cycle", 500, "gem5 ticks per CPU cycle (500 = 2 GHz at 1ps ticks)")
+		out        = flag.String("o", "-", "output path, - for stdout")
+	)
+	flag.Parse()
+
+	cfg := sysim.DefaultConfig()
+	cfg.CachesEnabled = *caches
+
+	var machine *sysim.Machine
+	var res *sysim.WorkloadResult
+	var err error
+	switch *kernel {
+	case "bfs":
+		machine, res, err = sysim.PaperWorkloadTrace(cfg, *vertices, *edgeFactor, *seed, *repeats)
+	case "pagerank", "cc", "sssp", "bfs-parallel":
+		var g *graph.CSR
+		g, err = graph.GenerateGTGraph(*vertices, *edgeFactor, *seed)
+		if err != nil {
+			break
+		}
+		machine, err = sysim.NewMachine(cfg)
+		if err != nil {
+			break
+		}
+		switch *kernel {
+		case "pagerank":
+			res, err = sysim.TracePageRank(machine, g, *prIters)
+		case "cc":
+			res, err = sysim.TraceConnectedComponents(machine, g)
+		case "sssp":
+			res, err = sysim.TraceSSSP(machine, g, uint32(*seed%int64(*vertices)))
+		case "bfs-parallel":
+			res, err = sysim.TraceBFSParallel(machine, g, uint32(*seed%int64(*vertices)), *threads)
+		}
+	default:
+		err = fmt.Errorf("unknown kernel %q", *kernel)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	events := machine.Trace()
+	switch *format {
+	case "gem5":
+		err = trace.WriteGem5(w, events, *ticks)
+	case "nvmain":
+		err = trace.WriteNVMain(w, events)
+	case "binary":
+		err = trace.WriteBinary(w, events)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	st := machine.Stats()
+	fmt.Fprintf(os.Stderr, "kernel=%s events=%d reads=%d writes=%d instructions=%d cycles=%d visited=%d iterations=%d\n",
+		*kernel, len(events), st.MemReads, st.MemWrites, st.Instructions, machine.Cycle(), res.Visited, res.Iterations)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gemtrace:", err)
+	os.Exit(1)
+}

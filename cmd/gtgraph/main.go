@@ -1,0 +1,95 @@
+// Command gtgraph generates synthetic graphs in the GTGraph family (R-MAT,
+// Erdős–Rényi, Graph500 Kronecker) and writes them as an edge list, one
+// "src dst [weight]" line per edge.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"graphdse/internal/graph"
+)
+
+func main() {
+	var (
+		model      = flag.String("model", "rmat", "generator: rmat, er (Erdős–Rényi), or graph500")
+		vertices   = flag.Int("n", 1024, "number of vertices (rmat/er); graph500 uses -scale")
+		scale      = flag.Int("scale", 10, "graph500 scale (2^scale vertices)")
+		edgeFactor = flag.Int("ef", 16, "edges per vertex")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		weighted   = flag.Bool("weighted", false, "attach uniform (0,1] weights")
+		out        = flag.String("o", "-", "output path, - for stdout")
+		stats      = flag.Bool("stats", false, "print graph statistics to stderr")
+	)
+	flag.Parse()
+
+	var edges []graph.Edge
+	var n int
+	var err error
+	switch *model {
+	case "rmat":
+		n = *vertices
+		edges, err = graph.GenerateRMAT(ceilLog2(n), int64(n)*int64(*edgeFactor), graph.GTGraphDefault, *weighted, *seed)
+		for i := range edges {
+			edges[i].Src %= uint32(n)
+			edges[i].Dst %= uint32(n)
+		}
+	case "er":
+		n = *vertices
+		edges, err = graph.GenerateErdosRenyi(n, int64(n)*int64(*edgeFactor), *weighted, *seed)
+	case "graph500":
+		n = 1 << uint(*scale)
+		edges, err = graph.GenerateRMAT(*scale, int64(n)*int64(*edgeFactor), graph.Graph500RMAT, *weighted, *seed)
+	default:
+		err = fmt.Errorf("unknown model %q", *model)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	for _, e := range edges {
+		if *weighted {
+			fmt.Fprintf(w, "%d %d %.6f\n", e.Src, e.Dst, e.Weight)
+		} else {
+			fmt.Fprintf(w, "%d %d\n", e.Src, e.Dst)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		g, err := graph.NewCSR(n, edges, true)
+		if err != nil {
+			fatal(err)
+		}
+		maxV, maxD := g.MaxDegree()
+		comp := graph.ConnectedComponents(g)
+		fmt.Fprintf(os.Stderr, "vertices=%d edges=%d maxDegree=%d(at %d) components=%d\n",
+			g.NumVertices(), g.NumEdges()/2, maxD, maxV, graph.NumComponents(comp))
+	}
+}
+
+func ceilLog2(n int) int {
+	s := 0
+	for 1<<uint(s) < n {
+		s++
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gtgraph:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command memsim replays an NVMain-format (or binary) memory trace against
+// one memory configuration and prints the performance metrics the paper's
+// DSE consumes — the NVMain stand-in of the workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphdse/internal/memsim"
+	"graphdse/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("i", "", "input trace (required); NVMain text or binary format")
+		binary   = flag.Bool("binary", false, "input is in binary trace format")
+		memType  = flag.String("type", "dram", "memory type: dram, nvm, or hybrid")
+		channels = flag.Int("channels", 2, "memory channels")
+		cpu      = flag.Float64("cpu-mhz", 2000, "CPU frequency in MHz")
+		ctrl     = flag.Float64("ctrl-mhz", 400, "controller frequency in MHz")
+		trcd     = flag.Uint64("trcd", 0, "NVM tRCD in controller cycles (0 = mid-sweep default)")
+		fraction = flag.Float64("fraction", 0.125, "hybrid DRAM fraction")
+		flat     = flag.Bool("flat", false, "use the flat (partitioned) hybrid organization")
+		sched    = flag.String("sched", "frfcfs", "scheduler: fcfs or frfcfs")
+		policy   = flag.String("policy", "open", "row policy: open or closed")
+		verbose  = flag.Bool("v", false, "print per-channel detail")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var events []trace.Event
+	if *binary {
+		events, err = trace.ReadBinary(f)
+	} else {
+		events, err = trace.ReadNVMain(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	t := *trcd
+	if t == 0 {
+		t = memsim.NVMTRCDSweep(*ctrl)[2]
+	}
+	var cfg memsim.Config
+	switch *memType {
+	case "dram":
+		cfg = memsim.NewDRAMConfig(*channels, *cpu, *ctrl)
+	case "nvm":
+		cfg = memsim.NewNVMConfig(*channels, *cpu, *ctrl, t)
+	case "hybrid":
+		cfg = memsim.NewHybridConfig(*channels, *cpu, *ctrl, t, *fraction)
+		if *flat {
+			cfg.HybridMode = memsim.HybridFlat
+		}
+	default:
+		fatal(fmt.Errorf("unknown memory type %q", *memType))
+	}
+	if *sched == "fcfs" {
+		cfg.Scheduler = memsim.FCFS
+	}
+	if *policy == "closed" {
+		cfg.Policy = memsim.ClosedPage
+	}
+
+	res, err := memsim.RunTrace(cfg, events)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res)
+	fmt.Printf("  energy        %8.3g mJ\n", res.TotalEnergyNJ*1e-6)
+	if res.MaxRowWrites > 0 {
+		fmt.Printf("  hottest row   %d writes (est. lifetime %.1f years)\n", res.MaxRowWrites, res.LifetimeYears)
+	}
+	if *verbose {
+		for ch, st := range res.Channels {
+			fmt.Printf("  ch%d: reads=%d writes=%d rowHits=%d rowMisses=%d stalls=%d\n",
+				ch, st.Reads, st.Writes, st.RowHits, st.RowMisses, st.StallCycles)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memsim:", err)
+	os.Exit(1)
+}

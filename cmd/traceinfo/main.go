@@ -1,0 +1,89 @@
+// Command traceinfo summarizes a memory trace: operation mix, inter-arrival
+// distribution, address-space footprint, working-set estimate, and hot
+// lines — the profile a co-design study starts from.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"graphdse/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("i", "", "input trace (required)")
+		binary = flag.Bool("binary", false, "input is in binary trace format")
+		top    = flag.Int("top", 5, "hottest lines to report")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var events []trace.Event
+	if *binary {
+		events, err = trace.ReadBinary(f)
+	} else {
+		events, err = trace.ReadNVMain(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(events) == 0 {
+		fatal(fmt.Errorf("empty trace"))
+	}
+
+	st := trace.Summarize(events)
+	fmt.Printf("events        %d (%d reads, %d writes; %.1f%% writes)\n",
+		st.Events, st.Reads, st.Writes, 100*float64(st.Writes)/float64(st.Events))
+	fmt.Printf("cycle span    %d .. %d (%d cycles)\n", st.FirstCycle, st.LastCycle, st.LastCycle-st.FirstCycle)
+	fmt.Printf("address range %#x .. %#x\n", st.MinAddr, st.MaxAddr)
+
+	// Inter-arrival distribution.
+	gaps := make([]uint64, 0, len(events)-1)
+	for i := 1; i < len(events); i++ {
+		gaps = append(gaps, events[i].Cycle-events[i-1].Cycle)
+	}
+	sort.Slice(gaps, func(a, b int) bool { return gaps[a] < gaps[b] })
+	pct := func(q float64) uint64 { return gaps[int(q*float64(len(gaps)-1))] }
+	var sum uint64
+	for _, g := range gaps {
+		sum += g
+	}
+	fmt.Printf("inter-arrival mean=%.1f p50=%d p95=%d p99=%d cycles\n",
+		float64(sum)/float64(len(gaps)), pct(0.5), pct(0.95), pct(0.99))
+
+	// Working set and hot lines at 64-byte granularity.
+	lines := map[uint64]int{}
+	for _, e := range events {
+		lines[e.Addr/64]++
+	}
+	fmt.Printf("working set   %d distinct lines (%.1f KiB)\n", len(lines), float64(len(lines))*64/1024)
+	type hot struct {
+		line  uint64
+		count int
+	}
+	hots := make([]hot, 0, len(lines))
+	for l, c := range lines {
+		hots = append(hots, hot{l, c})
+	}
+	sort.Slice(hots, func(a, b int) bool { return hots[a].count > hots[b].count })
+	fmt.Printf("hottest lines:\n")
+	for i := 0; i < *top && i < len(hots); i++ {
+		fmt.Printf("  %#x  %d accesses (%.2f%%)\n",
+			hots[i].line*64, hots[i].count, 100*float64(hots[i].count)/float64(len(events)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package graphdse reproduces "Co-design of Advanced Architectures for
+// Graph Analytics using Machine Learning" (Kurte et al., ORNL, IPPS 2021)
+// as a self-contained Go library: a graph-analytics workload substrate, a
+// gem5-style system simulator, an NVMain-style cycle-level memory simulator,
+// a from-scratch machine-learning library, and the design-space-exploration
+// workflow that ties them together.
+//
+// The root package holds the cross-cutting artifacts: the benchmark harness
+// regenerating every table and figure of the paper (bench_test.go) and the
+// end-to-end integration tests (integration_test.go). The implementation
+// lives under internal/ — see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package graphdse

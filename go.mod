@@ -1,0 +1,3 @@
+module graphdse
+
+go 1.22

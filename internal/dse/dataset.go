@@ -1,0 +1,58 @@
+package dse
+
+import (
+	"errors"
+	"fmt"
+
+	"graphdse/internal/memsim"
+)
+
+// Dataset is the ML training corpus: one row per surviving configuration,
+// with the six memory performance metrics as targets (§III-A: "we combine
+// the memory performance parameters with the corresponding memory
+// configuration parameters").
+type Dataset struct {
+	// X holds the raw (unscaled) feature rows; FeatureNames describes the
+	// columns.
+	X [][]float64
+	// Y maps each metric name (memsim.MetricNames) to its raw target column.
+	Y map[string][]float64
+	// Points keeps the originating design points row-aligned with X.
+	Points []DesignPoint
+}
+
+// ErrNoData is returned when no surviving records are available.
+var ErrNoData = errors.New("dse: no data")
+
+// BuildDataset assembles the corpus from surviving sweep records.
+func BuildDataset(records []RunRecord) (*Dataset, error) {
+	survivors := Survivors(records)
+	if len(survivors) == 0 {
+		return nil, ErrNoData
+	}
+	ds := &Dataset{Y: map[string][]float64{}}
+	for _, name := range memsim.MetricNames {
+		ds.Y[name] = make([]float64, 0, len(survivors))
+	}
+	for _, r := range survivors {
+		ds.X = append(ds.X, r.Point.FeatureVector())
+		ds.Points = append(ds.Points, r.Point)
+		vec := r.Result.MetricVector()
+		for mi, name := range memsim.MetricNames {
+			ds.Y[name] = append(ds.Y[name], vec[mi])
+		}
+	}
+	return ds, nil
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Metric returns a target column or an error for unknown names.
+func (d *Dataset) Metric(name string) ([]float64, error) {
+	y, ok := d.Y[name]
+	if !ok {
+		return nil, fmt.Errorf("dse: unknown metric %q", name)
+	}
+	return y, nil
+}

@@ -1,0 +1,82 @@
+package dse
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"graphdse/internal/memsim"
+)
+
+// WriteCSV exports the dataset as CSV: configuration features followed by
+// the six metric targets, one row per surviving configuration — the durable
+// artifact other analysis tooling can consume.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	if ds == nil || ds.Len() == 0 {
+		return ErrNoData
+	}
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, FeatureNames...), memsim.MetricNames...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < ds.Len(); i++ {
+		row := make([]string, 0, len(header))
+		for _, v := range ds.X[i] {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		for _, name := range memsim.MetricNames {
+			row = append(row, strconv.FormatFloat(ds.Y[name][i], 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a dataset previously written by WriteCSV. Points are not
+// reconstructed (only features and targets).
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dse: reading csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, ErrNoData
+	}
+	header := rows[0]
+	wantCols := len(FeatureNames) + len(memsim.MetricNames)
+	if len(header) != wantCols {
+		return nil, fmt.Errorf("dse: csv has %d columns, want %d", len(header), wantCols)
+	}
+	ds := &Dataset{Y: map[string][]float64{}}
+	for _, name := range memsim.MetricNames {
+		ds.Y[name] = nil
+	}
+	nf := len(FeatureNames)
+	for ri, row := range rows[1:] {
+		if len(row) != wantCols {
+			return nil, fmt.Errorf("dse: csv row %d has %d columns", ri+2, len(row))
+		}
+		x := make([]float64, nf)
+		for j := 0; j < nf; j++ {
+			x[j], err = strconv.ParseFloat(row[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dse: csv row %d col %d: %w", ri+2, j+1, err)
+			}
+		}
+		ds.X = append(ds.X, x)
+		for mi, name := range memsim.MetricNames {
+			v, err := strconv.ParseFloat(row[nf+mi], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dse: csv row %d metric %s: %w", ri+2, name, err)
+			}
+			ds.Y[name] = append(ds.Y[name], v)
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,45 @@
+package dse
+
+import (
+	"fmt"
+	"io"
+
+	"graphdse/internal/ml"
+)
+
+// FeatureImportanceReport trains a random-forest surrogate per metric and
+// computes permutation importances over the configuration features,
+// quantifying which memory parameters drive each performance metric (the
+// variable-importance analysis the paper cites Grömping for).
+func FeatureImportanceReport(ds *Dataset, metric string, seed int64) ([]ml.FeatureImportance, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, ErrNoData
+	}
+	y, err := ds.Metric(metric)
+	if err != nil {
+		return nil, err
+	}
+	var xs ml.MinMaxScaler
+	X, err := xs.FitTransform(ds.X)
+	if err != nil {
+		return nil, err
+	}
+	var ys ml.VecMinMaxScaler
+	if err := ys.Fit(y); err != nil {
+		return nil, err
+	}
+	sy := ys.Transform(y)
+	m := &ml.RandomForest{NumTrees: 100, Seed: seed}
+	if err := m.Fit(X, sy); err != nil {
+		return nil, err
+	}
+	return ml.PermutationImportance(m, X, sy, FeatureNames, 5, seed)
+}
+
+// RenderImportance writes a per-metric importance table.
+func RenderImportance(w io.Writer, metric string, imps []ml.FeatureImportance) {
+	fmt.Fprintf(w, "# Feature importance for %s (permutation, RF surrogate)\n", metric)
+	for _, imp := range imps {
+		fmt.Fprintf(w, "  %-14s %+.4e\n", imp.Name, imp.Importance)
+	}
+}

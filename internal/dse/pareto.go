@@ -1,0 +1,101 @@
+package dse
+
+import (
+	"fmt"
+
+	"graphdse/internal/memsim"
+)
+
+// Objective selects one metric and a direction for multi-objective
+// exploration.
+type Objective struct {
+	// Metric must be one of memsim.MetricNames.
+	Metric string
+	// Maximize inverts the default minimize direction (used for bandwidth).
+	Maximize bool
+}
+
+// DefaultObjectives is the paper-motivated trade-off set: minimize power
+// and both latencies, maximize bandwidth.
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{Metric: "Power"},
+		{Metric: "Bandwidth", Maximize: true},
+		{Metric: "AvgLatency"},
+		{Metric: "TotalLatency"},
+	}
+}
+
+// ParetoFront returns the non-dominated surviving records under the given
+// objectives: a record is dominated when another is no worse on every
+// objective and strictly better on at least one. The result preserves the
+// input order.
+func ParetoFront(records []RunRecord, objectives []Objective) ([]RunRecord, error) {
+	if len(objectives) == 0 {
+		return nil, fmt.Errorf("%w: no objectives", ErrNoData)
+	}
+	idx := make([]int, len(objectives))
+	for i, o := range objectives {
+		found := -1
+		for mi, name := range memsim.MetricNames {
+			if name == o.Metric {
+				found = mi
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("dse: unknown objective metric %q", o.Metric)
+		}
+		idx[i] = found
+	}
+	survivors := Survivors(records)
+	if len(survivors) == 0 {
+		return nil, ErrNoData
+	}
+	// Extract objective vectors in canonical minimize orientation.
+	vecs := make([][]float64, len(survivors))
+	for i, r := range survivors {
+		m := r.Result.MetricVector()
+		v := make([]float64, len(objectives))
+		for k, o := range objectives {
+			val := m[idx[k]]
+			if o.Maximize {
+				val = -val
+			}
+			v[k] = val
+		}
+		vecs[i] = v
+	}
+	var front []RunRecord
+	for i := range survivors {
+		dominated := false
+		for j := range survivors {
+			if i == j {
+				continue
+			}
+			if dominates(vecs[j], vecs[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, survivors[i])
+		}
+	}
+	return front, nil
+}
+
+// dominates reports whether a ≤ b component-wise with at least one strict
+// improvement (minimization orientation).
+func dominates(a, b []float64) bool {
+	strict := false
+	for k := range a {
+		if a[k] > b[k] {
+			return false
+		}
+		if a[k] < b[k] {
+			strict = true
+		}
+	}
+	return strict
+}

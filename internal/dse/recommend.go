@@ -1,0 +1,95 @@
+package dse
+
+import (
+	"math"
+
+	"graphdse/internal/memsim"
+)
+
+// Recommendations mirror §IV-B's co-design guidance: the best memory
+// organization per objective and the best surrogate model per metric.
+type Recommendations struct {
+	// BestPowerType/Ctrl: the paper recommends NVM at 400 MHz.
+	BestPowerType    memsim.MemType
+	BestPowerCtrlMHz float64
+	BestPowerWatts   float64
+	// BestEndurance: the configuration minimizing reads+writes per channel
+	// (the paper recommends hybrid, four channels, low CPU frequency).
+	BestEnduranceType     memsim.MemType
+	BestEnduranceChannels int
+	BestEnduranceCPUMHz   float64
+	BestEnduranceCtrlMHz  float64
+	// BestBandwidthType: the paper recommends DRAM.
+	BestBandwidthType memsim.MemType
+	BestBandwidthMBs  float64
+	// Latency winners: hybrid for average latency, DRAM for total latency.
+	BestAvgLatencyType     memsim.MemType
+	BestAvgLatencyCycles   float64
+	BestTotalLatencyType   memsim.MemType
+	BestTotalLatencyCycles float64
+	// BestModel[metric] is the lowest-MSE surrogate per metric.
+	BestModel map[string]string
+}
+
+// metric indices in memsim.MetricNames order.
+const (
+	miPower = iota
+	miBandwidth
+	miAvgLatency
+	miTotalLatency
+	miReads
+	miWrites
+)
+
+// Recommend derives the recommendation set from the Figure 2 aggregation
+// and the Table I model comparison.
+func Recommend(fig2 []Figure2Row, table1 []ModelPerf) Recommendations {
+	rec := Recommendations{BestModel: map[string]string{}}
+
+	bestPower := math.Inf(1)
+	bestOps := math.Inf(1)
+	bestBW := math.Inf(-1)
+	bestAvgLat := math.Inf(1)
+	bestTotLat := math.Inf(1)
+	for _, row := range fig2 {
+		for t, mean := range row.Mean {
+			if mean[miPower] < bestPower {
+				bestPower = mean[miPower]
+				rec.BestPowerType = t
+				rec.BestPowerCtrlMHz = row.CtrlFreqMHz
+				rec.BestPowerWatts = mean[miPower]
+			}
+			if ops := mean[miReads] + mean[miWrites]; ops < bestOps {
+				bestOps = ops
+				rec.BestEnduranceType = t
+				rec.BestEnduranceChannels = row.Channels
+				rec.BestEnduranceCPUMHz = row.CPUFreqMHz
+				rec.BestEnduranceCtrlMHz = row.CtrlFreqMHz
+			}
+			if mean[miBandwidth] > bestBW {
+				bestBW = mean[miBandwidth]
+				rec.BestBandwidthType = t
+				rec.BestBandwidthMBs = mean[miBandwidth]
+			}
+			if mean[miAvgLatency] < bestAvgLat {
+				bestAvgLat = mean[miAvgLatency]
+				rec.BestAvgLatencyType = t
+				rec.BestAvgLatencyCycles = mean[miAvgLatency]
+			}
+			if mean[miTotalLatency] < bestTotLat {
+				bestTotLat = mean[miTotalLatency]
+				rec.BestTotalLatencyType = t
+				rec.BestTotalLatencyCycles = mean[miTotalLatency]
+			}
+		}
+	}
+
+	bestMSE := map[string]float64{}
+	for _, p := range table1 {
+		if cur, ok := bestMSE[p.Metric]; !ok || p.MSE < cur {
+			bestMSE[p.Metric] = p.MSE
+			rec.BestModel[p.Metric] = p.Model
+		}
+	}
+	return rec
+}

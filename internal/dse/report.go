@@ -1,0 +1,184 @@
+package dse
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"graphdse/internal/memsim"
+)
+
+// RenderFigure2 writes the Figure 2 summary table: one row per
+// (CPU freq × controller freq × channels) cell, with per-type means of the
+// six metrics, laid out like the paper's table.
+func RenderFigure2(w io.Writer, rows []Figure2Row) {
+	fmt.Fprintf(w, "%-8s %-11s %-3s |", "CPUFreq", "ControlFreq", "nCh")
+	for _, metric := range memsim.MetricNames {
+		fmt.Fprintf(w, " %-30s |", metric+" (D / N / H)")
+	}
+	fmt.Fprintln(w)
+	types := []memsim.MemType{memsim.DRAM, memsim.NVM, memsim.Hybrid}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-8.0f %-11.0f %-3d |", row.CPUFreqMHz, row.CtrlFreqMHz, row.Channels)
+		for mi, metric := range memsim.MetricNames {
+			cell := ""
+			for ti, t := range types {
+				if ti > 0 {
+					cell += " / "
+				}
+				mean, ok := row.Mean[t]
+				if !ok {
+					cell += "-"
+					continue
+				}
+				cell += memsim.FormatMetric(metric, mean[mi])
+			}
+			fmt.Fprintf(w, " %-30s |", cell)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderTable1 writes the Table I model comparison: MSE and R² per model
+// per metric, flagging the best (lowest-MSE) model per metric.
+func RenderTable1(w io.Writer, table []ModelPerf) {
+	byMetric := map[string][]ModelPerf{}
+	var metrics []string
+	for _, p := range table {
+		if _, ok := byMetric[p.Metric]; !ok {
+			metrics = append(metrics, p.Metric)
+		}
+		byMetric[p.Metric] = append(byMetric[p.Metric], p)
+	}
+	fmt.Fprintf(w, "%-14s %-10s %-12s %-12s %s\n", "Metric", "Model", "MSE", "R2", "")
+	for _, metric := range metrics {
+		perfs := byMetric[metric]
+		best := 0
+		for i := range perfs {
+			if perfs[i].MSE < perfs[best].MSE {
+				best = i
+			}
+		}
+		for i, p := range perfs {
+			mark := ""
+			if i == best {
+				mark = "  <-- best"
+			}
+			fmt.Fprintf(w, "%-14s %-10s %-12.3e %-12.4f%s\n", p.Metric, p.Model, p.MSE, p.R2, mark)
+		}
+	}
+}
+
+// RenderFigure3 writes one Figure 3 panel: the scaled ground truth and each
+// model's prediction per test index (the paper plots these as scatter
+// series).
+func RenderFigure3(w io.Writer, s *Figure3Series) {
+	models := make([]string, 0, len(s.Pred))
+	for name := range s.Pred {
+		models = append(models, name)
+	}
+	sort.Strings(models)
+	fmt.Fprintf(w, "# Figure 3 panel: %s (min-max scaled)\n", s.Metric)
+	fmt.Fprintf(w, "%-6s %-10s", "idx", "truth")
+	for _, name := range models {
+		fmt.Fprintf(w, " %-10s", name)
+	}
+	fmt.Fprintln(w)
+	for i := range s.Truth {
+		fmt.Fprintf(w, "%-6d %-10.4f", i, s.Truth[i])
+		for _, name := range models {
+			fmt.Fprintf(w, " %-10.4f", s.Pred[name][i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PlotFigure3 renders an ASCII approximation of one Figure 3 panel: the
+// ground truth as '*' and one model's predictions as 'o' ('#' where they
+// coincide), over the test-set index axis — a terminal rendition of the
+// paper's scatter plots.
+func PlotFigure3(w io.Writer, s *Figure3Series, model string, height int) error {
+	pred, ok := s.Pred[model]
+	if !ok {
+		return fmt.Errorf("dse: model %q not in series", model)
+	}
+	if height <= 2 {
+		height = 16
+	}
+	n := len(s.Truth)
+	if n == 0 {
+		return fmt.Errorf("dse: empty series")
+	}
+	lo, hi := s.Truth[0], s.Truth[0]
+	for i := 0; i < n; i++ {
+		for _, v := range []float64{s.Truth[i], pred[i]} {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = make([]byte, n)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	rowOf := func(v float64) int {
+		r := int((hi - v) / (hi - lo) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for i := 0; i < n; i++ {
+		tr, pr := rowOf(s.Truth[i]), rowOf(pred[i])
+		if tr == pr {
+			grid[tr][i] = '#'
+			continue
+		}
+		grid[tr][i] = '*'
+		grid[pr][i] = 'o'
+	}
+	fmt.Fprintf(w, "%s — truth (*) vs %s (o), overlap (#); y in [%.3g, %.3g]\n", s.Metric, model, lo, hi)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", row)
+	}
+	fmt.Fprintf(w, "+%s+ test index 0..%d\n", dashes(n), n-1)
+	return nil
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+// RenderRecommendations writes the §IV-B co-design recommendation list.
+func RenderRecommendations(w io.Writer, r Recommendations) {
+	fmt.Fprintf(w, "Co-design recommendations for the graph workload:\n")
+	fmt.Fprintf(w, "- Power:        %s at %.0f MHz controller frequency (%.3f W/channel)\n",
+		r.BestPowerType, r.BestPowerCtrlMHz, r.BestPowerWatts)
+	fmt.Fprintf(w, "- Reads/writes: %s with %d channels (CPU %.0f MHz, controller %.0f MHz)\n",
+		r.BestEnduranceType, r.BestEnduranceChannels, r.BestEnduranceCPUMHz, r.BestEnduranceCtrlMHz)
+	fmt.Fprintf(w, "- Bandwidth:    %s (%.1f MB/s per bank)\n", r.BestBandwidthType, r.BestBandwidthMBs)
+	fmt.Fprintf(w, "- Avg latency:  %s (%.1f cycles)\n", r.BestAvgLatencyType, r.BestAvgLatencyCycles)
+	fmt.Fprintf(w, "- Total latency: %s (%.1f cycles)\n", r.BestTotalLatencyType, r.BestTotalLatencyCycles)
+	fmt.Fprintf(w, "- Surrogate models per metric:\n")
+	for _, metric := range memsim.MetricNames {
+		if m, ok := r.BestModel[metric]; ok {
+			fmt.Fprintf(w, "    %-14s -> %s\n", metric, m)
+		}
+	}
+}

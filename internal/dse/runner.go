@@ -1,0 +1,115 @@
+package dse
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"graphdse/internal/memsim"
+	"graphdse/internal/trace"
+)
+
+// RunRecord is the outcome of simulating one design point.
+type RunRecord struct {
+	Point  DesignPoint
+	Result *memsim.Result
+	// Failed marks configurations whose simulation "crashed" — the paper
+	// reports ~42 of 416 NVMain runs exiting with segmentation faults; the
+	// runner reproduces that survivorship deterministically.
+	Failed bool
+	Err    error
+}
+
+// SweepOptions controls the sweep runner.
+type SweepOptions struct {
+	// FootprintLines sizes hybrid DRAM caches relative to the workload (see
+	// DesignPoint.Config).
+	FootprintLines int
+	// FailureRate in [0,1) injects deterministic simulated crashes,
+	// reproducing the paper's 374-of-416 survivorship. Zero disables it.
+	FailureRate float64
+	// FailureSeed varies which configurations fail.
+	FailureSeed uint64
+	// Workers caps parallelism; <=0 uses GOMAXPROCS.
+	Workers int
+}
+
+// PaperFailureRate reproduces the paper's ≈42/416 crash rate.
+const PaperFailureRate = 0.101
+
+// ErrAllFailed is returned when every configuration failed.
+var ErrAllFailed = errors.New("dse: every configuration failed")
+
+// injectedFailure deterministically decides whether a point "segfaults".
+func injectedFailure(p DesignPoint, rate float64, seed uint64) bool {
+	if rate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", p.ID(), seed)
+	return float64(h.Sum64()%1_000_000)/1_000_000 < rate
+}
+
+// Sweep replays the trace against every design point in parallel and returns
+// one record per point, in input order.
+func Sweep(events []trace.Event, points []DesignPoint, opts SweepOptions) ([]RunRecord, error) {
+	if len(events) == 0 {
+		return nil, memsim.ErrEmptyTrace
+	}
+	if len(points) == 0 {
+		return nil, errors.New("dse: empty design space")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	records := make([]RunRecord, len(points))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, p := range points {
+		wg.Add(1)
+		go func(i int, p DesignPoint) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rec := RunRecord{Point: p}
+			if injectedFailure(p, opts.FailureRate, opts.FailureSeed) {
+				rec.Failed = true
+				rec.Err = fmt.Errorf("dse: simulated crash for %s", p.ID())
+			} else {
+				res, err := memsim.RunTrace(p.Config(opts.FootprintLines), events)
+				if err != nil {
+					rec.Failed = true
+					rec.Err = err
+				} else {
+					rec.Result = res
+				}
+			}
+			records[i] = rec
+		}(i, p)
+	}
+	wg.Wait()
+	ok := 0
+	for _, r := range records {
+		if !r.Failed {
+			ok++
+		}
+	}
+	if ok == 0 {
+		return records, ErrAllFailed
+	}
+	return records, nil
+}
+
+// Survivors filters out failed records.
+func Survivors(records []RunRecord) []RunRecord {
+	out := make([]RunRecord, 0, len(records))
+	for _, r := range records {
+		if !r.Failed {
+			out = append(out, r)
+		}
+	}
+	return out
+}

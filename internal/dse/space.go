@@ -1,0 +1,156 @@
+// Package dse implements the paper's design-space-exploration workflow: it
+// enumerates the 416-configuration memory design space (§IV-A.2), sweeps a
+// workload trace through the memory simulator (with the paper's observed
+// ~10% simulation-failure rate reproducible as failure injection), assembles
+// the ML dataset, trains and compares the four surrogate models (Table I),
+// produces the Figure 2 summary table and Figure 3 prediction series, and
+// derives the paper's co-design recommendations.
+package dse
+
+import (
+	"fmt"
+
+	"graphdse/internal/memsim"
+)
+
+// DesignPoint is one row of the design space: the memory configuration
+// parameters the paper treats as ML features.
+type DesignPoint struct {
+	Type         memsim.MemType
+	CPUFreqMHz   float64
+	CtrlFreqMHz  float64
+	Channels     int
+	TRAS         uint64
+	TRCD         uint64
+	DRAMFraction float64 // hybrid only; 0 otherwise
+	// HybridMode distinguishes the two hybrid organizations (cache vs flat
+	// address partition) explored for hybrid points.
+	HybridMode memsim.HybridKind
+}
+
+// ID renders a stable, human-readable identifier.
+func (p DesignPoint) ID() string {
+	id := fmt.Sprintf("%s-cpu%.0f-ctrl%.0f-ch%d-tRAS%d-tRCD%d-f%.2f",
+		p.Type.Short(), p.CPUFreqMHz, p.CtrlFreqMHz, p.Channels, p.TRAS, p.TRCD, p.DRAMFraction)
+	if p.Type == memsim.Hybrid {
+		id += "-" + p.HybridMode.String()
+	}
+	return id
+}
+
+// FeatureNames lists the predictor variables, in FeatureVector order.
+var FeatureNames = []string{
+	"CPUFreq", "ControlFreq", "nCh", "tRAS", "tRCD", "DRAMFraction",
+	"isDRAM", "isNVM", "isHybrid", "hybridFlat",
+}
+
+// FeatureVector encodes the point for ML training: numeric configuration
+// parameters plus a one-hot memory-type encoding.
+func (p DesignPoint) FeatureVector() []float64 {
+	var d, n, h float64
+	switch p.Type {
+	case memsim.DRAM:
+		d = 1
+	case memsim.NVM:
+		n = 1
+	case memsim.Hybrid:
+		h = 1
+	}
+	var flat float64
+	if p.Type == memsim.Hybrid && p.HybridMode == memsim.HybridFlat {
+		flat = 1
+	}
+	return []float64{
+		p.CPUFreqMHz, p.CtrlFreqMHz, float64(p.Channels),
+		float64(p.TRAS), float64(p.TRCD), p.DRAMFraction, d, n, h, flat,
+	}
+}
+
+// SpaceParams controls design-space enumeration. Zero values default to the
+// paper's setup.
+type SpaceParams struct {
+	CPUFreqsMHz  []float64 // default {2000, 3000, 5000, 6500}
+	CtrlFreqsMHz []float64 // default {400, 666, 1250, 1600}
+	Channels     []int     // default {2, 4}
+	// Fractions are the hybrid DRAM fractions cycled across the hybrid tRCD
+	// sweep (the paper's "fraction of memory" parameter).
+	Fractions []float64 // default {0.25, 0.5, 0.75}
+}
+
+func (sp *SpaceParams) fill() {
+	if len(sp.CPUFreqsMHz) == 0 {
+		sp.CPUFreqsMHz = []float64{2000, 3000, 5000, 6500}
+	}
+	if len(sp.CtrlFreqsMHz) == 0 {
+		sp.CtrlFreqsMHz = []float64{400, 666, 1250, 1600}
+	}
+	if len(sp.Channels) == 0 {
+		sp.Channels = []int{2, 4}
+	}
+	if len(sp.Fractions) == 0 {
+		sp.Fractions = []float64{0.0625, 0.125, 0.25}
+	}
+}
+
+// EnumerateSpace builds the paper's design space. With the default
+// parameters it contains exactly 416 configurations: for each of the 32
+// (CPU × controller × channels) cells, one DRAM config (tRAS=24, tRCD=9),
+// six NVM configs (the per-frequency tRCD sweep, tRAS=0), and six hybrid
+// configs (the same tRCD sweep with DRAM fractions cycled).
+func EnumerateSpace(sp SpaceParams) []DesignPoint {
+	sp.fill()
+	var points []DesignPoint
+	for _, cpu := range sp.CPUFreqsMHz {
+		for _, ctrl := range sp.CtrlFreqsMHz {
+			for _, ch := range sp.Channels {
+				dt := memsim.DRAMTiming()
+				points = append(points, DesignPoint{
+					Type: memsim.DRAM, CPUFreqMHz: cpu, CtrlFreqMHz: ctrl,
+					Channels: ch, TRAS: dt.TRAS, TRCD: dt.TRCD,
+				})
+				sweep := memsim.NVMTRCDSweep(ctrl)
+				for _, trcd := range sweep {
+					points = append(points, DesignPoint{
+						Type: memsim.NVM, CPUFreqMHz: cpu, CtrlFreqMHz: ctrl,
+						Channels: ch, TRAS: 0, TRCD: trcd,
+					})
+				}
+				for i, trcd := range sweep {
+					mode := memsim.HybridCache
+					if i%2 == 1 {
+						mode = memsim.HybridFlat
+					}
+					points = append(points, DesignPoint{
+						Type: memsim.Hybrid, CPUFreqMHz: cpu, CtrlFreqMHz: ctrl,
+						Channels: ch, TRAS: 0, TRCD: trcd,
+						DRAMFraction: sp.Fractions[i%len(sp.Fractions)],
+						HybridMode:   mode,
+					})
+				}
+			}
+		}
+	}
+	return points
+}
+
+// Config materializes the memsim configuration for a design point.
+// footprintLines sizes hybrid DRAM caches as DRAMFraction of the workload
+// footprint (in cache lines); pass 0 to use the nominal-capacity default.
+func (p DesignPoint) Config(footprintLines int) memsim.Config {
+	switch p.Type {
+	case memsim.DRAM:
+		return memsim.NewDRAMConfig(p.Channels, p.CPUFreqMHz, p.CtrlFreqMHz)
+	case memsim.NVM:
+		return memsim.NewNVMConfig(p.Channels, p.CPUFreqMHz, p.CtrlFreqMHz, p.TRCD)
+	default:
+		c := memsim.NewHybridConfig(p.Channels, p.CPUFreqMHz, p.CtrlFreqMHz, p.TRCD, p.DRAMFraction)
+		c.HybridMode = p.HybridMode
+		if p.HybridMode == memsim.HybridCache && footprintLines > 0 {
+			c.CacheLines = int(p.DRAMFraction * float64(footprintLines))
+			if c.CacheLines < 64 {
+				c.CacheLines = 64
+			}
+		}
+		return c
+	}
+}

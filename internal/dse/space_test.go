@@ -1,0 +1,106 @@
+package dse
+
+import (
+	"testing"
+
+	"graphdse/internal/memsim"
+)
+
+func TestEnumerateSpaceHas416Points(t *testing.T) {
+	points := EnumerateSpace(SpaceParams{})
+	if len(points) != 416 {
+		t.Fatalf("design space = %d points, paper has 416", len(points))
+	}
+	counts := map[memsim.MemType]int{}
+	for _, p := range points {
+		counts[p.Type]++
+	}
+	if counts[memsim.DRAM] != 32 {
+		t.Fatalf("DRAM points = %d, want 32", counts[memsim.DRAM])
+	}
+	if counts[memsim.NVM] != 192 {
+		t.Fatalf("NVM points = %d, want 192", counts[memsim.NVM])
+	}
+	if counts[memsim.Hybrid] != 192 {
+		t.Fatalf("Hybrid points = %d, want 192", counts[memsim.Hybrid])
+	}
+}
+
+func TestEnumerateSpacePaperParameters(t *testing.T) {
+	points := EnumerateSpace(SpaceParams{})
+	for _, p := range points {
+		switch p.Type {
+		case memsim.DRAM:
+			if p.TRAS != 24 || p.TRCD != 9 {
+				t.Fatalf("DRAM timing %d/%d, paper uses tRAS=24 tRCD=9", p.TRAS, p.TRCD)
+			}
+		case memsim.NVM, memsim.Hybrid:
+			if p.TRAS != 0 {
+				t.Fatalf("NVM tRAS = %d, want 0", p.TRAS)
+			}
+		}
+		if p.Type == memsim.Hybrid && (p.DRAMFraction <= 0 || p.DRAMFraction >= 1) {
+			t.Fatalf("hybrid fraction %v", p.DRAMFraction)
+		}
+	}
+}
+
+func TestEnumerateSpaceUniqueIDs(t *testing.T) {
+	points := EnumerateSpace(SpaceParams{})
+	seen := map[string]bool{}
+	for _, p := range points {
+		id := p.ID()
+		if seen[id] {
+			t.Fatalf("duplicate ID %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFeatureVectorShape(t *testing.T) {
+	p := DesignPoint{Type: memsim.NVM, CPUFreqMHz: 2000, CtrlFreqMHz: 400, Channels: 2, TRCD: 40}
+	v := p.FeatureVector()
+	if len(v) != len(FeatureNames) {
+		t.Fatalf("feature vector length %d, names %d", len(v), len(FeatureNames))
+	}
+	if v[0] != 2000 || v[1] != 400 || v[2] != 2 || v[4] != 40 {
+		t.Fatalf("features wrong: %v", v)
+	}
+	// One-hot: exactly one of the last three is set.
+	if v[6]+v[7]+v[8] != 1 || v[7] != 1 {
+		t.Fatalf("one-hot wrong: %v", v[6:])
+	}
+}
+
+func TestDesignPointConfig(t *testing.T) {
+	d := DesignPoint{Type: memsim.DRAM, CPUFreqMHz: 2000, CtrlFreqMHz: 400, Channels: 2, TRAS: 24, TRCD: 9}
+	if cfg := d.Config(0); cfg.Type != memsim.DRAM || cfg.Channels != 2 {
+		t.Fatalf("DRAM config %+v", cfg)
+	}
+	n := DesignPoint{Type: memsim.NVM, CPUFreqMHz: 2000, CtrlFreqMHz: 400, Channels: 4, TRCD: 40}
+	if cfg := n.Config(0); cfg.Timing.TRCD != 40 || cfg.Timing.TRAS != 0 {
+		t.Fatalf("NVM config %+v", cfg.Timing)
+	}
+	h := DesignPoint{Type: memsim.Hybrid, CPUFreqMHz: 2000, CtrlFreqMHz: 400, Channels: 2, TRCD: 40, DRAMFraction: 0.5}
+	cfg := h.Config(10000)
+	if cfg.CacheLines != 5000 {
+		t.Fatalf("hybrid cache lines = %d, want fraction of footprint", cfg.CacheLines)
+	}
+	tiny := h.Config(10)
+	if tiny.CacheLines < 64 {
+		t.Fatalf("cache floor violated: %d", tiny.CacheLines)
+	}
+}
+
+func TestSmallSpaceParams(t *testing.T) {
+	points := EnumerateSpace(SpaceParams{
+		CPUFreqsMHz:  []float64{2000},
+		CtrlFreqsMHz: []float64{400},
+		Channels:     []int{2},
+		Fractions:    []float64{0.5},
+	})
+	// 1 cell × (1 DRAM + 6 NVM + 6 hybrid) = 13.
+	if len(points) != 13 {
+		t.Fatalf("small space = %d, want 13", len(points))
+	}
+}

@@ -1,0 +1,275 @@
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"graphdse/internal/memsim"
+	"graphdse/internal/ml"
+	"graphdse/internal/sysim"
+	"graphdse/internal/trace"
+)
+
+// ModelSpec names a surrogate-model factory for the comparison tables.
+type ModelSpec struct {
+	Name string
+	New  func() ml.Regressor
+}
+
+// DefaultModels returns the four models of Table I: the linear-regression
+// baseline, SVM (ε-SVR), random forest, and gradient boosting.
+func DefaultModels(seed int64) []ModelSpec {
+	return []ModelSpec{
+		{Name: "Linear", New: func() ml.Regressor { return &ml.LinearRegression{} }},
+		{Name: "SVM", New: func() ml.Regressor {
+			s := ml.NewSVR()
+			s.Seed = seed
+			return s
+		}},
+		{Name: "RF", New: func() ml.Regressor {
+			return &ml.RandomForest{NumTrees: 100, Seed: seed}
+		}},
+		{Name: "GB", New: func() ml.Regressor {
+			g := ml.NewGradientBoosting()
+			g.Seed = seed
+			return g
+		}},
+	}
+}
+
+// ExtendedModels adds the models beyond the paper's four — ridge, k-NN,
+// and an MLP — for the extended comparison table.
+func ExtendedModels(seed int64) []ModelSpec {
+	return append(DefaultModels(seed),
+		ModelSpec{Name: "Ridge", New: func() ml.Regressor { return &ml.Ridge{Lambda: 1e-3} }},
+		ModelSpec{Name: "KNN", New: func() ml.Regressor { return &ml.KNN{K: 5, Weighted: true} }},
+		ModelSpec{Name: "MLP", New: func() ml.Regressor {
+			m := ml.NewMLP()
+			m.Seed = seed
+			return m
+		}},
+	)
+}
+
+// ModelPerf is one cell group of Table I: a model's test MSE and R² on one
+// memory performance metric (min-max-scaled, as in the paper).
+type ModelPerf struct {
+	Metric string
+	Model  string
+	MSE    float64
+	R2     float64
+}
+
+// Figure3Series is one panel of Figure 3: the scaled ground-truth test
+// series and each model's predictions, indexed by test-set position.
+type Figure3Series struct {
+	Metric string
+	Truth  []float64
+	Pred   map[string][]float64
+}
+
+// Figure2Row is one row group of Figure 2: per-(CPU, controller, channels)
+// cell, the mean of each metric for each memory type over surviving
+// configurations.
+type Figure2Row struct {
+	CPUFreqMHz  float64
+	CtrlFreqMHz float64
+	Channels    int
+	// Mean[type][metricIndex] with metric order memsim.MetricNames.
+	Mean  map[memsim.MemType][]float64
+	Count map[memsim.MemType]int
+}
+
+// WorkflowOptions configures the end-to-end run. Zero values reproduce the
+// paper's setup (1,024 vertices, edge factor 16, 80/20 split).
+type WorkflowOptions struct {
+	Vertices   int
+	EdgeFactor int
+	Seed       int64
+	// Repeats runs BFS from this many roots to scale the trace.
+	Repeats int
+	// SysConfig is the system-simulator (gem5 stand-in) configuration.
+	SysConfig sysim.Config
+	Space     SpaceParams
+	Sweep     SweepOptions
+	// TestFrac is the held-out share (default 0.2).
+	TestFrac  float64
+	SplitSeed int64
+	Models    []ModelSpec
+}
+
+func (o *WorkflowOptions) fill() {
+	if o.Vertices == 0 {
+		o.Vertices = 1024
+	}
+	if o.EdgeFactor == 0 {
+		o.EdgeFactor = 16
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 1
+	}
+	if o.SysConfig.CPUFreqMHz == 0 {
+		o.SysConfig = sysim.DefaultConfig()
+	}
+	if o.TestFrac <= 0 || o.TestFrac >= 1 {
+		o.TestFrac = 0.2
+	}
+	if len(o.Models) == 0 {
+		o.Models = DefaultModels(o.Seed)
+	}
+}
+
+// WorkflowResult bundles everything the paper reports.
+type WorkflowResult struct {
+	TraceEvents    int
+	TraceStats     trace.Stats
+	Records        []RunRecord
+	SurvivorCount  int
+	Dataset        *Dataset
+	Table1         []ModelPerf
+	Figure3        map[string]*Figure3Series
+	Figure2        []Figure2Row
+	Recommendation Recommendations
+}
+
+// RunWorkflow executes the full pipeline of Figure 1: workload → system
+// simulation → trace → memory-simulation sweep → dataset → surrogate
+// training and evaluation → recommendations.
+func RunWorkflow(opts WorkflowOptions) (*WorkflowResult, error) {
+	opts.fill()
+	machine, _, err := sysim.PaperWorkloadTrace(opts.SysConfig, opts.Vertices, opts.EdgeFactor, opts.Seed, opts.Repeats)
+	if err != nil {
+		return nil, fmt.Errorf("system simulation: %w", err)
+	}
+	events := machine.Trace()
+	sweepOpts := opts.Sweep
+	if sweepOpts.FootprintLines == 0 {
+		sweepOpts.FootprintLines = int(machine.Layout().Footprint()) / 64
+	}
+	points := EnumerateSpace(opts.Space)
+	records, err := Sweep(events, points, sweepOpts)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	ds, err := BuildDataset(records)
+	if err != nil {
+		return nil, err
+	}
+	table1, fig3, err := TrainAndEvaluate(ds, opts.Models, opts.TestFrac, opts.SplitSeed)
+	if err != nil {
+		return nil, err
+	}
+	fig2 := BuildFigure2(records)
+	return &WorkflowResult{
+		TraceEvents:    len(events),
+		TraceStats:     trace.Summarize(events),
+		Records:        records,
+		SurvivorCount:  ds.Len(),
+		Dataset:        ds,
+		Table1:         table1,
+		Figure3:        fig3,
+		Figure2:        fig2,
+		Recommendation: Recommend(fig2, table1),
+	}, nil
+}
+
+// TrainAndEvaluate fits every model on every metric (min-max scaled, 80/20
+// split per the paper) and returns Table I rows plus Figure 3 series.
+func TrainAndEvaluate(ds *Dataset, models []ModelSpec, testFrac float64, splitSeed int64) ([]ModelPerf, map[string]*Figure3Series, error) {
+	if ds.Len() < 5 {
+		return nil, nil, fmt.Errorf("%w: %d rows", ErrNoData, ds.Len())
+	}
+	var table []ModelPerf
+	fig3 := map[string]*Figure3Series{}
+	for _, metric := range memsim.MetricNames {
+		yRaw, err := ds.Metric(metric)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Min-max scale features and target over the whole corpus (§IV-A.4).
+		var xs ml.MinMaxScaler
+		X, err := xs.FitTransform(ds.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		var ys ml.VecMinMaxScaler
+		if err := ys.Fit(yRaw); err != nil {
+			return nil, nil, err
+		}
+		y := ys.Transform(yRaw)
+
+		trX, trY, teX, teY, err := ml.TrainTestSplit(X, y, testFrac, splitSeed)
+		if err != nil {
+			return nil, nil, err
+		}
+		series := &Figure3Series{Metric: metric, Truth: teY, Pred: map[string][]float64{}}
+		for _, spec := range models {
+			m := spec.New()
+			if err := m.Fit(trX, trY); err != nil {
+				return nil, nil, fmt.Errorf("%s on %s: %w", spec.Name, metric, err)
+			}
+			pred := ml.PredictBatch(m, teX)
+			series.Pred[spec.Name] = pred
+			table = append(table, ModelPerf{
+				Metric: metric,
+				Model:  spec.Name,
+				MSE:    ml.MSE(teY, pred),
+				R2:     ml.R2(teY, pred),
+			})
+		}
+		fig3[metric] = series
+	}
+	return table, fig3, nil
+}
+
+// BuildFigure2 aggregates surviving records into the Figure 2 table.
+func BuildFigure2(records []RunRecord) []Figure2Row {
+	type key struct {
+		cpu, ctrl float64
+		ch        int
+	}
+	rows := map[key]*Figure2Row{}
+	for _, r := range Survivors(records) {
+		k := key{r.Point.CPUFreqMHz, r.Point.CtrlFreqMHz, r.Point.Channels}
+		row, ok := rows[k]
+		if !ok {
+			row = &Figure2Row{
+				CPUFreqMHz: k.cpu, CtrlFreqMHz: k.ctrl, Channels: k.ch,
+				Mean:  map[memsim.MemType][]float64{},
+				Count: map[memsim.MemType]int{},
+			}
+			rows[k] = row
+		}
+		vec := r.Result.MetricVector()
+		acc := row.Mean[r.Point.Type]
+		if acc == nil {
+			acc = make([]float64, len(vec))
+		}
+		for i, v := range vec {
+			acc[i] += v
+		}
+		row.Mean[r.Point.Type] = acc
+		row.Count[r.Point.Type]++
+	}
+	out := make([]Figure2Row, 0, len(rows))
+	for _, row := range rows {
+		for t, acc := range row.Mean {
+			n := float64(row.Count[t])
+			for i := range acc {
+				acc[i] /= n
+			}
+		}
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.CPUFreqMHz != b.CPUFreqMHz {
+			return a.CPUFreqMHz < b.CPUFreqMHz
+		}
+		if a.CtrlFreqMHz != b.CtrlFreqMHz {
+			return a.CtrlFreqMHz < b.CtrlFreqMHz
+		}
+		return a.Channels < b.Channels
+	})
+	return out
+}

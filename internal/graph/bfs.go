@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NoParent marks unreached vertices in a BFS parent tree.
+const NoParent = ^uint32(0)
+
+// BFSResult holds the output of one BFS run: the Graph500 parent tree, the
+// level (depth) of each vertex, and traversal statistics.
+type BFSResult struct {
+	Parent []uint32
+	Level  []int32
+	// Visited counts reached vertices (including the root).
+	Visited int
+	// EdgesTraversed counts adjacency entries examined, the numerator of the
+	// Graph500 TEPS metric.
+	EdgesTraversed int64
+	// Iterations is the number of frontier expansions (BFS depth).
+	Iterations int
+}
+
+// ErrRoot indicates an out-of-range BFS root.
+var ErrRoot = errors.New("graph: BFS root out of range")
+
+// BFSTopDown runs the classic queue-based level-synchronous BFS from root,
+// as specified by the Graph500 benchmark kernel 2.
+func BFSTopDown(g *CSR, root uint32) (*BFSResult, error) {
+	if int(root) >= g.NumVertices() {
+		return nil, fmt.Errorf("%w: %d >= %d", ErrRoot, root, g.NumVertices())
+	}
+	n := g.NumVertices()
+	res := newBFSResult(n)
+	res.Parent[root] = root
+	res.Level[root] = 0
+	res.Visited = 1
+
+	frontier := []uint32{root}
+	next := make([]uint32, 0, 64)
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		res.Iterations++
+		next = next[:0]
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				res.EdgesTraversed++
+				if res.Parent[v] == NoParent {
+					res.Parent[v] = u
+					res.Level[v] = depth
+					res.Visited++
+					next = append(next, v)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return res, nil
+}
+
+// BFSBottomUp runs a bottom-up BFS: every unvisited vertex scans its own
+// adjacency for a parent in the current frontier. Efficient when the
+// frontier is large (Beamer et al.).
+func BFSBottomUp(g *CSR, root uint32) (*BFSResult, error) {
+	if int(root) >= g.NumVertices() {
+		return nil, fmt.Errorf("%w: %d >= %d", ErrRoot, root, g.NumVertices())
+	}
+	n := g.NumVertices()
+	res := newBFSResult(n)
+	res.Parent[root] = root
+	res.Level[root] = 0
+	res.Visited = 1
+
+	inFrontier := make([]bool, n)
+	inFrontier[root] = true
+	frontierSize := 1
+	for depth := int32(1); frontierSize > 0; depth++ {
+		res.Iterations++
+		nextFrontier := make([]bool, n)
+		frontierSize = 0
+		for v := uint32(0); int(v) < n; v++ {
+			if res.Parent[v] != NoParent {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				res.EdgesTraversed++
+				if inFrontier[u] {
+					res.Parent[v] = u
+					res.Level[v] = depth
+					res.Visited++
+					nextFrontier[v] = true
+					frontierSize++
+					break
+				}
+			}
+		}
+		inFrontier = nextFrontier
+	}
+	return res, nil
+}
+
+// DirectionOptConfig tunes the hybrid BFS switch heuristics (Beamer's alpha
+// and beta parameters).
+type DirectionOptConfig struct {
+	// Alpha controls the top-down → bottom-up switch: switch when
+	// frontierEdges > remainingEdges/Alpha. Default 15.
+	Alpha int64
+	// Beta controls the switch back: bottom-up → top-down when
+	// frontierVertices < n/Beta. Default 18.
+	Beta int64
+}
+
+// BFSDirectionOptimizing runs Beamer-style hybrid BFS, switching between
+// top-down and bottom-up per level.
+func BFSDirectionOptimizing(g *CSR, root uint32, cfg DirectionOptConfig) (*BFSResult, error) {
+	if int(root) >= g.NumVertices() {
+		return nil, fmt.Errorf("%w: %d >= %d", ErrRoot, root, g.NumVertices())
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 15
+	}
+	if cfg.Beta <= 0 {
+		cfg.Beta = 18
+	}
+	n := g.NumVertices()
+	res := newBFSResult(n)
+	res.Parent[root] = root
+	res.Level[root] = 0
+	res.Visited = 1
+
+	frontier := []uint32{root}
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		res.Iterations++
+		var frontierEdges int64
+		for _, u := range frontier {
+			frontierEdges += g.Degree(u)
+		}
+		remaining := g.NumEdges() - res.EdgesTraversed
+		var next []uint32
+		if frontierEdges > remaining/cfg.Alpha && int64(len(frontier)) > int64(n)/cfg.Beta {
+			// Bottom-up step.
+			inFrontier := make([]bool, n)
+			for _, u := range frontier {
+				inFrontier[u] = true
+			}
+			for v := uint32(0); int(v) < n; v++ {
+				if res.Parent[v] != NoParent {
+					continue
+				}
+				for _, u := range g.Neighbors(v) {
+					res.EdgesTraversed++
+					if inFrontier[u] {
+						res.Parent[v] = u
+						res.Level[v] = depth
+						res.Visited++
+						next = append(next, v)
+						break
+					}
+				}
+			}
+		} else {
+			// Top-down step.
+			for _, u := range frontier {
+				for _, v := range g.Neighbors(u) {
+					res.EdgesTraversed++
+					if res.Parent[v] == NoParent {
+						res.Parent[v] = u
+						res.Level[v] = depth
+						res.Visited++
+						next = append(next, v)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+func newBFSResult(n int) *BFSResult {
+	res := &BFSResult{
+		Parent: make([]uint32, n),
+		Level:  make([]int32, n),
+	}
+	for i := range res.Parent {
+		res.Parent[i] = NoParent
+		res.Level[i] = -1
+	}
+	return res
+}
+
+// ValidateBFS checks a parent tree against the Graph500 validation rules:
+// the root is its own parent; every reached vertex has a reached parent with
+// a level exactly one smaller, connected by a real edge; unreached vertices
+// have no level.
+func ValidateBFS(g *CSR, root uint32, res *BFSResult) error {
+	n := g.NumVertices()
+	if len(res.Parent) != n || len(res.Level) != n {
+		return fmt.Errorf("graph: validation arrays sized %d/%d, want %d", len(res.Parent), len(res.Level), n)
+	}
+	if res.Parent[root] != root {
+		return fmt.Errorf("graph: root %d has parent %d", root, res.Parent[root])
+	}
+	if res.Level[root] != 0 {
+		return fmt.Errorf("graph: root level = %d", res.Level[root])
+	}
+	for v := uint32(0); int(v) < n; v++ {
+		p := res.Parent[v]
+		if p == NoParent {
+			if res.Level[v] != -1 {
+				return fmt.Errorf("graph: unreached vertex %d has level %d", v, res.Level[v])
+			}
+			continue
+		}
+		if v == root {
+			continue
+		}
+		if res.Parent[p] == NoParent {
+			return fmt.Errorf("graph: vertex %d has unreached parent %d", v, p)
+		}
+		if res.Level[v] != res.Level[p]+1 {
+			return fmt.Errorf("graph: vertex %d level %d, parent %d level %d", v, res.Level[v], p, res.Level[p])
+		}
+		if !g.HasEdge(p, v) {
+			return fmt.Errorf("graph: tree edge %d->%d not in graph", p, v)
+		}
+	}
+	return nil
+}

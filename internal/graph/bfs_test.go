@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+type bfsVariant struct {
+	name string
+	run  func(g *CSR, root uint32) (*BFSResult, error)
+}
+
+func bfsVariants() []bfsVariant {
+	return []bfsVariant{
+		{"topdown", BFSTopDown},
+		{"bottomup", BFSBottomUp},
+		{"diropt", func(g *CSR, root uint32) (*BFSResult, error) {
+			return BFSDirectionOptimizing(g, root, DirectionOptConfig{})
+		}},
+	}
+}
+
+func TestBFSPathGraphLevels(t *testing.T) {
+	g := pathGraph(t, 6)
+	for _, v := range bfsVariants() {
+		t.Run(v.name, func(t *testing.T) {
+			res, err := v.run(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Visited != 6 {
+				t.Fatalf("Visited = %d", res.Visited)
+			}
+			for i := 0; i < 6; i++ {
+				if res.Level[i] != int32(i) {
+					t.Fatalf("Level[%d] = %d", i, res.Level[i])
+				}
+			}
+			if err := ValidateBFS(g, 0, res); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	// Two components: 0-1 and 2-3.
+	g, err := NewCSR(4, []Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range bfsVariants() {
+		res, err := v.run(g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if res.Visited != 2 {
+			t.Fatalf("%s: Visited = %d, want 2", v.name, res.Visited)
+		}
+		if res.Parent[2] != NoParent || res.Level[3] != -1 {
+			t.Fatalf("%s: unreachable vertices should stay unmarked", v.name)
+		}
+		if err := ValidateBFS(g, 0, res); err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+	}
+}
+
+func TestBFSRootOutOfRange(t *testing.T) {
+	g := pathGraph(t, 3)
+	for _, v := range bfsVariants() {
+		if _, err := v.run(g, 99); err == nil {
+			t.Fatalf("%s: expected root error", v.name)
+		}
+	}
+}
+
+func TestBFSSingleVertex(t *testing.T) {
+	g, err := NewCSR(1, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFSTopDown(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != 1 || res.Parent[0] != 0 || res.Level[0] != 0 {
+		t.Fatalf("single vertex result %+v", res)
+	}
+}
+
+func TestBFSVariantsAgreeOnRMAT(t *testing.T) {
+	g, err := GenerateGTGraph(256, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		root := uint32(rng.Intn(g.NumVertices()))
+		base, err := BFSTopDown(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range bfsVariants()[1:] {
+			res, err := v.run(g, root)
+			if err != nil {
+				t.Fatalf("%s: %v", v.name, err)
+			}
+			if res.Visited != base.Visited {
+				t.Fatalf("%s: visited %d vs %d", v.name, res.Visited, base.Visited)
+			}
+			for i := range res.Level {
+				if res.Level[i] != base.Level[i] {
+					t.Fatalf("%s: level[%d] = %d vs %d", v.name, i, res.Level[i], base.Level[i])
+				}
+			}
+			if err := ValidateBFS(g, root, res); err != nil {
+				t.Fatalf("%s: %v", v.name, err)
+			}
+		}
+	}
+}
+
+func TestBFSPaperWorkloadValidates(t *testing.T) {
+	// The exact workload of the paper: 1,024 vertices, edge factor 16,
+	// BFS from a random root.
+	g, err := GenerateGTGraph(1024, 16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := uint32(rand.New(rand.NewSource(1)).Intn(1024))
+	res, err := BFSTopDown(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBFS(g, root, res); err != nil {
+		t.Fatal(err)
+	}
+	// An R-MAT graph with edge factor 16 has a dominant connected component.
+	if res.Visited < g.NumVertices()/2 {
+		t.Fatalf("Visited = %d of %d, expected dominant component", res.Visited, g.NumVertices())
+	}
+}
+
+func TestValidateBFSCatchesCorruption(t *testing.T) {
+	g := pathGraph(t, 5)
+	res, err := BFSTopDown(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *res
+	bad.Parent = append([]uint32(nil), res.Parent...)
+	bad.Level = append([]int32(nil), res.Level...)
+	bad.Parent[3] = 1 // 1->3 is not an edge
+	if err := ValidateBFS(g, 0, &bad); err == nil {
+		t.Fatal("expected tree-edge violation")
+	}
+
+	bad2 := *res
+	bad2.Parent = append([]uint32(nil), res.Parent...)
+	bad2.Level = append([]int32(nil), res.Level...)
+	bad2.Level[2] = 5 // wrong depth
+	if err := ValidateBFS(g, 0, &bad2); err == nil {
+		t.Fatal("expected level violation")
+	}
+
+	bad3 := *res
+	bad3.Parent = append([]uint32(nil), res.Parent...)
+	bad3.Level = append([]int32(nil), res.Level...)
+	bad3.Parent[0] = 1 // root must be its own parent
+	if err := ValidateBFS(g, 0, &bad3); err == nil {
+		t.Fatal("expected root violation")
+	}
+
+	bad4 := *res
+	bad4.Parent = append([]uint32(nil), res.Parent...)
+	bad4.Level = []int32{0} // wrong size
+	if err := ValidateBFS(g, 0, &bad4); err == nil {
+		t.Fatal("expected size violation")
+	}
+}
+
+func TestBFSEdgesTraversedBounded(t *testing.T) {
+	g, err := GenerateGTGraph(128, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFSTopDown(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgesTraversed <= 0 || res.EdgesTraversed > g.NumEdges() {
+		t.Fatalf("EdgesTraversed = %d, graph m = %d", res.EdgesTraversed, g.NumEdges())
+	}
+}
+
+// Property: on random graphs, every BFS variant yields a tree that passes
+// Graph500 validation and all variants agree on reachability counts.
+func TestPropBFSValidOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		edges, err := GenerateErdosRenyi(n, int64(1+rng.Intn(4*n)), false, seed)
+		if err != nil {
+			return false
+		}
+		g, err := NewCSR(n, edges, true)
+		if err != nil {
+			return false
+		}
+		root := uint32(rng.Intn(n))
+		var visited [3]int
+		for i, v := range bfsVariants() {
+			res, err := v.run(g, root)
+			if err != nil {
+				return false
+			}
+			if ValidateBFS(g, root, res) != nil {
+				return false
+			}
+			visited[i] = res.Visited
+		}
+		return visited[0] == visited[1] && visited[1] == visited[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package graph
+
+import "fmt"
+
+// BetweennessCentrality computes exact vertex betweenness via Brandes'
+// algorithm over unweighted shortest paths. For undirected CSR graphs each
+// pair is implicitly counted in both directions; divide by 2 for the
+// conventional undirected normalization.
+func BetweennessCentrality(g *CSR) []float64 {
+	n := g.NumVertices()
+	bc := make([]float64, n)
+	// Reusable per-source buffers.
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	order := make([]uint32, 0, n)
+	preds := make([][]uint32, n)
+
+	for s := uint32(0); int(s) < n; s++ {
+		order = order[:0]
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		queue := []uint32{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, w := range g.Neighbors(v) {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		// Dependency accumulation in reverse BFS order.
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	return bc
+}
+
+// KCoreDecomposition returns each vertex's core number using the
+// Matula–Beck peeling algorithm (bucket queue over degrees). Multi-edges
+// and self-loops contribute to degree as stored.
+func KCoreDecomposition(g *CSR) []int {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = int(g.Degree(uint32(v)))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree.
+	bins := make([]int, maxDeg+2)
+	for _, d := range deg {
+		bins[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		c := bins[d]
+		bins[d] = start
+		start += c
+	}
+	pos := make([]int, n)
+	vert := make([]int, n)
+	for v := 0; v < n; v++ {
+		pos[v] = bins[deg[v]]
+		vert[pos[v]] = v
+		bins[deg[v]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bins[d] = bins[d-1]
+	}
+	bins[0] = 0
+
+	core := make([]int, n)
+	copy(core, deg)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		for _, u := range g.Neighbors(uint32(v)) {
+			if core[u] > core[v] {
+				du := core[u]
+				pu := pos[u]
+				pw := bins[du]
+				w := vert[pw]
+				if u != uint32(w) {
+					pos[u] = pw
+					vert[pu] = w
+					pos[w] = pu
+					vert[pw] = int(u)
+				}
+				bins[du]++
+				core[u]--
+			}
+		}
+	}
+	return core
+}
+
+// MaxCore returns the largest core number in a decomposition.
+func MaxCore(core []int) int {
+	m := 0
+	for _, c := range core {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// DegreeStats summarizes a graph's degree distribution.
+type DegreeStats struct {
+	Min, Max  int64
+	Mean      float64
+	Median    float64
+	Isolated  int // zero-degree vertices
+	Histogram map[int64]int
+}
+
+// ComputeDegreeStats builds degree-distribution statistics.
+func ComputeDegreeStats(g *CSR) DegreeStats {
+	n := g.NumVertices()
+	st := DegreeStats{Min: g.Degree(0), Histogram: map[int64]int{}}
+	degs := make([]float64, n)
+	var sum int64
+	for v := 0; v < n; v++ {
+		d := g.Degree(uint32(v))
+		degs[v] = float64(d)
+		sum += d
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+		if d == 0 {
+			st.Isolated++
+		}
+		st.Histogram[d]++
+	}
+	st.Mean = float64(sum) / float64(n)
+	st.Median = medianOf(degs)
+	return st
+}
+
+func medianOf(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	// insertion-free: simple quickselect would be overkill; sort copy.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// GlobalClusteringCoefficient returns 3×triangles / open+closed triplets
+// (transitivity). Returns 0 for graphs without wedges.
+func GlobalClusteringCoefficient(g *CSR) float64 {
+	tri := TriangleCount(g)
+	var wedges int64
+	for v := 0; v < g.NumVertices(); v++ {
+		d := int64(len(dedupNeighbors(g, uint32(v))))
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return 3 * float64(tri) / float64(wedges)
+}
+
+// dedupNeighbors returns the sorted unique neighbors of v excluding self
+// loops.
+func dedupNeighbors(g *CSR, v uint32) []uint32 {
+	adj := g.Neighbors(v)
+	out := make([]uint32, 0, len(adj))
+	var last uint32
+	first := true
+	for _, u := range adj {
+		if u == v {
+			continue
+		}
+		if first || u != last {
+			out = append(out, u)
+			last = u
+			first = false
+		}
+	}
+	return out
+}
+
+// String renders the stats for reports.
+func (s DegreeStats) String() string {
+	return fmt.Sprintf("degree min=%d max=%d mean=%.2f median=%.1f isolated=%d",
+		s.Min, s.Max, s.Mean, s.Median, s.Isolated)
+}

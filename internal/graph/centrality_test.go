@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBetweennessPathGraph(t *testing.T) {
+	// Path 0-1-2-3-4: interior vertices carry the shortest paths.
+	g := pathGraph(t, 5)
+	bc := BetweennessCentrality(g)
+	// Endpoints have zero betweenness.
+	if bc[0] != 0 || bc[4] != 0 {
+		t.Fatalf("endpoint betweenness: %v", bc)
+	}
+	// The middle vertex dominates.
+	if !(bc[2] > bc[1] && bc[2] > bc[3]) {
+		t.Fatalf("middle vertex should dominate: %v", bc)
+	}
+	// Symmetric path: bc[1] == bc[3].
+	if math.Abs(bc[1]-bc[3]) > 1e-9 {
+		t.Fatalf("path symmetry violated: %v", bc)
+	}
+	// Exact values (directed-pairs convention): vertex 2 lies on the paths
+	// {0,1}×{3,4} in both directions = 8, vertex 1 on 0↔{2,3,4} = 6.
+	if bc[2] != 8 || bc[1] != 6 {
+		t.Fatalf("exact betweenness wrong: %v", bc)
+	}
+}
+
+func TestBetweennessStarGraph(t *testing.T) {
+	var edges []Edge
+	for i := 1; i < 6; i++ {
+		edges = append(edges, Edge{Src: 0, Dst: uint32(i)})
+	}
+	g, err := NewCSR(6, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := BetweennessCentrality(g)
+	// Center carries all 5×4 = 20 directed leaf pairs; leaves carry none.
+	if bc[0] != 20 {
+		t.Fatalf("center betweenness = %v, want 20", bc[0])
+	}
+	for i := 1; i < 6; i++ {
+		if bc[i] != 0 {
+			t.Fatalf("leaf %d betweenness = %v", i, bc[i])
+		}
+	}
+}
+
+func TestBetweennessDisconnected(t *testing.T) {
+	g, err := NewCSR(4, []Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := BetweennessCentrality(g)
+	for i, v := range bc {
+		if v != 0 {
+			t.Fatalf("bc[%d] = %v in disconnected pairs", i, v)
+		}
+	}
+}
+
+func TestKCorePathAndClique(t *testing.T) {
+	// A path has core number 1 everywhere.
+	g := pathGraph(t, 6)
+	core := KCoreDecomposition(g)
+	for v, c := range core {
+		if c != 1 {
+			t.Fatalf("path core[%d] = %d, want 1", v, c)
+		}
+	}
+	// K4 has core number 3 everywhere.
+	var edges []Edge
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, Edge{Src: uint32(i), Dst: uint32(j)})
+		}
+	}
+	k4, err := NewCSR(4, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core = KCoreDecomposition(k4)
+	for v, c := range core {
+		if c != 3 {
+			t.Fatalf("K4 core[%d] = %d, want 3", v, c)
+		}
+	}
+	if MaxCore(core) != 3 {
+		t.Fatalf("MaxCore = %d", MaxCore(core))
+	}
+}
+
+func TestKCoreCliqueWithTail(t *testing.T) {
+	// K4 (0-3) plus a tail 3-4-5: the tail has core 1, the clique core 3.
+	var edges []Edge
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, Edge{Src: uint32(i), Dst: uint32(j)})
+		}
+	}
+	edges = append(edges, Edge{Src: 3, Dst: 4}, Edge{Src: 4, Dst: 5})
+	g, err := NewCSR(6, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := KCoreDecomposition(g)
+	for v := 0; v < 4; v++ {
+		if core[v] != 3 {
+			t.Fatalf("clique core[%d] = %d, want 3", v, core[v])
+		}
+	}
+	if core[4] != 1 || core[5] != 1 {
+		t.Fatalf("tail cores = %d, %d, want 1, 1", core[4], core[5])
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g, err := NewCSR(4, []Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeDegreeStats(g)
+	if st.Min != 0 || st.Max != 2 || st.Isolated != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if math.Abs(st.Mean-1.0) > 1e-12 {
+		t.Fatalf("mean = %v", st.Mean)
+	}
+	if st.Histogram[2] != 1 || st.Histogram[1] != 2 || st.Histogram[0] != 1 {
+		t.Fatalf("histogram %v", st.Histogram)
+	}
+	if st.String() == "" {
+		t.Fatal("empty string rendering")
+	}
+}
+
+func TestGlobalClusteringCoefficient(t *testing.T) {
+	// Triangle: transitivity 1.
+	tri, err := NewCSR(3, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := GlobalClusteringCoefficient(tri); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("triangle transitivity = %v", c)
+	}
+	// Path: no triangles.
+	if c := GlobalClusteringCoefficient(pathGraph(t, 5)); c != 0 {
+		t.Fatalf("path transitivity = %v", c)
+	}
+	// Star: wedges but no triangles.
+	var edges []Edge
+	for i := 1; i < 5; i++ {
+		edges = append(edges, Edge{Src: 0, Dst: uint32(i)})
+	}
+	star, err := NewCSR(5, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := GlobalClusteringCoefficient(star); c != 0 {
+		t.Fatalf("star transitivity = %v", c)
+	}
+}
+
+func TestRunGraph500(t *testing.T) {
+	// Deterministic clock: every call advances 1 ms.
+	var tick int64
+	clock := func() time.Time {
+		tick++
+		return time.Unix(0, tick*int64(time.Millisecond))
+	}
+	res, err := RunGraph500(8, 8, 4, 1, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRoots != 4 || len(res.PerRoot) != 4 {
+		t.Fatalf("roots = %d", res.NumRoots)
+	}
+	if res.HarmonicMeanTEPS <= 0 || res.MinTEPS <= 0 || res.MaxTEPS < res.MinTEPS {
+		t.Fatalf("TEPS stats %+v", res)
+	}
+	// Harmonic mean lies between min and max.
+	if res.HarmonicMeanTEPS < res.MinTEPS || res.HarmonicMeanTEPS > res.MaxTEPS {
+		t.Fatalf("harmonic mean %v outside [%v, %v]", res.HarmonicMeanTEPS, res.MinTEPS, res.MaxTEPS)
+	}
+	if res.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRunGraph500Validation(t *testing.T) {
+	if _, err := RunGraph500(8, 8, 0, 1, nil); err == nil {
+		t.Fatal("expected error for zero roots")
+	}
+	if _, err := RunGraph500(0, 8, 1, 1, nil); err == nil {
+		t.Fatal("expected error for bad scale")
+	}
+}
+
+func TestRunGraph500RealClock(t *testing.T) {
+	res, err := RunGraph500(7, 4, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HarmonicMeanTEPS <= 0 {
+		t.Fatalf("TEPS = %v", res.HarmonicMeanTEPS)
+	}
+}

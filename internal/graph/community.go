@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// LabelPropagationCommunities detects communities with synchronous label
+// propagation (Raghavan et al.): each vertex repeatedly adopts the most
+// frequent label among its neighbors, ties broken by the smallest label.
+// Deterministic per seed (the seed shuffles the update order). Returns the
+// community label per vertex and the number of iterations performed.
+func LabelPropagationCommunities(g *CSR, maxIter int, seed int64) ([]uint32, int) {
+	n := g.NumVertices()
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	order := rand.New(rand.NewSource(seed)).Perm(n)
+	counts := map[uint32]int{}
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for _, vi := range order {
+			v := uint32(vi)
+			adj := g.Neighbors(v)
+			if len(adj) == 0 {
+				continue
+			}
+			for k := range counts {
+				delete(counts, k)
+			}
+			for _, u := range adj {
+				counts[labels[u]]++
+			}
+			best := labels[v]
+			bestCount := -1
+			for lbl, c := range counts {
+				if c > bestCount || (c == bestCount && lbl < best) {
+					best, bestCount = lbl, c
+				}
+			}
+			if best != labels[v] {
+				labels[v] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return labels, iters
+}
+
+// Modularity computes Newman's modularity Q of a community assignment over
+// the undirected graph (stored directed edges counted once per direction,
+// which cancels in the normalization).
+func Modularity(g *CSR, labels []uint32) float64 {
+	m2 := float64(g.NumEdges()) // 2m for undirected storage
+	if m2 == 0 {
+		return 0
+	}
+	// Sum of degrees per community and intra-community edge endpoints.
+	degSum := map[uint32]float64{}
+	intra := map[uint32]float64{}
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		lv := labels[v]
+		degSum[lv] += float64(g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			if labels[u] == lv {
+				intra[lv]++
+			}
+		}
+	}
+	var q float64
+	for lbl, ds := range degSum {
+		q += intra[lbl]/m2 - (ds/m2)*(ds/m2)
+	}
+	return q
+}
+
+// CommunitySizes returns community sizes sorted descending.
+func CommunitySizes(labels []uint32) []int {
+	counts := map[uint32]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	sizes := make([]int, 0, len(counts))
+	for _, c := range counts {
+		sizes = append(sizes, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}

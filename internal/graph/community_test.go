@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"testing"
+)
+
+// twoCliques builds two K5s joined by a single bridge edge.
+func twoCliques(t *testing.T) *CSR {
+	t.Helper()
+	var edges []Edge
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, Edge{Src: uint32(i), Dst: uint32(j)})
+			edges = append(edges, Edge{Src: uint32(i + 5), Dst: uint32(j + 5)})
+		}
+	}
+	edges = append(edges, Edge{Src: 0, Dst: 5})
+	g, err := NewCSR(10, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLabelPropagationFindsCliques(t *testing.T) {
+	g := twoCliques(t)
+	labels, iters := LabelPropagationCommunities(g, 50, 1)
+	if iters < 1 {
+		t.Fatalf("iters = %d", iters)
+	}
+	// Each clique must be internally uniform.
+	for i := 1; i < 5; i++ {
+		if labels[i] != labels[0] {
+			t.Fatalf("first clique split: %v", labels)
+		}
+		if labels[i+5] != labels[5] {
+			t.Fatalf("second clique split: %v", labels)
+		}
+	}
+}
+
+func TestLabelPropagationIsolatedVerticesKeepLabels(t *testing.T) {
+	g, err := NewCSR(3, []Edge{{Src: 0, Dst: 1}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, _ := LabelPropagationCommunities(g, 10, 1)
+	if labels[2] != 2 {
+		t.Fatalf("isolated vertex relabeled: %v", labels)
+	}
+}
+
+func TestModularity(t *testing.T) {
+	g := twoCliques(t)
+	labels, _ := LabelPropagationCommunities(g, 50, 1)
+	good := Modularity(g, labels)
+	// The two-clique partition has high modularity; the all-one-community
+	// partition has zero.
+	if good < 0.3 {
+		t.Fatalf("clique partition modularity = %v", good)
+	}
+	uniform := make([]uint32, g.NumVertices())
+	if q := Modularity(g, uniform); q > 1e-9 || q < -1e-9 {
+		t.Fatalf("single-community modularity = %v, want 0", q)
+	}
+	// Random-ish bad partition scores below the good one.
+	bad := make([]uint32, g.NumVertices())
+	for i := range bad {
+		bad[i] = uint32(i % 2)
+	}
+	if Modularity(g, bad) >= good {
+		t.Fatalf("scrambled partition should score below clique partition")
+	}
+}
+
+func TestModularityEmptyGraph(t *testing.T) {
+	g, err := NewCSR(3, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := Modularity(g, []uint32{0, 1, 2}); q != 0 {
+		t.Fatalf("edgeless modularity = %v", q)
+	}
+}
+
+func TestCommunitySizes(t *testing.T) {
+	sizes := CommunitySizes([]uint32{1, 1, 1, 2, 2, 7})
+	if len(sizes) != 3 || sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestLabelPropagationDeterministicPerSeed(t *testing.T) {
+	g, err := GenerateGTGraph(256, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := LabelPropagationCommunities(g, 30, 5)
+	b, _ := LabelPropagationCommunities(g, 30, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same communities")
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// This file implements the Graph500 benchmark harness around the BFS
+// kernel: multi-root search, per-root validation, and the TEPS (traversed
+// edges per second) metric the benchmark reports.
+
+// Graph500Result summarizes one full benchmark run.
+type Graph500Result struct {
+	Scale      int
+	EdgeFactor int
+	NumRoots   int
+	// PerRoot holds each search's TEPS value.
+	PerRoot []float64
+	// HarmonicMeanTEPS is the official Graph500 aggregate.
+	HarmonicMeanTEPS float64
+	MinTEPS, MaxTEPS float64
+	TotalTime        time.Duration
+}
+
+// RunGraph500 executes the benchmark: build a Kronecker graph of the given
+// scale and edge factor, run BFS from numRoots distinct random roots with
+// positive degree, validate every parent tree, and report TEPS statistics.
+// The clock function abstracts time for testability; pass nil for
+// time.Now-based measurement.
+func RunGraph500(scale, edgeFactor, numRoots int, seed int64, clock func() time.Time) (*Graph500Result, error) {
+	if numRoots < 1 {
+		return nil, fmt.Errorf("graph: numRoots %d < 1", numRoots)
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	g, err := GenerateGraph500(scale, edgeFactor, seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	roots := sampleRoots(g, numRoots, rng)
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("graph: no vertices with positive degree")
+	}
+
+	res := &Graph500Result{Scale: scale, EdgeFactor: edgeFactor, NumRoots: len(roots)}
+	start := clock()
+	var harmonicDenom float64
+	for i, root := range roots {
+		t0 := clock()
+		bfs, err := BFSDirectionOptimizing(g, root, DirectionOptConfig{})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := clock().Sub(t0).Seconds()
+		if elapsed <= 0 {
+			elapsed = 1e-9
+		}
+		if err := ValidateBFS(g, root, bfs); err != nil {
+			return nil, fmt.Errorf("root %d: validation failed: %w", root, err)
+		}
+		teps := float64(bfs.EdgesTraversed) / elapsed
+		res.PerRoot = append(res.PerRoot, teps)
+		harmonicDenom += 1 / teps
+		if i == 0 || teps < res.MinTEPS {
+			res.MinTEPS = teps
+		}
+		if teps > res.MaxTEPS {
+			res.MaxTEPS = teps
+		}
+	}
+	res.TotalTime = clock().Sub(start)
+	res.HarmonicMeanTEPS = float64(len(res.PerRoot)) / harmonicDenom
+	return res, nil
+}
+
+// sampleRoots draws up to n distinct roots with positive degree, per the
+// Graph500 specification's root-sampling rule.
+func sampleRoots(g *CSR, n int, rng *rand.Rand) []uint32 {
+	seen := map[uint32]bool{}
+	var roots []uint32
+	attempts := 0
+	for len(roots) < n && attempts < 100*n {
+		attempts++
+		v := uint32(rng.Intn(g.NumVertices()))
+		if seen[v] || g.Degree(v) == 0 {
+			continue
+		}
+		seen[v] = true
+		roots = append(roots, v)
+	}
+	return roots
+}
+
+// String renders the result in Graph500-report style.
+func (r *Graph500Result) String() string {
+	return fmt.Sprintf("SCALE=%d edgefactor=%d NBFS=%d harmonic_mean_TEPS=%.3e min_TEPS=%.3e max_TEPS=%.3e",
+		r.Scale, r.EdgeFactor, r.NumRoots, r.HarmonicMeanTEPS, r.MinTEPS, r.MaxTEPS)
+}

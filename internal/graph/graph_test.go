@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"testing"
+)
+
+func pathGraph(t *testing.T, n int) *CSR {
+	t.Helper()
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{Src: uint32(i), Dst: uint32(i + 1)})
+	}
+	g, err := NewCSR(n, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewCSRBasics(t *testing.T) {
+	g, err := NewCSR(3, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(0), g.Degree(2))
+	}
+	if nb := g.Neighbors(1); len(nb) != 1 || nb[0] != 2 {
+		t.Fatalf("Neighbors(1) = %v", nb)
+	}
+}
+
+func TestNewCSRUndirectedDoublesEdges(t *testing.T) {
+	g, err := NewCSR(2, []Edge{{Src: 0, Dst: 1}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("m = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("undirected edge missing a direction")
+	}
+}
+
+func TestNewCSRErrors(t *testing.T) {
+	if _, err := NewCSR(0, nil, false); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := NewCSR(2, []Edge{{Src: 0, Dst: 5}}, false); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestNewCSRSortedAdjacency(t *testing.T) {
+	g, err := NewCSR(4, []Edge{{Src: 0, Dst: 3}, {Src: 0, Dst: 1}, {Src: 0, Dst: 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := g.Neighbors(0)
+	for i := 1; i < len(nb); i++ {
+		if nb[i-1] > nb[i] {
+			t.Fatalf("adjacency not sorted: %v", nb)
+		}
+	}
+}
+
+func TestNewCSRWeighted(t *testing.T) {
+	g, err := NewCSR(3, []Edge{{Src: 0, Dst: 2, Weight: 2.5}, {Src: 0, Dst: 1, Weight: 1.5}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("graph should be weighted")
+	}
+	nb, w := g.Neighbors(0), g.NeighborWeights(0)
+	if nb[0] != 1 || w[0] != 1.5 || nb[1] != 2 || w[1] != 2.5 {
+		t.Fatalf("weights not parallel after sort: %v %v", nb, w)
+	}
+}
+
+func TestNeighborWeightsNilForUnweighted(t *testing.T) {
+	g := pathGraph(t, 3)
+	if g.NeighborWeights(0) != nil {
+		t.Fatal("unweighted graph should return nil weights")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := pathGraph(t, 4)
+	if !g.HasEdge(1, 2) || g.HasEdge(0, 3) {
+		t.Fatal("HasEdge incorrect")
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	g, err := NewCSR(4, []Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, d := g.MaxDegree()
+	if v != 0 || d != 3 {
+		t.Fatalf("MaxDegree = %d,%d", v, d)
+	}
+}
+
+func TestSelfLoopAndMultiEdgeKept(t *testing.T) {
+	g, err := NewCSR(2, []Edge{{Src: 0, Dst: 0}, {Src: 0, Dst: 1}, {Src: 0, Dst: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("m = %d, want 3 (multigraph)", g.NumEdges())
+	}
+}
+
+func TestOffsetsTargetsExposed(t *testing.T) {
+	g := pathGraph(t, 3)
+	off := g.Offsets()
+	if len(off) != 4 || off[3] != g.NumEdges() {
+		t.Fatalf("Offsets = %v", off)
+	}
+	if int64(len(g.Targets())) != g.NumEdges() {
+		t.Fatalf("Targets length = %d", len(g.Targets()))
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g, err := NewCSR(3, []Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 2, Dst: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Transpose()
+	if tr.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", tr.NumEdges(), g.NumEdges())
+	}
+	if !tr.HasEdge(1, 0) || !tr.HasEdge(2, 0) || !tr.HasEdge(1, 2) {
+		t.Fatal("reversed edges missing")
+	}
+	if tr.HasEdge(0, 1) {
+		t.Fatal("forward edge survived transpose")
+	}
+	// Double transpose restores the original adjacency.
+	tt := tr.Transpose()
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		a, b := g.Neighbors(v), tt.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency changed", v)
+			}
+		}
+	}
+}
+
+func TestTransposeWeighted(t *testing.T) {
+	g, err := NewCSR(2, []Edge{{Src: 0, Dst: 1, Weight: 2.5}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Transpose()
+	if !tr.Weighted() || tr.NeighborWeights(1)[0] != 2.5 {
+		t.Fatal("weights lost in transpose")
+	}
+}
+
+func TestInDegrees(t *testing.T) {
+	g, err := NewCSR(3, []Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}, {Src: 1, Dst: 0}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := g.InDegrees()
+	if in[0] != 1 || in[1] != 2 || in[2] != 0 {
+		t.Fatalf("in-degrees = %v", in)
+	}
+	// Undirected storage: in-degree equals out-degree.
+	u := pathGraph(t, 5)
+	uin := u.InDegrees()
+	for v := 0; v < 5; v++ {
+		if uin[v] != u.Degree(uint32(v)) {
+			t.Fatalf("undirected in/out mismatch at %d", v)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Graph I/O: the edge-list text format GTGraph-style tools exchange
+// ("src dst [weight]" per line, '#'/'%' comments) and a compact binary CSR
+// format for fast reload of generated graphs.
+
+// WriteEdgeList renders every stored directed edge, one per line. For
+// undirected graphs both directions are written (round-tripping through
+// NewCSR with undirected=false preserves the structure).
+func WriteEdgeList(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		wts := g.NeighborWeights(v)
+		for i, u := range g.Neighbors(v) {
+			var err error
+			if wts != nil {
+				_, err = fmt.Fprintf(bw, "%d %d %g\n", v, u, wts[i])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", v, u)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses an edge-list stream. Vertex count is inferred as
+// maxID+1 unless n > 0 forces it. Lines beginning with '#' or '%' are
+// comments. undirected doubles each edge as in NewCSR.
+func ReadEdgeList(r io.Reader, n int, undirected bool) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var edges []Edge
+	maxID := uint32(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", lineNo, line)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src: %w", lineNo, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst: %w", lineNo, err)
+		}
+		e := Edge{Src: uint32(src), Dst: uint32(dst)}
+		if len(fields) >= 3 {
+			e.Weight, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %w", lineNo, err)
+			}
+		}
+		if e.Src > maxID {
+			maxID = e.Src
+		}
+		if e.Dst > maxID {
+			maxID = e.Dst
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("graph: empty edge list")
+	}
+	if n <= 0 {
+		n = int(maxID) + 1
+	}
+	return NewCSR(n, edges, undirected)
+}
+
+var csrMagic = [8]byte{'G', 'D', 'S', 'E', 'C', 'S', 'R', '1'}
+
+// WriteBinaryCSR serializes the CSR structure (little-endian): magic, vertex
+// count, edge count, weighted flag, offsets, targets, and weights if any.
+func WriteBinaryCSR(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(csrMagic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 17)
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(g.NumEdges()))
+	if g.Weighted() {
+		hdr[16] = 1
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	var b8 [8]byte
+	for _, o := range g.offsets {
+		binary.LittleEndian.PutUint64(b8[:], uint64(o))
+		if _, err := bw.Write(b8[:]); err != nil {
+			return err
+		}
+	}
+	var b4 [4]byte
+	for _, t := range g.targets {
+		binary.LittleEndian.PutUint32(b4[:], t)
+		if _, err := bw.Write(b4[:]); err != nil {
+			return err
+		}
+	}
+	if g.Weighted() {
+		for _, wt := range g.weights {
+			binary.LittleEndian.PutUint64(b8[:], uint64frombits(wt))
+			if _, err := bw.Write(b8[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinaryCSR deserializes a CSR written by WriteBinaryCSR.
+func ReadBinaryCSR(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: missing CSR magic: %w", err)
+	}
+	if magic != csrMagic {
+		return nil, fmt.Errorf("graph: bad CSR magic %q", magic[:])
+	}
+	hdr := make([]byte, 17)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: truncated CSR header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[0:8])
+	m := binary.LittleEndian.Uint64(hdr[8:16])
+	weighted := hdr[16] == 1
+	const maxReasonable = 1 << 33
+	if n == 0 || n > maxReasonable || m > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible CSR dimensions n=%d m=%d", n, m)
+	}
+	g := &CSR{n: int(n), offsets: make([]int64, n+1), targets: make([]uint32, m)}
+	var b8 [8]byte
+	for i := range g.offsets {
+		if _, err := io.ReadFull(br, b8[:]); err != nil {
+			return nil, fmt.Errorf("graph: truncated offsets: %w", err)
+		}
+		g.offsets[i] = int64(binary.LittleEndian.Uint64(b8[:]))
+	}
+	if g.offsets[n] != int64(m) {
+		return nil, fmt.Errorf("graph: offsets end %d != edge count %d", g.offsets[n], m)
+	}
+	var b4 [4]byte
+	for i := range g.targets {
+		if _, err := io.ReadFull(br, b4[:]); err != nil {
+			return nil, fmt.Errorf("graph: truncated targets: %w", err)
+		}
+		g.targets[i] = binary.LittleEndian.Uint32(b4[:])
+		if uint64(g.targets[i]) >= n {
+			return nil, fmt.Errorf("graph: target %d out of range", g.targets[i])
+		}
+	}
+	if weighted {
+		g.weights = make([]float64, m)
+		for i := range g.weights {
+			if _, err := io.ReadFull(br, b8[:]); err != nil {
+				return nil, fmt.Errorf("graph: truncated weights: %w", err)
+			}
+			g.weights[i] = float64frombits(binary.LittleEndian.Uint64(b8[:]))
+		}
+	}
+	// Validate monotone offsets.
+	for i := 1; i <= int(n); i++ {
+		if g.offsets[i] < g.offsets[i-1] {
+			return nil, fmt.Errorf("graph: non-monotone offsets at %d", i)
+		}
+	}
+	return g, nil
+}
+
+func uint64frombits(f float64) uint64 {
+	return math.Float64bits(f)
+}
+
+func float64frombits(b uint64) float64 {
+	return math.Float64frombits(b)
+}

@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := GenerateGTGraph(128, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	// Stored edges already include both directions, so reload as directed.
+	got, err := ReadEdgeList(&buf, g.NumVertices(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d vs %d/%d",
+			got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		a, b := g.Neighbors(v), got.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree %d vs %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+func TestEdgeListWeightedRoundTrip(t *testing.T) {
+	g, err := NewCSR(3, []Edge{{Src: 0, Dst: 1, Weight: 0.5}, {Src: 1, Dst: 2, Weight: 1.25}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Weighted() {
+		t.Fatal("weights lost")
+	}
+	if w := got.NeighborWeights(0); w[0] != 0.5 {
+		t.Fatalf("weight = %v", w[0])
+	}
+}
+
+func TestReadEdgeListCommentsAndInference(t *testing.T) {
+	in := "# comment\n% matrix-market style\n0 3\n1 2\n\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 {
+		t.Fatalf("inferred n = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",              // empty
+		"0\n",           // too few fields
+		"x 1\n",         // bad src
+		"1 y\n",         // bad dst
+		"1 2 notanum\n", // bad weight
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c), 0, false); err == nil {
+			t.Fatalf("expected error for %q", c)
+		}
+	}
+}
+
+func TestBinaryCSRRoundTrip(t *testing.T) {
+	g, err := GenerateGTGraph(256, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinaryCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatal("dimensions lost")
+	}
+	// BFS from the same root must agree exactly.
+	a, err := BFSTopDown(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BFSTopDown(got, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Visited != b.Visited || a.EdgesTraversed != b.EdgesTraversed {
+		t.Fatal("round-tripped graph traverses differently")
+	}
+}
+
+func TestBinaryCSRWeighted(t *testing.T) {
+	edges, err := GenerateErdosRenyi(64, 256, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewCSR(64, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinaryCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Weighted() {
+		t.Fatal("weights lost")
+	}
+	da, err := SSSPDijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := SSSPDijkstra(got, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("distance %d differs after round trip", i)
+		}
+	}
+}
+
+func TestBinaryCSRRejectsCorruption(t *testing.T) {
+	if _, err := ReadBinaryCSR(strings.NewReader("")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := ReadBinaryCSR(strings.NewReader("WRONGMAG")); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+	g := pathGraph(t, 4)
+	var buf bytes.Buffer
+	if err := WriteBinaryCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Truncate.
+	if _, err := ReadBinaryCSR(bytes.NewReader(data[:len(data)-4])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	// Corrupt a target to point out of range.
+	corrupt := append([]byte(nil), data...)
+	ti := len(corrupt) - 2 // inside the last 4-byte target
+	corrupt[ti] = 0xFF
+	if _, err := ReadBinaryCSR(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("expected out-of-range target error")
+	}
+}

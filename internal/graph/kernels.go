@@ -1,0 +1,316 @@
+package graph
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PageRankConfig tunes the power-iteration PageRank kernel.
+type PageRankConfig struct {
+	// Damping is the teleport survival probability (default 0.85).
+	Damping float64
+	// Tol is the L1 convergence threshold (default 1e-8).
+	Tol float64
+	// MaxIter caps the iteration count (default 100).
+	MaxIter int
+}
+
+// PageRank computes the PageRank vector of g by power iteration. Dangling
+// mass is redistributed uniformly. The returned slice sums to ~1.
+func PageRank(g *CSR, cfg PageRankConfig) ([]float64, int, error) {
+	if cfg.Damping <= 0 || cfg.Damping >= 1 {
+		if cfg.Damping == 0 {
+			cfg.Damping = 0.85
+		} else {
+			return nil, 0, fmt.Errorf("graph: damping %v out of (0,1)", cfg.Damping)
+		}
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-8
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	var iters int
+	for iters = 1; iters <= cfg.MaxIter; iters++ {
+		var dangling float64
+		for i := range next {
+			next[i] = 0
+		}
+		for u := uint32(0); int(u) < n; u++ {
+			d := g.Degree(u)
+			if d == 0 {
+				dangling += rank[u]
+				continue
+			}
+			share := rank[u] / float64(d)
+			for _, v := range g.Neighbors(u) {
+				next[v] += share
+			}
+		}
+		base := (1-cfg.Damping)/float64(n) + cfg.Damping*dangling/float64(n)
+		var delta float64
+		for i := range next {
+			next[i] = base + cfg.Damping*next[i]
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		if delta < cfg.Tol {
+			break
+		}
+	}
+	if iters > cfg.MaxIter {
+		iters = cfg.MaxIter
+	}
+	return rank, iters, nil
+}
+
+// ConnectedComponents labels each vertex with its component ID using the
+// Shiloach–Vishkin-style label-propagation (hook + pointer-jump) algorithm.
+// Component IDs are the minimum vertex ID in each component. The graph is
+// treated as undirected over its stored directed edges.
+func ConnectedComponents(g *CSR) []uint32 {
+	n := g.NumVertices()
+	comp := make([]uint32, n)
+	for i := range comp {
+		comp[i] = uint32(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		// Hook: adopt the smaller label across every edge.
+		for u := uint32(0); int(u) < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				if comp[v] < comp[u] {
+					comp[u] = comp[v]
+					changed = true
+				} else if comp[u] < comp[v] {
+					comp[v] = comp[u]
+					changed = true
+				}
+			}
+		}
+		// Pointer jumping: compress label chains.
+		for v := uint32(0); int(v) < n; v++ {
+			for comp[v] != comp[comp[v]] {
+				comp[v] = comp[comp[v]]
+			}
+		}
+	}
+	return comp
+}
+
+// NumComponents counts distinct labels in a component assignment.
+func NumComponents(comp []uint32) int {
+	seen := make(map[uint32]struct{})
+	for _, c := range comp {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ErrNegativeWeight is returned by SSSP for edges with negative weights.
+var ErrNegativeWeight = errors.New("graph: negative edge weight")
+
+// InfDist marks unreachable vertices in SSSP output.
+var InfDist = math.Inf(1)
+
+// SSSPDeltaStepping computes single-source shortest paths with the
+// Δ-stepping bucket algorithm (Meyer & Sanders), the standard parallel SSSP
+// formulation for graph-benchmark suites. Unweighted graphs use weight 1
+// per edge. delta <= 0 picks a heuristic bucket width.
+func SSSPDeltaStepping(g *CSR, source uint32, delta float64) ([]float64, error) {
+	n := g.NumVertices()
+	if int(source) >= n {
+		return nil, fmt.Errorf("%w: %d >= %d", ErrRoot, source, n)
+	}
+	maxW := 1.0
+	if g.Weighted() {
+		maxW = 0
+		for v := uint32(0); int(v) < n; v++ {
+			for _, w := range g.NeighborWeights(v) {
+				if w < 0 {
+					return nil, fmt.Errorf("%w: at vertex %d", ErrNegativeWeight, v)
+				}
+				if w > maxW {
+					maxW = w
+				}
+			}
+		}
+		if maxW == 0 {
+			maxW = 1
+		}
+	}
+	if delta <= 0 {
+		// Heuristic: Δ = maxWeight / avgDegree keeps buckets small.
+		avgDeg := float64(g.NumEdges()) / float64(n)
+		if avgDeg < 1 {
+			avgDeg = 1
+		}
+		delta = maxW / avgDeg
+		if delta <= 0 {
+			delta = 1
+		}
+	}
+
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	dist[source] = 0
+	buckets := map[int][]uint32{0: {source}}
+	maxBucket := 0
+
+	relax := func(v uint32, d float64) {
+		if d < dist[v] {
+			dist[v] = d
+			b := int(d / delta)
+			buckets[b] = append(buckets[b], v)
+			if b > maxBucket {
+				maxBucket = b
+			}
+		}
+	}
+
+	for b := 0; b <= maxBucket; b++ {
+		// Settle the bucket: light-edge relaxations may re-add vertices.
+		for len(buckets[b]) > 0 {
+			cur := buckets[b]
+			buckets[b] = nil
+			for _, u := range cur {
+				if int(dist[u]/delta) != b {
+					continue // moved to an earlier bucket already
+				}
+				wts := g.NeighborWeights(u)
+				for i, v := range g.Neighbors(u) {
+					w := 1.0
+					if wts != nil {
+						w = wts[i]
+					}
+					relax(v, dist[u]+w)
+				}
+			}
+		}
+		delete(buckets, b)
+	}
+	return dist, nil
+}
+
+// SSSPDijkstra is the reference sequential shortest-path implementation used
+// to validate Δ-stepping.
+func SSSPDijkstra(g *CSR, source uint32) ([]float64, error) {
+	n := g.NumVertices()
+	if int(source) >= n {
+		return nil, fmt.Errorf("%w: %d >= %d", ErrRoot, source, n)
+	}
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	dist[source] = 0
+	pq := &distHeap{{source, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		wts := g.NeighborWeights(it.v)
+		for i, u := range g.Neighbors(it.v) {
+			w := 1.0
+			if wts != nil {
+				w = wts[i]
+			}
+			if w < 0 {
+				return nil, fmt.Errorf("%w: at vertex %d", ErrNegativeWeight, it.v)
+			}
+			if nd := it.d + w; nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distItem{u, nd})
+			}
+		}
+	}
+	return dist, nil
+}
+
+type distItem struct {
+	v uint32
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// TriangleCount returns the number of triangles in the undirected graph,
+// counting each triangle once, using the ordered-neighborhood intersection
+// method. Self-loops and duplicate edges are ignored.
+func TriangleCount(g *CSR) int64 {
+	n := g.NumVertices()
+	var count int64
+	for u := uint32(0); int(u) < n; u++ {
+		nu := dedupGreater(g.Neighbors(u), u)
+		for _, v := range nu {
+			nv := dedupGreater(g.Neighbors(v), v)
+			count += intersectCount(nu, nv, v)
+		}
+	}
+	return count
+}
+
+// dedupGreater returns the sorted unique neighbors of u strictly greater
+// than u (relies on CSR adjacency being sorted).
+func dedupGreater(adj []uint32, u uint32) []uint32 {
+	out := make([]uint32, 0, len(adj))
+	var last uint32
+	first := true
+	for _, v := range adj {
+		if v <= u {
+			continue
+		}
+		if first || v != last {
+			out = append(out, v)
+			last = v
+			first = false
+		}
+	}
+	return out
+}
+
+// intersectCount counts elements common to sorted lists a and b that are
+// strictly greater than floor.
+func intersectCount(a, b []uint32, floor uint32) int64 {
+	var i, j int
+	var c int64
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			if a[i] > floor {
+				c++
+			}
+			i++
+			j++
+		}
+	}
+	return c
+}

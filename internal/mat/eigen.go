@@ -1,0 +1,99 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// JacobiEigen computes all eigenvalues and eigenvectors of a symmetric
+// matrix by the cyclic Jacobi rotation method. Eigenpairs are returned
+// sorted by decreasing eigenvalue; eigenvectors are the columns of the
+// returned matrix.
+func JacobiEigen(a *Dense, maxSweeps int) (values []float64, vectors *Dense, err error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, nil, fmt.Errorf("%w: eigen needs square, got %dx%d", ErrShape, n, c)
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 50
+	}
+	// Verify symmetry within tolerance.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > 1e-9*(1+math.Abs(a.At(i, j))) {
+				return nil, nil, fmt.Errorf("mat: JacobiEigen requires symmetry (a[%d][%d] != a[%d][%d])", i, j, j, i)
+			}
+		}
+	}
+	m := a.Clone()
+	v := Identity(n)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				cth := 1 / math.Sqrt(t*t+1)
+				sth := t * cth
+				rotate(m, v, p, q, cth, sth)
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m.At(i, i)
+	}
+	// Sort by decreasing eigenvalue, permuting eigenvector columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && values[idx[j]] > values[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	sorted := make([]float64, n)
+	vecs := NewDense(n, n, nil)
+	for k, i := range idx {
+		sorted[k] = values[i]
+		for r := 0; r < n; r++ {
+			vecs.Set(r, k, v.At(r, i))
+		}
+	}
+	return sorted, vecs, nil
+}
+
+// rotate applies the Jacobi rotation G(p,q,θ) to m (two-sided) and
+// accumulates it into v (one-sided).
+func rotate(m, v *Dense, p, q int, c, s float64) {
+	n := m.Rows()
+	for k := 0; k < n; k++ {
+		mkp, mkq := m.At(k, p), m.At(k, q)
+		m.Set(k, p, c*mkp-s*mkq)
+		m.Set(k, q, s*mkp+c*mkq)
+	}
+	for k := 0; k < n; k++ {
+		mpk, mqk := m.At(p, k), m.At(q, k)
+		m.Set(p, k, c*mpk-s*mqk)
+		m.Set(q, k, s*mpk+c*mqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}

@@ -1,0 +1,105 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	a := NewDense(3, 3, []float64{5, 0, 0, 0, 2, 0, 0, 0, 9})
+	values, vectors, err := JacobiEigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{9, 5, 2}
+	for i := range want {
+		if math.Abs(values[i]-want[i]) > 1e-10 {
+			t.Fatalf("values = %v, want %v", values, want)
+		}
+	}
+	// Eigenvectors are permutation of identity columns (up to sign).
+	for c := 0; c < 3; c++ {
+		var nonzero int
+		for r := 0; r < 3; r++ {
+			if math.Abs(vectors.At(r, c)) > 1e-8 {
+				nonzero++
+			}
+		}
+		if nonzero != 1 {
+			t.Fatalf("column %d not axis-aligned: %v", c, vectors)
+		}
+	}
+}
+
+func TestJacobiEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewDense(2, 2, []float64{2, 1, 1, 2})
+	values, vectors, err := JacobiEigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(values[0]-3) > 1e-10 || math.Abs(values[1]-1) > 1e-10 {
+		t.Fatalf("values = %v", values)
+	}
+	// Verify A v = λ v for the top eigenpair.
+	v0 := vectors.Col(0)
+	av, _ := MulVec(a, v0)
+	for i := range av {
+		if math.Abs(av[i]-3*v0[i]) > 1e-9 {
+			t.Fatalf("A v != λ v: %v vs %v", av, v0)
+		}
+	}
+}
+
+func TestJacobiEigenRejects(t *testing.T) {
+	if _, _, err := JacobiEigen(NewDense(2, 3, nil), 0); err == nil {
+		t.Fatal("expected shape error")
+	}
+	asym := NewDense(2, 2, []float64{1, 2, 3, 4})
+	if _, _, err := JacobiEigen(asym, 0); err == nil {
+		t.Fatal("expected symmetry error")
+	}
+}
+
+// Property: eigen reconstruction A ≈ V Λ Vᵀ and trace preservation.
+func TestPropJacobiEigenReconstructs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		// Random symmetric matrix.
+		a := NewDense(n, n, nil)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		values, vectors, err := JacobiEigen(a, 0)
+		if err != nil {
+			return false
+		}
+		// Trace preserved.
+		var trA, trL float64
+		for i := 0; i < n; i++ {
+			trA += a.At(i, i)
+			trL += values[i]
+		}
+		if math.Abs(trA-trL) > 1e-7 {
+			return false
+		}
+		// Reconstruct.
+		lam := NewDense(n, n, nil)
+		for i := 0; i < n; i++ {
+			lam.Set(i, i, values[i])
+		}
+		vl, _ := Mul(vectors, lam)
+		rec, _ := Mul(vl, vectors.T())
+		return Equal(rec, a, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

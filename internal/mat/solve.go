@@ -1,0 +1,163 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky computes the lower-triangular factor L of a symmetric
+// positive-definite matrix a such that a = L*Lᵀ. It returns ErrSingular when
+// a is not positive definite within numerical tolerance.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: cholesky needs square, got %dx%d", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	l := NewDense(n, n, nil)
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.data[j*n+k]
+			d -= ljk * ljk
+		}
+		if d <= 1e-14 {
+			return nil, ErrSingular
+		}
+		d = math.Sqrt(d)
+		l.data[j*n+j] = d
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.data[i*n+k] * l.data[j*n+k]
+			}
+			l.data[i*n+j] = s / d
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves a*x = b given the Cholesky factor l of a.
+func CholeskySolve(l *Dense, b []float64) ([]float64, error) {
+	n := l.rows
+	if len(b) != n {
+		return nil, ErrShape
+	}
+	// Forward substitution: L*y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.data[i*n+k] * y[k]
+		}
+		y[i] = s / l.data[i*n+i]
+	}
+	// Back substitution: Lᵀ*x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.data[k*n+i] * x[k]
+		}
+		x[i] = s / l.data[i*n+i]
+	}
+	return x, nil
+}
+
+// QR holds a Householder QR factorization of an m-by-n matrix with m >= n.
+type QR struct {
+	qr   *Dense    // packed factors: R in upper triangle, Householder vectors below
+	rd   []float64 // diagonal of R
+	m, n int
+}
+
+// QRFactor computes the Householder QR factorization of a (m >= n).
+func QRFactor(a *Dense) (*QR, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, fmt.Errorf("%w: QR needs rows >= cols, got %dx%d", ErrShape, m, n)
+	}
+	qr := a.Clone()
+	rd := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of column k below the diagonal.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.data[i*n+k])
+		}
+		if nrm == 0 {
+			return nil, ErrSingular
+		}
+		if qr.data[k*n+k] < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.data[i*n+k] /= nrm
+		}
+		qr.data[k*n+k] += 1
+		// Apply transformation to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.data[i*n+k] * qr.data[i*n+j]
+			}
+			s = -s / qr.data[k*n+k]
+			for i := k; i < m; i++ {
+				qr.data[i*n+j] += s * qr.data[i*n+k]
+			}
+		}
+		rd[k] = -nrm
+	}
+	return &QR{qr: qr, rd: rd, m: m, n: n}, nil
+}
+
+// Solve computes the least-squares solution x minimizing ||a*x - b||₂.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		return nil, ErrShape
+	}
+	m, n := f.m, f.n
+	y := make([]float64, m)
+	copy(y, b)
+	// Apply Householder transformations: y = Qᵀ b.
+	for k := 0; k < n; k++ {
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.data[i*n+k] * y[i]
+		}
+		s = -s / f.qr.data[k*n+k]
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.data[i*n+k]
+		}
+	}
+	// Back-substitute R*x = y[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.qr.data[i*n+k] * x[k]
+		}
+		if math.Abs(f.rd[i]) < 1e-14 {
+			return nil, ErrSingular
+		}
+		x[i] = s / f.rd[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||a*x - b||₂ via QR factorization.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	f, err := QRFactor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// SolveSPD solves a*x = b for symmetric positive-definite a via Cholesky.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return CholeskySolve(l, b)
+}

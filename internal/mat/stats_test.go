@@ -1,0 +1,118 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(v); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(v); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Fatalf("Variance singleton = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v,%v", lo, hi)
+	}
+	mustPanic(t, func() { MinMax(nil) })
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("Median even = %v", got)
+	}
+	mustPanic(t, func() { Median(nil) })
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Median(v)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Fatalf("Median mutated input: %v", v)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v := []float64{0, 1, 2, 3, 4}
+	if got := Quantile(v, 0); got != 0 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(v, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(v, 0.5); got != 2 {
+		t.Fatalf("q0.5 = %v", got)
+	}
+	if got := Quantile(v, 0.25); got != 1 {
+		t.Fatalf("q0.25 = %v", got)
+	}
+	mustPanic(t, func() { Quantile(v, -0.1) })
+	mustPanic(t, func() { Quantile(nil, 0.5) })
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+	if got := Pearson(x, []float64{5, 5, 5, 5, 5}); got != 0 {
+		t.Fatalf("Pearson constant = %v, want 0", got)
+	}
+	mustPanic(t, func() { Pearson(x, y[:2]) })
+}
+
+// Property: min <= mean <= max and variance >= 0.
+func TestPropMomentBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomVec(rng, 1+rng.Intn(64))
+		lo, hi := MinMax(v)
+		m := Mean(v)
+		return lo <= m+1e-12 && m <= hi+1e-12 && Variance(v) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pearson is bounded in [-1, 1] and symmetric.
+func TestPropPearsonBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(32)
+		x, y := randomVec(rng, n), randomVec(rng, n)
+		p := Pearson(x, y)
+		return p >= -1-1e-9 && p <= 1+1e-9 && math.Abs(p-Pearson(y, x)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package memsim
+
+import (
+	"testing"
+
+	"graphdse/internal/trace"
+)
+
+func benchTrace(b *testing.B, n int) []trace.Event {
+	b.Helper()
+	return syntheticTraceB(n, 99)
+}
+
+// syntheticTraceB mirrors syntheticTrace for benchmarks (testing.B).
+func syntheticTraceB(n int, seed int64) []trace.Event {
+	events := make([]trace.Event, 0, n)
+	cycle := uint64(1)
+	addr := uint64(0)
+	for len(events) < n {
+		cycle += uint64(7 + (addr % 13))
+		addr = (addr*2654435761 + 12345) % (1 << 23)
+		op := trace.Read
+		if addr%5 == 0 {
+			op = trace.Write
+		}
+		events = append(events, trace.Event{Cycle: cycle, Op: op, Addr: addr})
+	}
+	return events
+}
+
+func BenchmarkReplayByType(b *testing.B) {
+	events := benchTrace(b, 100000)
+	flat := NewHybridConfig(2, 2000, 666, 67, 0.25)
+	flat.HybridMode = HybridFlat
+	cases := map[string]Config{
+		"DRAM":        NewDRAMConfig(2, 2000, 666),
+		"NVM":         NewNVMConfig(2, 2000, 666, 67),
+		"HybridCache": NewHybridConfig(2, 2000, 666, 67, 0.25),
+		"HybridFlat":  flat,
+	}
+	for _, name := range []string{"DRAM", "NVM", "HybridCache", "HybridFlat"} {
+		cfg := cases[name]
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(events)))
+			for i := 0; i < b.N; i++ {
+				if _, err := RunTrace(cfg, events); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReplayByChannels(b *testing.B) {
+	events := benchTrace(b, 100000)
+	for _, ch := range []int{1, 2, 4, 8} {
+		cfg := NewDRAMConfig(ch, 2000, 666)
+		b.Run(itoaB(ch)+"ch", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunTrace(cfg, events); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAddressMap(b *testing.B) {
+	cfg := NewDRAMConfig(4, 2000, 666)
+	if err := cfg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	m := NewAddressMapper(&cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Map(uint64(i) * 64)
+	}
+}
+
+func itoaB(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}

@@ -1,0 +1,79 @@
+package memsim
+
+// dramCache is the set-associative DRAM cache fronting the NVM backing
+// store in hybrid mode (NVMain's DRAM-cache hybrid organization). Tags are
+// tracked exactly; data motion is modeled through the timing engine.
+type dramCache struct {
+	ways    int
+	sets    int
+	tags    [][]cacheLine
+	tick    uint64 // LRU clock
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+type cacheLine struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+func newDRAMCache(lines, ways int) *dramCache {
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	c := &dramCache{ways: ways, sets: sets, tags: make([][]cacheLine, sets)}
+	for i := range c.tags {
+		c.tags[i] = make([]cacheLine, ways)
+	}
+	return c
+}
+
+// access looks up a line. On a hit it updates LRU and dirtiness and returns
+// hit=true. On a miss it installs the line (write-allocate) and returns the
+// evicted dirty victim's line index when a writeback is needed.
+func (c *dramCache) access(line uint64, write bool) (hit bool, writeback bool, victimLine uint64) {
+	c.tick++
+	set := c.tags[line%uint64(c.sets)]
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].lastUse = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			c.hits++
+			return true, false, 0
+		}
+	}
+	c.misses++
+	// Choose victim: first invalid way, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	v := set[victim]
+	if v.valid && v.dirty {
+		writeback = true
+		victimLine = v.tag
+		c.evicted++
+	}
+	set[victim] = cacheLine{tag: line, valid: true, dirty: write, lastUse: c.tick}
+	return false, writeback, victimLine
+}
+
+func (c *dramCache) hitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

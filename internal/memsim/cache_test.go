@@ -1,0 +1,83 @@
+package memsim
+
+import "testing"
+
+func TestDRAMCacheHitAfterFill(t *testing.T) {
+	c := newDRAMCache(16, 4)
+	hit, wb, _ := c.access(5, false)
+	if hit || wb {
+		t.Fatalf("cold access: hit=%v wb=%v", hit, wb)
+	}
+	hit, _, _ = c.access(5, false)
+	if !hit {
+		t.Fatal("expected hit after fill")
+	}
+	if c.hitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", c.hitRate())
+	}
+}
+
+func TestDRAMCacheDirtyWriteback(t *testing.T) {
+	c := newDRAMCache(4, 4) // one set of 4 ways
+	c.access(0, true)       // dirty
+	c.access(4, false)
+	c.access(8, false)
+	c.access(12, false)
+	// Fifth distinct line evicts LRU (line 0, dirty) → writeback.
+	_, wb, victim := c.access(16, false)
+	if !wb || victim != 0 {
+		t.Fatalf("writeback=%v victim=%d, want true/0", wb, victim)
+	}
+	// Clean evictions need no writeback.
+	_, wb, _ = c.access(20, false)
+	if wb {
+		t.Fatal("clean eviction should not write back")
+	}
+}
+
+func TestDRAMCacheLRUOrder(t *testing.T) {
+	c := newDRAMCache(2, 2)
+	c.access(0, false)
+	c.access(2, false)
+	c.access(0, false) // touch 0 → 2 becomes LRU
+	c.access(4, false) // evicts 2
+	hit, _, _ := c.access(0, false)
+	if !hit {
+		t.Fatal("line 0 should survive (recently used)")
+	}
+	hit, _, _ = c.access(2, false)
+	if hit {
+		t.Fatal("line 2 should have been evicted")
+	}
+}
+
+func TestDRAMCacheWriteHitMarksDirty(t *testing.T) {
+	c := newDRAMCache(2, 2)
+	c.access(0, false) // clean fill
+	c.access(0, true)  // write hit → dirty
+	c.access(2, false)
+	c.access(4, false) // evicts 0 which is now dirty
+	// One of the two prior accesses evicted line 0; check writeback occurred.
+	if c.evicted == 0 {
+		t.Fatal("expected a dirty eviction")
+	}
+}
+
+func TestDRAMCacheHitRateEmpty(t *testing.T) {
+	c := newDRAMCache(4, 2)
+	if c.hitRate() != 0 {
+		t.Fatal("empty cache hit rate should be 0")
+	}
+}
+
+func TestDRAMCacheMinimumOneSet(t *testing.T) {
+	c := newDRAMCache(2, 4) // lines < ways
+	if c.sets != 1 {
+		t.Fatalf("sets = %d", c.sets)
+	}
+	c.access(1, false)
+	hit, _, _ := c.access(1, false)
+	if !hit {
+		t.Fatal("expected hit in single-set cache")
+	}
+}

@@ -1,0 +1,56 @@
+package memsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Config files: NVMain drives its simulations from per-configuration files;
+// this repository uses JSON with the same role. SaveConfig/LoadConfig give
+// the CLI tools and sweep scripts durable configuration artifacts.
+
+// SaveConfig writes the configuration as indented JSON.
+func SaveConfig(w io.Writer, c *Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// LoadConfig reads and validates a JSON configuration.
+func LoadConfig(r io.Reader) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("memsim: parsing config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// SaveConfigFile writes the configuration to path.
+func SaveConfigFile(path string, c *Config) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveConfig(f, c); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadConfigFile reads a configuration from path.
+func LoadConfigFile(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	return LoadConfig(f)
+}

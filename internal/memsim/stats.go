@@ -1,0 +1,135 @@
+package memsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ChannelStats aggregates per-channel counters during a simulation.
+type ChannelStats struct {
+	Reads, Writes    uint64
+	Activates        uint64
+	Refreshes        uint64
+	RowHits          uint64
+	RowMisses        uint64
+	BytesTransferred uint64
+	// Latency sums in controller cycles.
+	SumDeviceLatency uint64 // access time excluding queueing
+	SumTotalLatency  uint64 // queue admission → completion
+	// StallCycles counts front-end backpressure: cycles requests waited for
+	// a controller-queue slot before admission.
+	StallCycles    uint64
+	Requests       uint64
+	LastCompletion uint64 // controller cycle of the last completion
+	EnergyNJ       float64
+	// Hybrid only.
+	CacheHits, CacheMisses, CacheWritebacks uint64
+	// PerBankBytes records data volume per bank for bandwidth statistics.
+	PerBankBytes []uint64
+	// MaxRowWrites tracks the hottest row for endurance estimates.
+	MaxRowWrites uint64
+	// LatencyHist buckets total latencies by bit length (log2 histogram)
+	// for percentile estimation without storing every sample.
+	LatencyHist [64]uint64
+}
+
+// latencyPercentile estimates the q-th percentile (0<q<1) from merged log2
+// histograms, using the geometric midpoint of the crossing bucket.
+func latencyPercentile(hist *[64]uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b := 0; b < 64; b++ {
+		cum += hist[b]
+		if cum >= target {
+			if b == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << uint(b-1))
+			return lo * 1.5
+		}
+	}
+	return 0
+}
+
+// Result is the simulator output: the metric vector the paper's ML dataset
+// is built from, plus diagnostic detail.
+type Result struct {
+	Config Config
+
+	// The six metrics of Figure 2 / Table I.
+
+	// AvgPowerPerChannel is the mean power per channel in watts.
+	AvgPowerPerChannel float64
+	// AvgBandwidthPerBank is the mean per-bank bandwidth in MB/s.
+	AvgBandwidthPerBank float64
+	// AvgLatency is the mean device latency per request in controller
+	// cycles (controller start → completion).
+	AvgLatency float64
+	// AvgTotalLatency is the mean total latency per request in controller
+	// cycles including queueing delay.
+	AvgTotalLatency float64
+	// AvgReadsPerChannel and AvgWritesPerChannel are backend operation
+	// counts averaged over channels.
+	AvgReadsPerChannel  float64
+	AvgWritesPerChannel float64
+
+	// Total-latency tail percentiles (controller cycles), estimated from a
+	// log2 histogram.
+	TotalLatencyP50 float64
+	TotalLatencyP95 float64
+	TotalLatencyP99 float64
+
+	// Diagnostics.
+	WallTimeSeconds float64
+	TotalCycles     uint64
+	RowHitRate      float64
+	CacheHitRate    float64 // hybrid only
+	TotalEnergyNJ   float64
+	Channels        []ChannelStats
+
+	// Endurance.
+	MaxRowWrites  uint64
+	LifetimeYears float64
+}
+
+// MetricNames lists the six Figure-2 metrics in report order.
+var MetricNames = []string{
+	"Power", "Bandwidth", "AvgLatency", "TotalLatency", "MemoryReads", "MemoryWrites",
+}
+
+// MetricVector returns the six metrics in MetricNames order, the target
+// vector for ML training.
+func (r *Result) MetricVector() []float64 {
+	return []float64{
+		r.AvgPowerPerChannel,
+		r.AvgBandwidthPerBank,
+		r.AvgLatency,
+		r.AvgTotalLatency,
+		r.AvgReadsPerChannel,
+		r.AvgWritesPerChannel,
+	}
+}
+
+// String renders a compact multi-line summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %dch cpu=%.0fMHz ctrl=%.0fMHz\n", r.Config.Type, r.Config.Channels,
+		r.Config.CPUFreqMHz, r.Config.CtrlFreqMHz)
+	fmt.Fprintf(&b, "  power/ch      %8.4f W\n", r.AvgPowerPerChannel)
+	fmt.Fprintf(&b, "  bandwidth/bank%8.2f MB/s\n", r.AvgBandwidthPerBank)
+	fmt.Fprintf(&b, "  avg latency   %8.2f cycles\n", r.AvgLatency)
+	fmt.Fprintf(&b, "  total latency %8.2f cycles\n", r.AvgTotalLatency)
+	fmt.Fprintf(&b, "  reads/ch      %8.3g\n", r.AvgReadsPerChannel)
+	fmt.Fprintf(&b, "  writes/ch     %8.3g\n", r.AvgWritesPerChannel)
+	fmt.Fprintf(&b, "  row hit rate  %8.3f  wall %.3g s", r.RowHitRate, r.WallTimeSeconds)
+	if r.Config.Type == Hybrid {
+		fmt.Fprintf(&b, "  cache hit %.3f", r.CacheHitRate)
+	}
+	return b.String()
+}

@@ -1,0 +1,195 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ActiveLearner implements the paper's proposed future-work extension: an
+// uncertainty-sampling loop that queries the simulator ("oracle") only for
+// the candidate configurations where a random-forest surrogate is least
+// certain, reducing the number of labeled simulations needed to reach a
+// target accuracy.
+type ActiveLearner struct {
+	// NewModel builds a fresh forest per round; the forest's across-tree
+	// variance provides the uncertainty signal. Defaults to a 50-tree forest.
+	NewModel func() *RandomForest
+	// BatchSize is the number of queries issued per round (default 4).
+	BatchSize int
+	// Seed controls the initial random pool draw.
+	Seed int64
+
+	model *RandomForest
+}
+
+// ALRecord captures one active-learning round for learning-curve plots.
+type ALRecord struct {
+	Round    int
+	Labeled  int
+	TestMSE  float64
+	TestR2   float64
+	MaxSigma float64
+}
+
+// Run executes the loop: start from nInit random labels out of pool, then
+// each round queries oracle for the BatchSize most uncertain pool points,
+// refits, and evaluates on (testX, testY). It stops after maxRounds or when
+// the pool is exhausted.
+func (a *ActiveLearner) Run(pool [][]float64, oracle func(x []float64) float64,
+	testX [][]float64, testY []float64, nInit, maxRounds int) ([]ALRecord, error) {
+	if len(pool) == 0 || nInit < 1 || nInit > len(pool) {
+		return nil, fmt.Errorf("%w: pool=%d nInit=%d", ErrBadInput, len(pool), nInit)
+	}
+	if a.NewModel == nil {
+		a.NewModel = func() *RandomForest {
+			return &RandomForest{NumTrees: 50, Seed: a.Seed}
+		}
+	}
+	if a.BatchSize <= 0 {
+		a.BatchSize = 4
+	}
+	rng := rand.New(rand.NewSource(a.Seed + 5))
+	perm := rng.Perm(len(pool))
+	labeled := map[int]bool{}
+	var lx [][]float64
+	var ly []float64
+	for _, i := range perm[:nInit] {
+		labeled[i] = true
+		lx = append(lx, pool[i])
+		ly = append(ly, oracle(pool[i]))
+	}
+
+	var records []ALRecord
+	for round := 0; round < maxRounds; round++ {
+		m := a.NewModel()
+		if err := m.Fit(lx, ly); err != nil {
+			return nil, fmt.Errorf("round %d: %w", round, err)
+		}
+		a.model = m
+		rec := ALRecord{Round: round, Labeled: len(ly)}
+		if len(testX) > 0 {
+			pred := PredictBatch(m, testX)
+			rec.TestMSE = MSE(testY, pred)
+			rec.TestR2 = R2(testY, pred)
+		}
+		// Rank unlabeled pool points by predictive uncertainty.
+		type cand struct {
+			idx   int
+			sigma float64
+		}
+		var cands []cand
+		for i := range pool {
+			if labeled[i] {
+				continue
+			}
+			s := m.PredictStd(pool[i])
+			cands = append(cands, cand{i, s})
+			if s > rec.MaxSigma {
+				rec.MaxSigma = s
+			}
+		}
+		records = append(records, rec)
+		if len(cands) == 0 {
+			break
+		}
+		// Batch selection: restrict to the most uncertain candidates, then
+		// pick a diverse subset by greedy maximin distance — plain top-σ
+		// batches collapse onto one region and waste queries.
+		sort.Slice(cands, func(i, j int) bool { return cands[i].sigma > cands[j].sigma })
+		top := cands
+		if cap := 4 * a.BatchSize; len(top) > cap {
+			top = top[:cap]
+		}
+		chosen := []int{top[0].idx}
+		used := map[int]bool{0: true}
+		for len(chosen) < a.BatchSize && len(chosen) < len(top) {
+			bestJ, bestD := -1, -1.0
+			for j := range top {
+				if used[j] {
+					continue
+				}
+				dMin := math.Inf(1)
+				for _, ci := range chosen {
+					if d := minkDist(pool[top[j].idx], pool[ci]); d < dMin {
+						dMin = d
+					}
+				}
+				if dMin > bestD {
+					bestD, bestJ = dMin, j
+				}
+			}
+			if bestJ < 0 {
+				break
+			}
+			used[bestJ] = true
+			chosen = append(chosen, top[bestJ].idx)
+		}
+		for _, i := range chosen {
+			labeled[i] = true
+			lx = append(lx, pool[i])
+			ly = append(ly, oracle(pool[i]))
+		}
+	}
+	return records, nil
+}
+
+// minkDist is the squared Euclidean distance used for batch diversity.
+func minkDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Model returns the most recently fitted surrogate, or nil before Run.
+func (a *ActiveLearner) Model() *RandomForest { return a.model }
+
+// RandomSampler is the control arm: it labels the same budget of points
+// uniformly at random and reports the same learning-curve records, so the
+// benefit of uncertainty sampling can be quantified.
+func RandomSampler(pool [][]float64, oracle func(x []float64) float64,
+	testX [][]float64, testY []float64, nInit, batch, maxRounds int, seed int64) ([]ALRecord, error) {
+	if len(pool) == 0 || nInit < 1 || nInit > len(pool) {
+		return nil, fmt.Errorf("%w: pool=%d nInit=%d", ErrBadInput, len(pool), nInit)
+	}
+	if batch <= 0 {
+		batch = 4
+	}
+	rng := rand.New(rand.NewSource(seed + 5))
+	perm := rng.Perm(len(pool))
+	next := nInit
+	var lx [][]float64
+	var ly []float64
+	for _, i := range perm[:nInit] {
+		lx = append(lx, pool[i])
+		ly = append(ly, oracle(pool[i]))
+	}
+	var records []ALRecord
+	for round := 0; round < maxRounds; round++ {
+		m := &RandomForest{NumTrees: 50, Seed: seed}
+		if err := m.Fit(lx, ly); err != nil {
+			return nil, err
+		}
+		rec := ALRecord{Round: round, Labeled: len(ly)}
+		if len(testX) > 0 {
+			pred := PredictBatch(m, testX)
+			rec.TestMSE = MSE(testY, pred)
+			rec.TestR2 = R2(testY, pred)
+		}
+		records = append(records, rec)
+		for b := 0; b < batch && next < len(perm); b++ {
+			i := perm[next]
+			next++
+			lx = append(lx, pool[i])
+			ly = append(ly, oracle(pool[i]))
+		}
+		if next >= len(perm) {
+			break
+		}
+	}
+	return records, nil
+}

@@ -1,0 +1,107 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func alOracle(x []float64) float64 {
+	return math.Sin(3*x[0]) + x[1]*x[1]
+}
+
+func alPool(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([][]float64, n)
+	for i := range pool {
+		pool[i] = []float64{rng.Float64() * 2, rng.Float64() * 2}
+	}
+	return pool
+}
+
+func TestActiveLearnerRunsAndImproves(t *testing.T) {
+	pool := alPool(120, 1)
+	test := alPool(60, 2)
+	testY := make([]float64, len(test))
+	for i, x := range test {
+		testY[i] = alOracle(x)
+	}
+	al := &ActiveLearner{BatchSize: 8, Seed: 3}
+	recs, err := al.Run(pool, alOracle, test, testY, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("rounds = %d", len(recs))
+	}
+	if recs[0].Labeled != 10 {
+		t.Fatalf("initial labeled = %d", recs[0].Labeled)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Labeled != recs[i-1].Labeled+8 {
+			t.Fatalf("label growth wrong at round %d: %d -> %d", i, recs[i-1].Labeled, recs[i].Labeled)
+		}
+	}
+	first, last := recs[0].TestMSE, recs[len(recs)-1].TestMSE
+	if last >= first {
+		t.Fatalf("active learning did not improve: MSE %v -> %v", first, last)
+	}
+	if al.Model() == nil {
+		t.Fatal("Model() should return the fitted surrogate")
+	}
+}
+
+func TestActiveLearnerPoolExhaustion(t *testing.T) {
+	pool := alPool(12, 4)
+	al := &ActiveLearner{BatchSize: 5, Seed: 5}
+	recs, err := al.Run(pool, alOracle, nil, nil, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := recs[len(recs)-1]
+	if last.Labeled > len(pool) {
+		t.Fatalf("labeled %d > pool %d", last.Labeled, len(pool))
+	}
+	if len(recs) >= 100 {
+		t.Fatal("loop should stop when pool exhausted")
+	}
+}
+
+func TestActiveLearnerInputValidation(t *testing.T) {
+	if _, err := (&ActiveLearner{}).Run(nil, alOracle, nil, nil, 1, 1); err == nil {
+		t.Fatal("expected error for empty pool")
+	}
+	pool := alPool(5, 6)
+	if _, err := (&ActiveLearner{}).Run(pool, alOracle, nil, nil, 0, 1); err == nil {
+		t.Fatal("expected error for nInit=0")
+	}
+	if _, err := (&ActiveLearner{}).Run(pool, alOracle, nil, nil, 6, 1); err == nil {
+		t.Fatal("expected error for nInit>pool")
+	}
+}
+
+func TestRandomSamplerBaseline(t *testing.T) {
+	pool := alPool(100, 7)
+	test := alPool(50, 8)
+	testY := make([]float64, len(test))
+	for i, x := range test {
+		testY[i] = alOracle(x)
+	}
+	recs, err := RandomSampler(pool, alOracle, test, testY, 10, 8, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("rounds = %d", len(recs))
+	}
+	if recs[len(recs)-1].TestMSE >= recs[0].TestMSE {
+		t.Fatalf("random sampling should improve with more labels: %v -> %v",
+			recs[0].TestMSE, recs[len(recs)-1].TestMSE)
+	}
+}
+
+func TestRandomSamplerValidation(t *testing.T) {
+	if _, err := RandomSampler(nil, alOracle, nil, nil, 1, 1, 1, 1); err == nil {
+		t.Fatal("expected error for empty pool")
+	}
+}

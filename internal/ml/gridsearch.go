@@ -1,0 +1,73 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// GridSearchResult records one hyper-parameter candidate and its
+// cross-validated score.
+type GridSearchResult struct {
+	Params map[string]float64
+	Eval   Evaluation
+}
+
+// GridSearch evaluates every parameter combination via k-fold
+// cross-validation and returns all results plus the index of the candidate
+// with the lowest mean MSE. factory must build a fresh model from a
+// parameter assignment.
+func GridSearch(factory func(params map[string]float64) Regressor, grid map[string][]float64,
+	X [][]float64, y []float64, folds int, seed int64) ([]GridSearchResult, int, error) {
+	if _, err := checkXY(X, y); err != nil {
+		return nil, -1, err
+	}
+	if len(grid) == 0 {
+		return nil, -1, fmt.Errorf("%w: empty grid", ErrBadInput)
+	}
+	names := make([]string, 0, len(grid))
+	for k := range grid {
+		if len(grid[k]) == 0 {
+			return nil, -1, fmt.Errorf("%w: empty value list for %q", ErrBadInput, k)
+		}
+		names = append(names, k)
+	}
+	// Deterministic order for reproducibility.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+
+	var results []GridSearchResult
+	best, bestMSE := -1, math.Inf(1)
+	idx := make([]int, len(names))
+	for {
+		params := make(map[string]float64, len(names))
+		for k, name := range names {
+			params[name] = grid[name][idx[k]]
+		}
+		evals, err := CrossValidate(func() Regressor { return factory(params) }, X, y, folds, seed)
+		if err != nil {
+			return nil, -1, err
+		}
+		mean := MeanEvaluation(evals)
+		results = append(results, GridSearchResult{Params: params, Eval: mean})
+		if mean.MSE < bestMSE {
+			bestMSE = mean.MSE
+			best = len(results) - 1
+		}
+		// Advance mixed-radix counter.
+		k := 0
+		for ; k < len(names); k++ {
+			idx[k]++
+			if idx[k] < len(grid[names[k]]) {
+				break
+			}
+			idx[k] = 0
+		}
+		if k == len(names) {
+			break
+		}
+	}
+	return results, best, nil
+}

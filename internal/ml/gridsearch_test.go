@@ -1,0 +1,96 @@
+package ml
+
+import "testing"
+
+func TestGridSearchFindsBetterRidge(t *testing.T) {
+	X, y := syntheticLinear(80, 3, 12, 0.05)
+	grid := map[string][]float64{"lambda": {1e-6, 1e-3, 1, 1e3}}
+	results, best, err := GridSearch(func(p map[string]float64) Regressor {
+		return &Ridge{Lambda: p["lambda"]}
+	}, grid, X, y, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if best < 0 || best >= len(results) {
+		t.Fatalf("best = %d", best)
+	}
+	// Best candidate must not have a worse MSE than any other.
+	for _, r := range results {
+		if results[best].Eval.MSE > r.Eval.MSE+1e-12 {
+			t.Fatalf("best MSE %v > candidate %v", results[best].Eval.MSE, r.Eval.MSE)
+		}
+	}
+	// A huge lambda must be clearly worse than the winner.
+	var hugeMSE float64
+	for _, r := range results {
+		if r.Params["lambda"] == 1e3 {
+			hugeMSE = r.Eval.MSE
+		}
+	}
+	if hugeMSE <= results[best].Eval.MSE {
+		t.Fatalf("lambda=1e3 should not win: %v vs %v", hugeMSE, results[best].Eval.MSE)
+	}
+}
+
+func TestGridSearchMultiParamCoversCrossProduct(t *testing.T) {
+	X, y := syntheticFriedman(60, 13)
+	grid := map[string][]float64{
+		"trees": {5, 10},
+		"depth": {2, 4, 6},
+	}
+	results, _, err := GridSearch(func(p map[string]float64) Regressor {
+		return &RandomForest{NumTrees: int(p["trees"]), MaxDepth: int(p["depth"]), Seed: 1}
+	}, grid, X, y, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("results = %d, want 6", len(results))
+	}
+	seen := map[[2]float64]bool{}
+	for _, r := range results {
+		seen[[2]float64{r.Params["trees"], r.Params["depth"]}] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("cross product incomplete: %d unique", len(seen))
+	}
+}
+
+func TestGridSearchErrors(t *testing.T) {
+	X, y := syntheticLinear(10, 2, 1, 0)
+	if _, _, err := GridSearch(nil, map[string][]float64{}, X, y, 2, 1); err == nil {
+		t.Fatal("expected error for empty grid")
+	}
+	if _, _, err := GridSearch(nil, map[string][]float64{"a": {}}, X, y, 2, 1); err == nil {
+		t.Fatal("expected error for empty value list")
+	}
+	if _, _, err := GridSearch(func(map[string]float64) Regressor { return &LinearRegression{} },
+		map[string][]float64{"a": {1}}, nil, nil, 2, 1); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+}
+
+func TestGridSearchDeterministic(t *testing.T) {
+	X, y := syntheticLinear(40, 2, 14, 0.1)
+	grid := map[string][]float64{"lambda": {0.1, 1}}
+	f := func(p map[string]float64) Regressor { return &Ridge{Lambda: p["lambda"]} }
+	r1, b1, err := GridSearch(f, grid, X, y, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, b2, err := GridSearch(f, grid, X, y, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Fatalf("best indices differ: %d vs %d", b1, b2)
+	}
+	for i := range r1 {
+		if r1[i].Eval.MSE != r2[i].Eval.MSE {
+			t.Fatal("same seed must give identical scores")
+		}
+	}
+}

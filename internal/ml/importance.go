@@ -1,0 +1,69 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// FeatureImportance is one feature's permutation-importance score: the mean
+// increase in test MSE when the feature's column is shuffled, breaking its
+// relationship with the target (Breiman-style variable importance; the
+// paper cites Grömping's comparison of linear-regression and random-forest
+// variable importance).
+type FeatureImportance struct {
+	Feature    int
+	Name       string
+	Importance float64
+}
+
+// PermutationImportance computes permutation importances for a fitted model
+// on (X, y), averaging over repeats shuffles per feature. names is optional
+// (nil uses "f0", "f1", …). Results are sorted by decreasing importance.
+func PermutationImportance(model Regressor, X [][]float64, y []float64, names []string, repeats int, seed int64) ([]FeatureImportance, error) {
+	d, err := checkXY(X, y)
+	if err != nil {
+		return nil, err
+	}
+	if repeats <= 0 {
+		repeats = 5
+	}
+	if names != nil && len(names) != d {
+		return nil, fmt.Errorf("%w: %d names for %d features", ErrBadInput, len(names), d)
+	}
+	base := MSE(y, PredictBatch(model, X))
+	rng := rand.New(rand.NewSource(seed + 31))
+	n := len(X)
+
+	out := make([]FeatureImportance, d)
+	col := make([]float64, n)
+	perm := make([]int, n)
+	shuffled := copyMatrix(X)
+	for f := 0; f < d; f++ {
+		for i := range X {
+			col[i] = X[i][f]
+		}
+		var total float64
+		for r := 0; r < repeats; r++ {
+			for i := range perm {
+				perm[i] = i
+			}
+			rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+			for i := range shuffled {
+				shuffled[i][f] = col[perm[i]]
+			}
+			total += MSE(y, PredictBatch(model, shuffled)) - base
+		}
+		// Restore the column.
+		for i := range shuffled {
+			shuffled[i][f] = col[i]
+		}
+		name := fmt.Sprintf("f%d", f)
+		if names != nil {
+			name = names[f]
+		}
+		out[f] = FeatureImportance{Feature: f, Name: name, Importance: total / float64(repeats)}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Importance > out[j].Importance })
+	return out, nil
+}

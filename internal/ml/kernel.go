@@ -1,0 +1,66 @@
+package ml
+
+import (
+	"math"
+
+	"graphdse/internal/mat"
+)
+
+// Kernel computes a positive-semidefinite similarity between feature vectors.
+type Kernel interface {
+	Eval(a, b []float64) float64
+	Name() string
+}
+
+// RBFKernel is the Gaussian kernel exp(-γ‖a-b‖²), the kernel used for SVR in
+// the paper's scikit-learn default configuration.
+type RBFKernel struct {
+	// Gamma is the inverse width; larger values fit more locally.
+	Gamma float64
+}
+
+// Eval implements Kernel.
+func (k RBFKernel) Eval(a, b []float64) float64 {
+	return math.Exp(-k.Gamma * mat.SqDist(a, b))
+}
+
+// Name implements Kernel.
+func (k RBFKernel) Name() string { return "rbf" }
+
+// LinearKernel is the inner-product kernel a·b.
+type LinearKernel struct{}
+
+// Eval implements Kernel.
+func (LinearKernel) Eval(a, b []float64) float64 { return mat.Dot(a, b) }
+
+// Name implements Kernel.
+func (LinearKernel) Name() string { return "linear" }
+
+// PolyKernel is (γ a·b + c)^d.
+type PolyKernel struct {
+	Gamma  float64
+	Coef0  float64
+	Degree int
+}
+
+// Eval implements Kernel.
+func (k PolyKernel) Eval(a, b []float64) float64 {
+	return math.Pow(k.Gamma*mat.Dot(a, b)+k.Coef0, float64(k.Degree))
+}
+
+// Name implements Kernel.
+func (k PolyKernel) Name() string { return "poly" }
+
+// gramMatrix precomputes K(i,j) for all training pairs.
+func gramMatrix(k Kernel, X [][]float64) *mat.Dense {
+	n := len(X)
+	g := mat.NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := k.Eval(X[i], X[j])
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	return g
+}

@@ -1,0 +1,79 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"graphdse/internal/mat"
+)
+
+// KNN is a k-nearest-neighbour regressor (uniform or inverse-distance
+// weighting). It serves as a simple extra baseline for the model-comparison
+// tables.
+type KNN struct {
+	// K is the neighbourhood size (default 5).
+	K int
+	// Weighted enables inverse-distance weighting.
+	Weighted bool
+
+	x      [][]float64
+	y      []float64
+	fitted bool
+}
+
+// Name implements Named.
+func (k *KNN) Name() string { return "KNN" }
+
+// Fit memorizes the training set.
+func (k *KNN) Fit(X [][]float64, y []float64) error {
+	if _, err := checkXY(X, y); err != nil {
+		return err
+	}
+	if k.K <= 0 {
+		k.K = 5
+	}
+	k.x = copyMatrix(X)
+	k.y = append([]float64(nil), y...)
+	k.fitted = true
+	return nil
+}
+
+// Predict averages the targets of the K nearest training points.
+func (k *KNN) Predict(q []float64) float64 {
+	if !k.fitted {
+		panic(ErrNotFitted)
+	}
+	if len(q) != len(k.x[0]) {
+		panic(fmt.Sprintf("ml: knn expects %d features, got %d", len(k.x[0]), len(q)))
+	}
+	type nd struct {
+		d float64
+		y float64
+	}
+	ds := make([]nd, len(k.x))
+	for i, row := range k.x {
+		ds[i] = nd{mat.SqDist(row, q), k.y[i]}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+	kk := k.K
+	if kk > len(ds) {
+		kk = len(ds)
+	}
+	if !k.Weighted {
+		var s float64
+		for i := 0; i < kk; i++ {
+			s += ds[i].y
+		}
+		return s / float64(kk)
+	}
+	var num, den float64
+	for i := 0; i < kk; i++ {
+		if ds[i].d == 0 {
+			return ds[i].y // exact match dominates
+		}
+		w := 1 / ds[i].d
+		num += w * ds[i].y
+		den += w
+	}
+	return num / den
+}

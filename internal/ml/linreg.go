@@ -1,0 +1,145 @@
+package ml
+
+import (
+	"fmt"
+
+	"graphdse/internal/mat"
+)
+
+// LinearRegression is ordinary least squares with an intercept, solved by
+// Householder QR. It is the baseline model in Table I of the paper.
+type LinearRegression struct {
+	// Coef holds the fitted feature weights; Intercept the bias term.
+	Coef      []float64
+	Intercept float64
+	fitted    bool
+}
+
+// Name implements Named.
+func (l *LinearRegression) Name() string { return "Linear" }
+
+// Fit solves min ||[X 1]·w - y||₂.
+func (l *LinearRegression) Fit(X [][]float64, y []float64) error {
+	d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	n := len(X)
+	a := mat.NewDense(n, d+1, nil)
+	for i, row := range X {
+		copy(a.RawRow(i)[:d], row)
+		a.RawRow(i)[d] = 1
+	}
+	w, err := mat.LeastSquares(a, y)
+	if err != nil {
+		// Fall back to ridge with a tiny penalty when X is rank-deficient
+		// (e.g. a constant column alongside the intercept).
+		r := &Ridge{Lambda: 1e-8}
+		if rerr := r.Fit(X, y); rerr != nil {
+			return fmt.Errorf("linear fit: %w", err)
+		}
+		l.Coef = r.Coef
+		l.Intercept = r.Intercept
+		l.fitted = true
+		return nil
+	}
+	l.Coef = w[:d]
+	l.Intercept = w[d]
+	l.fitted = true
+	return nil
+}
+
+// Predict returns Coef·x + Intercept.
+func (l *LinearRegression) Predict(x []float64) float64 {
+	if !l.fitted {
+		panic(ErrNotFitted)
+	}
+	if len(x) != len(l.Coef) {
+		panic(fmt.Sprintf("ml: linear model expects %d features, got %d", len(l.Coef), len(x)))
+	}
+	return mat.Dot(l.Coef, x) + l.Intercept
+}
+
+// Ridge is L2-regularized linear regression solved via the normal equations
+// (XᵀX + λI)w = Xᵀy with an unpenalized intercept (handled by centering).
+type Ridge struct {
+	// Lambda is the L2 penalty strength; zero reduces to OLS on the normal
+	// equations (which requires full column rank).
+	Lambda    float64
+	Coef      []float64
+	Intercept float64
+	fitted    bool
+}
+
+// Name implements Named.
+func (r *Ridge) Name() string { return "Ridge" }
+
+// Fit trains the ridge model.
+func (r *Ridge) Fit(X [][]float64, y []float64) error {
+	d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	if r.Lambda < 0 {
+		return fmt.Errorf("%w: negative lambda %v", ErrBadInput, r.Lambda)
+	}
+	n := len(X)
+	// Center features and target so the intercept is unpenalized.
+	xm := make([]float64, d)
+	for _, row := range X {
+		for j, v := range row {
+			xm[j] += v
+		}
+	}
+	for j := range xm {
+		xm[j] /= float64(n)
+	}
+	ym := mat.Mean(y)
+
+	// Build XᵀX and Xᵀy on centered data.
+	xtx := mat.NewDense(d, d, nil)
+	xty := make([]float64, d)
+	cx := make([]float64, d)
+	for i, row := range X {
+		for j, v := range row {
+			cx[j] = v - xm[j]
+		}
+		cy := y[i] - ym
+		for j := 0; j < d; j++ {
+			xty[j] += cx[j] * cy
+			rr := xtx.RawRow(j)
+			for k := j; k < d; k++ {
+				rr[k] += cx[j] * cx[k]
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		for k := 0; k < j; k++ {
+			xtx.Set(j, k, xtx.At(k, j))
+		}
+	}
+	lam := r.Lambda
+	if lam == 0 {
+		lam = 1e-12 // numerical floor keeps Cholesky stable
+	}
+	xtx.AddDiag(lam)
+	w, err := mat.SolveSPD(xtx, xty)
+	if err != nil {
+		return fmt.Errorf("ridge solve: %w", err)
+	}
+	r.Coef = w
+	r.Intercept = ym - mat.Dot(w, xm)
+	r.fitted = true
+	return nil
+}
+
+// Predict returns Coef·x + Intercept.
+func (r *Ridge) Predict(x []float64) float64 {
+	if !r.fitted {
+		panic(ErrNotFitted)
+	}
+	if len(x) != len(r.Coef) {
+		panic(fmt.Sprintf("ml: ridge model expects %d features, got %d", len(r.Coef), len(x)))
+	}
+	return mat.Dot(r.Coef, x) + r.Intercept
+}

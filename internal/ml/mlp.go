@@ -1,0 +1,204 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a multilayer-perceptron regressor trained with Adam on mean squared
+// error — the "more advanced ML method" direction the paper's future work
+// names. The architecture is input → hidden layers (tanh) → linear output.
+type MLP struct {
+	// Hidden lists the hidden-layer widths (default one layer of 32).
+	Hidden []int
+	// Epochs of full-batch passes (default 400).
+	Epochs int
+	// LearningRate for Adam (default 0.01).
+	LearningRate float64
+	// L2 weight decay (default 1e-4).
+	L2 float64
+	// BatchSize for mini-batch SGD; <=0 uses full batch.
+	BatchSize int
+	// Seed controls weight init and batch shuffling.
+	Seed int64
+
+	weights [][]float64 // per layer, row-major (out × in)
+	biases  [][]float64
+	dims    []int // layer sizes including input and output
+	fitted  bool
+}
+
+// NewMLP returns an MLP with defaults suited to the small DSE datasets.
+func NewMLP() *MLP {
+	return &MLP{Hidden: []int{32}, Epochs: 400, LearningRate: 0.01, L2: 1e-4}
+}
+
+// Name implements Named.
+func (m *MLP) Name() string { return "MLP" }
+
+// Fit trains the network.
+func (m *MLP) Fit(X [][]float64, y []float64) error {
+	d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	if len(m.Hidden) == 0 {
+		m.Hidden = []int{32}
+	}
+	for _, h := range m.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("%w: hidden width %d", ErrBadInput, h)
+		}
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 400
+	}
+	if m.LearningRate <= 0 {
+		m.LearningRate = 0.01
+	}
+	n := len(X)
+	batch := m.BatchSize
+	if batch <= 0 || batch > n {
+		batch = n
+	}
+
+	m.dims = append(append([]int{d}, m.Hidden...), 1)
+	L := len(m.dims) - 1
+	rng := rand.New(rand.NewSource(m.Seed + 99))
+	m.weights = make([][]float64, L)
+	m.biases = make([][]float64, L)
+	// Adam state.
+	mw := make([][]float64, L)
+	vw := make([][]float64, L)
+	mb := make([][]float64, L)
+	vb := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		in, out := m.dims[l], m.dims[l+1]
+		m.weights[l] = make([]float64, in*out)
+		scale := math.Sqrt(2 / float64(in))
+		for i := range m.weights[l] {
+			m.weights[l][i] = rng.NormFloat64() * scale
+		}
+		m.biases[l] = make([]float64, out)
+		mw[l] = make([]float64, in*out)
+		vw[l] = make([]float64, in*out)
+		mb[l] = make([]float64, out)
+		vb[l] = make([]float64, out)
+	}
+
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	acts := make([][]float64, L+1)
+	deltas := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		deltas[l] = make([]float64, m.dims[l+1])
+	}
+	order := rng.Perm(n)
+	step := 0
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			// Zero gradients (accumulated in Adam buffers via temp grads).
+			gw := make([][]float64, L)
+			gb := make([][]float64, L)
+			for l := 0; l < L; l++ {
+				gw[l] = make([]float64, len(m.weights[l]))
+				gb[l] = make([]float64, len(m.biases[l]))
+			}
+			for _, i := range order[start:end] {
+				m.forward(X[i], acts)
+				// Output delta: d(MSE)/d(out) = 2*(out - y) (constant folded).
+				deltas[L-1][0] = acts[L][0] - y[i]
+				// Backprop through hidden layers.
+				for l := L - 2; l >= 0; l-- {
+					out := m.dims[l+1]
+					nxt := m.dims[l+2]
+					wNext := m.weights[l+1]
+					for j := 0; j < out; j++ {
+						var s float64
+						for k := 0; k < nxt; k++ {
+							s += wNext[k*out+j] * deltas[l+1][k]
+						}
+						a := acts[l+1][j]
+						deltas[l][j] = s * (1 - a*a) // tanh'
+					}
+				}
+				for l := 0; l < L; l++ {
+					in, out := m.dims[l], m.dims[l+1]
+					for j := 0; j < out; j++ {
+						dj := deltas[l][j]
+						gb[l][j] += dj
+						row := gw[l][j*in : (j+1)*in]
+						av := acts[l]
+						for k := 0; k < in; k++ {
+							row[k] += dj * av[k]
+						}
+					}
+				}
+			}
+			// Adam update.
+			step++
+			bc1 := 1 - math.Pow(beta1, float64(step))
+			bc2 := 1 - math.Pow(beta2, float64(step))
+			inv := 1 / float64(end-start)
+			for l := 0; l < L; l++ {
+				for i := range m.weights[l] {
+					g := gw[l][i]*inv + m.L2*m.weights[l][i]
+					mw[l][i] = beta1*mw[l][i] + (1-beta1)*g
+					vw[l][i] = beta2*vw[l][i] + (1-beta2)*g*g
+					m.weights[l][i] -= m.LearningRate * (mw[l][i] / bc1) / (math.Sqrt(vw[l][i]/bc2) + eps)
+				}
+				for i := range m.biases[l] {
+					g := gb[l][i] * inv
+					mb[l][i] = beta1*mb[l][i] + (1-beta1)*g
+					vb[l][i] = beta2*vb[l][i] + (1-beta2)*g*g
+					m.biases[l][i] -= m.LearningRate * (mb[l][i] / bc1) / (math.Sqrt(vb[l][i]/bc2) + eps)
+				}
+			}
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// forward fills acts[0..L] with layer activations for input x.
+func (m *MLP) forward(x []float64, acts [][]float64) {
+	L := len(m.dims) - 1
+	acts[0] = x
+	for l := 0; l < L; l++ {
+		in, out := m.dims[l], m.dims[l+1]
+		if acts[l+1] == nil || len(acts[l+1]) != out {
+			acts[l+1] = make([]float64, out)
+		}
+		w := m.weights[l]
+		for j := 0; j < out; j++ {
+			s := m.biases[l][j]
+			row := w[j*in : (j+1)*in]
+			av := acts[l]
+			for k := 0; k < in; k++ {
+				s += row[k] * av[k]
+			}
+			if l < L-1 {
+				s = math.Tanh(s)
+			}
+			acts[l+1][j] = s
+		}
+	}
+}
+
+// Predict runs a forward pass.
+func (m *MLP) Predict(x []float64) float64 {
+	if !m.fitted {
+		panic(ErrNotFitted)
+	}
+	if len(x) != m.dims[0] {
+		panic(fmt.Sprintf("ml: mlp expects %d features, got %d", m.dims[0], len(x)))
+	}
+	acts := make([][]float64, len(m.dims))
+	m.forward(x, acts)
+	return acts[len(acts)-1][0]
+}

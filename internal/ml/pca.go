@@ -1,0 +1,122 @@
+package ml
+
+import (
+	"fmt"
+
+	"graphdse/internal/mat"
+)
+
+// PCA is principal-component analysis over the feature covariance matrix
+// (Jacobi eigendecomposition) — a dimensionality-reduction preprocessor for
+// the DSE feature space.
+type PCA struct {
+	// Components is the target dimensionality (<=0 keeps all).
+	Components int
+
+	mean      []float64
+	basis     *mat.Dense // d × k projection matrix
+	Explained []float64  // per-component explained-variance ratio
+	fitted    bool
+}
+
+// Fit learns the projection from X.
+func (p *PCA) Fit(X [][]float64) error {
+	if len(X) < 2 || len(X[0]) == 0 {
+		return fmt.Errorf("%w: PCA needs >= 2 samples", ErrBadInput)
+	}
+	d := len(X[0])
+	n := len(X)
+	p.mean = make([]float64, d)
+	for _, row := range X {
+		if len(row) != d {
+			return fmt.Errorf("%w: ragged rows", ErrBadInput)
+		}
+		for j, v := range row {
+			p.mean[j] += v
+		}
+	}
+	for j := range p.mean {
+		p.mean[j] /= float64(n)
+	}
+	// Covariance matrix.
+	cov := mat.NewDense(d, d, nil)
+	for _, row := range X {
+		for i := 0; i < d; i++ {
+			di := row[i] - p.mean[i]
+			for j := i; j < d; j++ {
+				cov.Set(i, j, cov.At(i, j)+di*(row[j]-p.mean[j]))
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			v := cov.At(i, j) / float64(n-1)
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	values, vectors, err := mat.JacobiEigen(cov, 60)
+	if err != nil {
+		return err
+	}
+	k := p.Components
+	if k <= 0 || k > d {
+		k = d
+	}
+	p.basis = mat.NewDense(d, k, nil)
+	for i := 0; i < d; i++ {
+		for j := 0; j < k; j++ {
+			p.basis.Set(i, j, vectors.At(i, j))
+		}
+	}
+	var total float64
+	for _, v := range values {
+		if v > 0 {
+			total += v
+		}
+	}
+	p.Explained = make([]float64, k)
+	for j := 0; j < k; j++ {
+		if total > 0 && values[j] > 0 {
+			p.Explained[j] = values[j] / total
+		}
+	}
+	p.fitted = true
+	return nil
+}
+
+// Transform projects rows onto the learned components.
+func (p *PCA) Transform(X [][]float64) [][]float64 {
+	if !p.fitted {
+		panic(ErrNotFitted)
+	}
+	d, k := p.basis.Dims()
+	out := make([][]float64, len(X))
+	centered := make([]float64, d)
+	for i, row := range X {
+		if len(row) != d {
+			panic(fmt.Sprintf("ml: PCA expects %d features, got %d", d, len(row)))
+		}
+		for j, v := range row {
+			centered[j] = v - p.mean[j]
+		}
+		proj := make([]float64, k)
+		for c := 0; c < k; c++ {
+			var s float64
+			for j := 0; j < d; j++ {
+				s += centered[j] * p.basis.At(j, c)
+			}
+			proj[c] = s
+		}
+		out[i] = proj
+	}
+	return out
+}
+
+// FitTransform fits and projects in one call.
+func (p *PCA) FitTransform(X [][]float64) ([][]float64, error) {
+	if err := p.Fit(X); err != nil {
+		return nil, err
+	}
+	return p.Transform(X), nil
+}

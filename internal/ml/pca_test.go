@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Data lives mostly along (1, 1)/√2 with tiny orthogonal noise.
+	rng := rand.New(rand.NewSource(60))
+	X := make([][]float64, 300)
+	for i := range X {
+		tval := rng.NormFloat64() * 5
+		noise := rng.NormFloat64() * 0.1
+		X[i] = []float64{tval + noise, tval - noise}
+	}
+	p := &PCA{Components: 1}
+	proj, err := p.FitTransform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj[0]) != 1 {
+		t.Fatalf("projected dim = %d", len(proj[0]))
+	}
+	if p.Explained[0] < 0.99 {
+		t.Fatalf("first component explains %v, want > 0.99", p.Explained[0])
+	}
+}
+
+func TestPCAExplainedSumsToOne(t *testing.T) {
+	X, _ := syntheticFriedman(200, 61)
+	p := &PCA{}
+	if err := p.Fit(X); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, e := range p.Explained {
+		if e < 0 {
+			t.Fatalf("negative explained ratio %v", e)
+		}
+		sum += e
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("explained ratios sum to %v", sum)
+	}
+}
+
+func TestPCAPreservesRegressionSignal(t *testing.T) {
+	// Augment informative features with redundant copies; PCA to the
+	// original dimensionality should keep the model accurate.
+	X, y := syntheticFriedman(300, 62)
+	aug := make([][]float64, len(X))
+	for i, row := range X {
+		aug[i] = append(append([]float64{}, row...), row[0]+row[1], row[2]*2)
+	}
+	p := &PCA{Components: 4}
+	proj, err := p.FitTransform(aug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &RandomForest{NumTrees: 40, Seed: 1}
+	if err := m.Fit(proj, y); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := R2(y, PredictBatch(m, proj)); r2 < 0.9 {
+		t.Fatalf("PCA-compressed train R2 = %v", r2)
+	}
+}
+
+func TestPCAValidation(t *testing.T) {
+	p := &PCA{}
+	if err := p.Fit(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if err := p.Fit([][]float64{{1, 2}}); err == nil {
+		t.Fatal("expected error for single sample")
+	}
+	if err := p.Fit([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected error for ragged input")
+	}
+	mustPanicML(t, func() { (&PCA{}).Transform([][]float64{{1}}) })
+	if err := p.Fit([][]float64{{1, 2}, {3, 4}, {5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	mustPanicML(t, func() { p.Transform([][]float64{{1}}) }) // wrong dim
+}
+
+func TestPCATransformCentered(t *testing.T) {
+	X := [][]float64{{10, 0}, {12, 0}, {14, 0}}
+	p := &PCA{Components: 2}
+	proj, err := p.FitTransform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projections of centered data must average to zero.
+	for c := 0; c < 2; c++ {
+		var mean float64
+		for i := range proj {
+			mean += proj[i][c]
+		}
+		if math.Abs(mean/float64(len(proj))) > 1e-9 {
+			t.Fatalf("component %d not centered", c)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Model persistence: trained surrogates serialize to a JSON envelope
+// {"type": ..., "data": ...} so a DSE session's models can be saved and
+// queried later without retraining.
+
+type envelope struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+type linearDTO struct {
+	Coef      []float64 `json:"coef"`
+	Intercept float64   `json:"intercept"`
+}
+
+type kernelDTO struct {
+	Name   string  `json:"name"`
+	Gamma  float64 `json:"gamma,omitempty"`
+	Coef0  float64 `json:"coef0,omitempty"`
+	Degree int     `json:"degree,omitempty"`
+}
+
+type svrDTO struct {
+	Kernel   kernelDTO   `json:"kernel"`
+	SupportX [][]float64 `json:"supportX"`
+	Beta     []float64   `json:"beta"`
+	B        float64     `json:"b"`
+}
+
+type nodeDTO struct {
+	Feature   int      `json:"f"`
+	Threshold float64  `json:"t,omitempty"`
+	Value     float64  `json:"v"`
+	Samples   int      `json:"n"`
+	Left      *nodeDTO `json:"l,omitempty"`
+	Right     *nodeDTO `json:"r,omitempty"`
+}
+
+type treeDTO struct {
+	Dims int      `json:"dims"`
+	Root *nodeDTO `json:"root"`
+}
+
+type forestDTO struct {
+	Trees []treeDTO `json:"trees"`
+	Dims  int       `json:"dims"`
+}
+
+type gbtDTO struct {
+	Init         float64   `json:"init"`
+	LearningRate float64   `json:"lr"`
+	Stages       []treeDTO `json:"stages"`
+	Dims         int       `json:"dims"`
+}
+
+type knnDTO struct {
+	K        int         `json:"k"`
+	Weighted bool        `json:"weighted"`
+	X        [][]float64 `json:"x"`
+	Y        []float64   `json:"y"`
+}
+
+type mlpDTO struct {
+	Dims    []int       `json:"dims"`
+	Weights [][]float64 `json:"weights"`
+	Biases  [][]float64 `json:"biases"`
+}
+
+// SaveModel serializes a fitted model. Supported: LinearRegression, Ridge,
+// SVR, RegressionTree, RandomForest, GradientBoosting, KNN, MLP.
+func SaveModel(w io.Writer, model Regressor) error {
+	var env envelope
+	var data interface{}
+	switch m := model.(type) {
+	case *LinearRegression:
+		if !m.fitted {
+			return ErrNotFitted
+		}
+		env.Type = "linear"
+		data = linearDTO{Coef: m.Coef, Intercept: m.Intercept}
+	case *Ridge:
+		if !m.fitted {
+			return ErrNotFitted
+		}
+		env.Type = "ridge"
+		data = linearDTO{Coef: m.Coef, Intercept: m.Intercept}
+	case *SVR:
+		if !m.fitted {
+			return ErrNotFitted
+		}
+		env.Type = "svr"
+		data = svrDTO{Kernel: kernelToDTO(m.Kernel), SupportX: m.SupportX, Beta: m.Beta, B: m.B}
+	case *RegressionTree:
+		if !m.fitted {
+			return ErrNotFitted
+		}
+		env.Type = "tree"
+		data = treeDTO{Dims: m.nDims, Root: nodeToDTO(m.root)}
+	case *RandomForest:
+		if !m.fitted {
+			return ErrNotFitted
+		}
+		env.Type = "forest"
+		trees := make([]treeDTO, len(m.trees))
+		for i, t := range m.trees {
+			trees[i] = treeDTO{Dims: t.nDims, Root: nodeToDTO(t.root)}
+		}
+		data = forestDTO{Trees: trees, Dims: m.nDims}
+	case *GradientBoosting:
+		if !m.fitted {
+			return ErrNotFitted
+		}
+		env.Type = "gbt"
+		stages := make([]treeDTO, len(m.stages))
+		for i, t := range m.stages {
+			stages[i] = treeDTO{Dims: t.nDims, Root: nodeToDTO(t.root)}
+		}
+		data = gbtDTO{Init: m.init, LearningRate: m.LearningRate, Stages: stages, Dims: m.nDims}
+	case *KNN:
+		if !m.fitted {
+			return ErrNotFitted
+		}
+		env.Type = "knn"
+		data = knnDTO{K: m.K, Weighted: m.Weighted, X: m.x, Y: m.y}
+	case *MLP:
+		if !m.fitted {
+			return ErrNotFitted
+		}
+		env.Type = "mlp"
+		data = mlpDTO{Dims: m.dims, Weights: m.weights, Biases: m.biases}
+	default:
+		return fmt.Errorf("ml: cannot serialize %T", model)
+	}
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	env.Data = raw
+	enc := json.NewEncoder(w)
+	return enc.Encode(env)
+}
+
+// LoadModel deserializes a model saved by SaveModel.
+func LoadModel(r io.Reader) (Regressor, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("ml: parsing model: %w", err)
+	}
+	switch env.Type {
+	case "linear":
+		var d linearDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		return &LinearRegression{Coef: d.Coef, Intercept: d.Intercept, fitted: true}, nil
+	case "ridge":
+		var d linearDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		return &Ridge{Coef: d.Coef, Intercept: d.Intercept, fitted: true}, nil
+	case "svr":
+		var d svrDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		k, err := kernelFromDTO(d.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		s := NewSVR()
+		s.Kernel = k
+		s.SupportX = d.SupportX
+		s.Beta = d.Beta
+		s.B = d.B
+		s.fitted = true
+		return s, nil
+	case "tree":
+		var d treeDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		return treeFromDTO(d), nil
+	case "forest":
+		var d forestDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		f := &RandomForest{NumTrees: len(d.Trees), nDims: d.Dims, fitted: true}
+		for _, td := range d.Trees {
+			f.trees = append(f.trees, treeFromDTO(td))
+		}
+		return f, nil
+	case "gbt":
+		var d gbtDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		g := &GradientBoosting{LearningRate: d.LearningRate, init: d.Init, nDims: d.Dims, fitted: true}
+		for _, td := range d.Stages {
+			g.stages = append(g.stages, treeFromDTO(td))
+		}
+		g.NumStages = len(g.stages)
+		return g, nil
+	case "knn":
+		var d knnDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		return &KNN{K: d.K, Weighted: d.Weighted, x: d.X, y: d.Y, fitted: true}, nil
+	case "mlp":
+		var d mlpDTO
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return nil, err
+		}
+		if len(d.Dims) < 2 {
+			return nil, fmt.Errorf("%w: mlp dims %v", ErrBadInput, d.Dims)
+		}
+		return &MLP{dims: d.Dims, weights: d.Weights, biases: d.Biases, fitted: true}, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown model type %q", env.Type)
+	}
+}
+
+func kernelToDTO(k Kernel) kernelDTO {
+	switch kk := k.(type) {
+	case RBFKernel:
+		return kernelDTO{Name: "rbf", Gamma: kk.Gamma}
+	case LinearKernel:
+		return kernelDTO{Name: "linear"}
+	case PolyKernel:
+		return kernelDTO{Name: "poly", Gamma: kk.Gamma, Coef0: kk.Coef0, Degree: kk.Degree}
+	default:
+		return kernelDTO{Name: "rbf", Gamma: 1}
+	}
+}
+
+func kernelFromDTO(d kernelDTO) (Kernel, error) {
+	switch d.Name {
+	case "rbf":
+		return RBFKernel{Gamma: d.Gamma}, nil
+	case "linear":
+		return LinearKernel{}, nil
+	case "poly":
+		return PolyKernel{Gamma: d.Gamma, Coef0: d.Coef0, Degree: d.Degree}, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown kernel %q", d.Name)
+	}
+}
+
+func nodeToDTO(n *treeNode) *nodeDTO {
+	if n == nil {
+		return nil
+	}
+	return &nodeDTO{
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Value:     n.value,
+		Samples:   n.samples,
+		Left:      nodeToDTO(n.left),
+		Right:     nodeToDTO(n.right),
+	}
+}
+
+func nodeFromDTO(d *nodeDTO) *treeNode {
+	if d == nil {
+		return nil
+	}
+	return &treeNode{
+		feature:   d.Feature,
+		threshold: d.Threshold,
+		value:     d.Value,
+		samples:   d.Samples,
+		left:      nodeFromDTO(d.Left),
+		right:     nodeFromDTO(d.Right),
+	}
+}
+
+func treeFromDTO(d treeDTO) *RegressionTree {
+	return &RegressionTree{nDims: d.Dims, root: nodeFromDTO(d.Root), fitted: true}
+}
+
+// RenderTree writes an indented ASCII view of a fitted tree, with feature
+// names resolved through names (nil uses indices).
+func RenderTree(w io.Writer, t *RegressionTree, names []string) error {
+	if !t.fitted {
+		return ErrNotFitted
+	}
+	return renderNode(w, t.root, names, 0)
+}
+
+func renderNode(w io.Writer, n *treeNode, names []string, depth int) error {
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	if n.feature < 0 {
+		_, err := fmt.Fprintf(w, "%sleaf value=%.4g n=%d\n", indent, n.value, n.samples)
+		return err
+	}
+	name := fmt.Sprintf("f%d", n.feature)
+	if names != nil && n.feature < len(names) {
+		name = names[n.feature]
+	}
+	if _, err := fmt.Fprintf(w, "%s%s <= %.4g (n=%d)\n", indent, name, n.threshold, n.samples); err != nil {
+		return err
+	}
+	if err := renderNode(w, n.left, names, depth+1); err != nil {
+		return err
+	}
+	return renderNode(w, n.right, names, depth+1)
+}

@@ -1,0 +1,137 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fitAll returns one fitted instance of every serializable model on the
+// same data.
+func fitAll(t *testing.T) ([]Regressor, [][]float64, []float64) {
+	t.Helper()
+	X, y := syntheticFriedman(120, 40)
+	svr := NewSVR()
+	svr.Seed = 1
+	mlp := NewMLP()
+	mlp.Seed = 1
+	mlp.Epochs = 100
+	models := []Regressor{
+		&LinearRegression{},
+		&Ridge{Lambda: 0.01},
+		svr,
+		&RegressionTree{MaxDepth: 4},
+		&RandomForest{NumTrees: 10, Seed: 1},
+		&GradientBoosting{NumStages: 15, LearningRate: 0.2, MaxDepth: 3},
+		&KNN{K: 3, Weighted: true},
+		mlp,
+	}
+	for _, m := range models {
+		if err := m.Fit(X, y); err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+	}
+	return models, X, y
+}
+
+func TestSaveLoadAllModels(t *testing.T) {
+	models, X, _ := fitAll(t)
+	for _, m := range models {
+		var buf bytes.Buffer
+		if err := SaveModel(&buf, m); err != nil {
+			t.Fatalf("save %T: %v", m, err)
+		}
+		got, err := LoadModel(&buf)
+		if err != nil {
+			t.Fatalf("load %T: %v", m, err)
+		}
+		for i := 0; i < 20; i++ {
+			a, b := m.Predict(X[i]), got.Predict(X[i])
+			if a != b {
+				t.Fatalf("%T: prediction changed after round trip: %v vs %v", m, a, b)
+			}
+		}
+	}
+}
+
+func TestSaveModelRejectsUnfitted(t *testing.T) {
+	unfitted := []Regressor{
+		&LinearRegression{}, &Ridge{}, NewSVR(), &RegressionTree{},
+		&RandomForest{}, &GradientBoosting{}, &KNN{}, NewMLP(),
+	}
+	for _, m := range unfitted {
+		if err := SaveModel(&bytes.Buffer{}, m); err == nil {
+			t.Fatalf("%T: expected ErrNotFitted", m)
+		}
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) Fit([][]float64, []float64) error { return nil }
+func (fakeModel) Predict([]float64) float64        { return 0 }
+
+func TestSaveModelRejectsUnknownType(t *testing.T) {
+	if err := SaveModel(&bytes.Buffer{}, fakeModel{}); err == nil {
+		t.Fatal("expected unsupported-type error")
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("{broken")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"type":"nope","data":{}}`)); err == nil {
+		t.Fatal("expected unknown-type error")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"type":"svr","data":{"kernel":{"name":"zzz"}}}`)); err == nil {
+		t.Fatal("expected unknown-kernel error")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"type":"mlp","data":{"dims":[1]}}`)); err == nil {
+		t.Fatal("expected bad-dims error")
+	}
+}
+
+func TestKernelDTORoundTrip(t *testing.T) {
+	for _, k := range []Kernel{RBFKernel{Gamma: 2.5}, LinearKernel{}, PolyKernel{Gamma: 0.5, Coef0: 1, Degree: 3}} {
+		got, err := kernelFromDTO(kernelToDTO(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := []float64{0.3, 0.7}
+		b := []float64{0.1, 0.9}
+		if k.Eval(a, b) != got.Eval(a, b) {
+			t.Fatalf("kernel %s changed after round trip", k.Name())
+		}
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	X, y := syntheticLinear(50, 2, 41, 0)
+	tr := &RegressionTree{MaxDepth: 2}
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderTree(&buf, tr, []string{"alpha", "beta"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "leaf") {
+		t.Fatalf("render missing leaves:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") && !strings.Contains(out, "beta") {
+		t.Fatalf("render missing feature names:\n%s", out)
+	}
+	if err := RenderTree(&buf, &RegressionTree{}, nil); err == nil {
+		t.Fatal("expected error for unfitted tree")
+	}
+	// Default names.
+	buf.Reset()
+	if err := RenderTree(&buf, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "f0") && !strings.Contains(buf.String(), "f1") {
+		t.Fatalf("default names missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,211 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// MinMaxScaler rescales each feature column to [0, 1] using the minimum and
+// maximum observed during Fit, matching the paper's normalization choice
+// (§IV-A.4). Columns that are constant in the training data map to 0.
+type MinMaxScaler struct {
+	Min, Max []float64
+	fitted   bool
+}
+
+// Fit records per-column minima and maxima from X.
+func (s *MinMaxScaler) Fit(X [][]float64) error {
+	if len(X) == 0 || len(X[0]) == 0 {
+		return ErrBadInput
+	}
+	d := len(X[0])
+	s.Min = append([]float64(nil), X[0]...)
+	s.Max = append([]float64(nil), X[0]...)
+	for _, row := range X {
+		if len(row) != d {
+			return fmt.Errorf("%w: ragged rows", ErrBadInput)
+		}
+		for j, v := range row {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > s.Max[j] {
+				s.Max[j] = v
+			}
+		}
+	}
+	s.fitted = true
+	return nil
+}
+
+// Transform returns a scaled copy of X. It panics when called before Fit or
+// with a mismatched feature dimension.
+func (s *MinMaxScaler) Transform(X [][]float64) [][]float64 {
+	s.mustFitted()
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.TransformRow(row)
+	}
+	return out
+}
+
+// TransformRow scales a single feature vector.
+func (s *MinMaxScaler) TransformRow(row []float64) []float64 {
+	s.mustFitted()
+	if len(row) != len(s.Min) {
+		panic(fmt.Sprintf("ml: scaler expects %d features, got %d", len(s.Min), len(row)))
+	}
+	out := make([]float64, len(row))
+	for j, v := range row {
+		span := s.Max[j] - s.Min[j]
+		if span == 0 {
+			out[j] = 0
+			continue
+		}
+		out[j] = (v - s.Min[j]) / span
+	}
+	return out
+}
+
+// FitTransform fits on X and returns its scaled copy.
+func (s *MinMaxScaler) FitTransform(X [][]float64) ([][]float64, error) {
+	if err := s.Fit(X); err != nil {
+		return nil, err
+	}
+	return s.Transform(X), nil
+}
+
+// Inverse maps a scaled row back to original units.
+func (s *MinMaxScaler) Inverse(row []float64) []float64 {
+	s.mustFitted()
+	if len(row) != len(s.Min) {
+		panic("ml: scaler inverse dimension mismatch")
+	}
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = v*(s.Max[j]-s.Min[j]) + s.Min[j]
+	}
+	return out
+}
+
+func (s *MinMaxScaler) mustFitted() {
+	if !s.fitted {
+		panic("ml: MinMaxScaler used before Fit")
+	}
+}
+
+// VecMinMaxScaler scales a single target vector to [0, 1]; the paper applies
+// min-max scaling to each performance metric independently.
+type VecMinMaxScaler struct {
+	Min, Max float64
+	fitted   bool
+}
+
+// Fit records the minimum and maximum of y.
+func (s *VecMinMaxScaler) Fit(y []float64) error {
+	if len(y) == 0 {
+		return ErrBadInput
+	}
+	s.Min, s.Max = y[0], y[0]
+	for _, v := range y {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.fitted = true
+	return nil
+}
+
+// Transform returns the scaled copy of y.
+func (s *VecMinMaxScaler) Transform(y []float64) []float64 {
+	if !s.fitted {
+		panic("ml: VecMinMaxScaler used before Fit")
+	}
+	out := make([]float64, len(y))
+	span := s.Max - s.Min
+	for i, v := range y {
+		if span == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = (v - s.Min) / span
+	}
+	return out
+}
+
+// Inverse maps scaled values back to original units.
+func (s *VecMinMaxScaler) Inverse(y []float64) []float64 {
+	if !s.fitted {
+		panic("ml: VecMinMaxScaler used before Fit")
+	}
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = v*(s.Max-s.Min) + s.Min
+	}
+	return out
+}
+
+// StandardScaler standardizes each column to zero mean and unit variance.
+// Provided as an alternative to min-max scaling for sensitivity studies.
+type StandardScaler struct {
+	Mean, Std []float64
+	fitted    bool
+}
+
+// Fit records per-column mean and standard deviation.
+func (s *StandardScaler) Fit(X [][]float64) error {
+	if len(X) == 0 || len(X[0]) == 0 {
+		return ErrBadInput
+	}
+	d := len(X[0])
+	s.Mean = make([]float64, d)
+	s.Std = make([]float64, d)
+	for _, row := range X {
+		if len(row) != d {
+			return fmt.Errorf("%w: ragged rows", ErrBadInput)
+		}
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] == 0 {
+			s.Std[j] = 1
+		}
+	}
+	s.fitted = true
+	return nil
+}
+
+// Transform returns a standardized copy of X.
+func (s *StandardScaler) Transform(X [][]float64) [][]float64 {
+	if !s.fitted {
+		panic("ml: StandardScaler used before Fit")
+	}
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		if len(row) != len(s.Mean) {
+			panic("ml: scaler dimension mismatch")
+		}
+		o := make([]float64, len(row))
+		for j, v := range row {
+			o[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+		out[i] = o
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinMaxScalerBasic(t *testing.T) {
+	X := [][]float64{{0, 10}, {5, 20}, {10, 30}}
+	var s MinMaxScaler
+	out, err := s.FitTransform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0, 0}, {0.5, 0.5}, {1, 1}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(out[i][j]-want[i][j]) > 1e-12 {
+				t.Fatalf("out[%d][%d] = %v, want %v", i, j, out[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestMinMaxScalerConstantColumn(t *testing.T) {
+	X := [][]float64{{7, 1}, {7, 2}}
+	var s MinMaxScaler
+	out, err := s.FitTransform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0] != 0 || out[1][0] != 0 {
+		t.Fatalf("constant column should map to 0, got %v", out)
+	}
+}
+
+func TestMinMaxScalerInverseRoundTrip(t *testing.T) {
+	X := [][]float64{{1, -5}, {3, 5}, {2, 0}}
+	var s MinMaxScaler
+	out, err := s.FitTransform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		back := s.Inverse(out[i])
+		for j := range back {
+			if math.Abs(back[j]-X[i][j]) > 1e-12 {
+				t.Fatalf("inverse mismatch row %d: %v vs %v", i, back, X[i])
+			}
+		}
+	}
+}
+
+func TestMinMaxScalerErrors(t *testing.T) {
+	var s MinMaxScaler
+	if err := s.Fit(nil); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if err := s.Fit([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected error on ragged input")
+	}
+	mustPanicML(t, func() { s.Transform([][]float64{{1}}) }) // not fitted
+	if err := s.Fit([][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	mustPanicML(t, func() { s.TransformRow([]float64{1}) }) // wrong dim
+	mustPanicML(t, func() { s.Inverse([]float64{1}) })
+}
+
+func TestVecMinMaxScaler(t *testing.T) {
+	var s VecMinMaxScaler
+	if err := s.Fit([]float64{2, 4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	out := s.Transform([]float64{2, 4, 6})
+	if out[0] != 0 || out[1] != 0.5 || out[2] != 1 {
+		t.Fatalf("Transform = %v", out)
+	}
+	back := s.Inverse(out)
+	for i, v := range []float64{2, 4, 6} {
+		if math.Abs(back[i]-v) > 1e-12 {
+			t.Fatalf("Inverse = %v", back)
+		}
+	}
+	if err := s.Fit(nil); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+}
+
+func TestVecMinMaxScalerConstant(t *testing.T) {
+	var s VecMinMaxScaler
+	if err := s.Fit([]float64{3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := s.Transform([]float64{3, 3})
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("constant transform = %v", out)
+	}
+}
+
+func TestStandardScaler(t *testing.T) {
+	X := [][]float64{{1, 100}, {3, 200}, {5, 300}}
+	var s StandardScaler
+	if err := s.Fit(X); err != nil {
+		t.Fatal(err)
+	}
+	out := s.Transform(X)
+	// Each column must have zero mean and unit variance.
+	for j := 0; j < 2; j++ {
+		var mean float64
+		for i := range out {
+			mean += out[i][j]
+		}
+		mean /= float64(len(out))
+		if math.Abs(mean) > 1e-12 {
+			t.Fatalf("col %d mean = %v", j, mean)
+		}
+		var v float64
+		for i := range out {
+			v += out[i][j] * out[i][j]
+		}
+		v /= float64(len(out))
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("col %d variance = %v", j, v)
+		}
+	}
+}
+
+func TestStandardScalerConstantColumn(t *testing.T) {
+	X := [][]float64{{7}, {7}}
+	var s StandardScaler
+	if err := s.Fit(X); err != nil {
+		t.Fatal(err)
+	}
+	out := s.Transform(X)
+	if out[0][0] != 0 || out[1][0] != 0 {
+		t.Fatalf("constant col should standardize to 0, got %v", out)
+	}
+}
+
+// Property: min-max output is always within [0,1] for training data.
+func TestPropMinMaxRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 2+rng.Intn(20), 1+rng.Intn(5)
+		X := make([][]float64, n)
+		for i := range X {
+			X[i] = make([]float64, d)
+			for j := range X[i] {
+				X[i][j] = rng.NormFloat64() * 100
+			}
+		}
+		var s MinMaxScaler
+		out, err := s.FitTransform(X)
+		if err != nil {
+			return false
+		}
+		for i := range out {
+			for _, v := range out[i] {
+				if v < -1e-12 || v > 1+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

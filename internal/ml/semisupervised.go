@@ -1,0 +1,112 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SelfTraining is the semi-supervised wrapper the paper's future work
+// points at: a random-forest teacher labels the unlabeled pool with its own
+// predictions, keeping only the pseudo-labels it is most confident about
+// (lowest across-tree variance), and a student model retrains on the
+// union of real and pseudo-labeled data.
+type SelfTraining struct {
+	// Teacher provides predictions with uncertainty; defaults to a 50-tree
+	// forest.
+	Teacher *RandomForest
+	// Student is the final model trained on real + pseudo labels; defaults
+	// to a fresh forest.
+	Student Regressor
+	// ConfidentFrac is the share of pool points pseudo-labeled per round,
+	// most-confident first (default 0.25).
+	ConfidentFrac float64
+	// Rounds of pseudo-labeling (default 3).
+	Rounds int
+	// Seed for the underlying models.
+	Seed int64
+
+	fitted bool
+	// PseudoLabeled reports how many pool points received pseudo-labels.
+	PseudoLabeled int
+}
+
+// FitSemi trains on labeled (X, y) plus an unlabeled pool.
+func (s *SelfTraining) FitSemi(X [][]float64, y []float64, pool [][]float64) error {
+	if _, err := checkXY(X, y); err != nil {
+		return err
+	}
+	if s.ConfidentFrac <= 0 || s.ConfidentFrac > 1 {
+		s.ConfidentFrac = 0.25
+	}
+	if s.Rounds <= 0 {
+		s.Rounds = 3
+	}
+	if s.Teacher == nil {
+		s.Teacher = &RandomForest{NumTrees: 50, Seed: s.Seed}
+	}
+	lx := copyMatrix(X)
+	ly := append([]float64(nil), y...)
+	remaining := copyMatrix(pool)
+	s.PseudoLabeled = 0
+
+	for round := 0; round < s.Rounds && len(remaining) > 0; round++ {
+		if err := s.Teacher.Fit(lx, ly); err != nil {
+			return fmt.Errorf("teacher round %d: %w", round, err)
+		}
+		type scored struct {
+			idx   int
+			pred  float64
+			sigma float64
+		}
+		preds := make([]scored, len(remaining))
+		for i, row := range remaining {
+			mu, v := s.Teacher.PredictWithVariance(row)
+			preds[i] = scored{i, mu, math.Sqrt(v)}
+		}
+		sort.Slice(preds, func(a, b int) bool { return preds[a].sigma < preds[b].sigma })
+		take := int(s.ConfidentFrac * float64(len(remaining)))
+		if take < 1 {
+			take = 1
+		}
+		taken := map[int]bool{}
+		for _, p := range preds[:take] {
+			lx = append(lx, remaining[p.idx])
+			ly = append(ly, p.pred)
+			taken[p.idx] = true
+			s.PseudoLabeled++
+		}
+		var next [][]float64
+		for i, row := range remaining {
+			if !taken[i] {
+				next = append(next, row)
+			}
+		}
+		remaining = next
+	}
+
+	if s.Student == nil {
+		s.Student = &RandomForest{NumTrees: 100, Seed: s.Seed + 1}
+	}
+	if err := s.Student.Fit(lx, ly); err != nil {
+		return fmt.Errorf("student: %w", err)
+	}
+	s.fitted = true
+	return nil
+}
+
+// Fit implements Regressor by treating all data as labeled (no pool).
+func (s *SelfTraining) Fit(X [][]float64, y []float64) error {
+	return s.FitSemi(X, y, nil)
+}
+
+// Predict delegates to the student model.
+func (s *SelfTraining) Predict(x []float64) float64 {
+	if !s.fitted {
+		panic(ErrNotFitted)
+	}
+	return s.Student.Predict(x)
+}
+
+// Name implements Named.
+func (s *SelfTraining) Name() string { return "SelfTrain" }

@@ -1,0 +1,62 @@
+package ml
+
+import "fmt"
+
+// TransferRegressor implements residual transfer learning, the paper's §V
+// "transfer learning" direction: a source model trained on a related task
+// (e.g. the BFS-workload dataset) provides the prior, and a residual model
+// fitted on a few target-task labels (e.g. a new workload's dataset) learns
+// only the difference. Prediction = source(x) + residual(x).
+//
+// With few target labels this beats both reusing the source model unchanged
+// (ignores the shift) and training from scratch on the target (too little
+// data).
+type TransferRegressor struct {
+	// Source is the pre-trained model from the related task (required,
+	// already fitted).
+	Source Regressor
+	// NewResidual builds the residual learner; defaults to a shallow
+	// gradient-boosted model that regularizes toward zero correction.
+	NewResidual func() Regressor
+	// Seed for the default residual model.
+	Seed int64
+
+	residual Regressor
+	fitted   bool
+}
+
+// Fit trains the residual on the target task's labels.
+func (t *TransferRegressor) Fit(X [][]float64, y []float64) error {
+	if t.Source == nil {
+		return fmt.Errorf("%w: transfer without a source model", ErrBadInput)
+	}
+	if _, err := checkXY(X, y); err != nil {
+		return err
+	}
+	resid := make([]float64, len(y))
+	for i, row := range X {
+		resid[i] = y[i] - t.Source.Predict(row)
+	}
+	if t.NewResidual == nil {
+		t.NewResidual = func() Regressor {
+			return &GradientBoosting{NumStages: 40, LearningRate: 0.1, MaxDepth: 2, Seed: t.Seed}
+		}
+	}
+	t.residual = t.NewResidual()
+	if err := t.residual.Fit(X, resid); err != nil {
+		return fmt.Errorf("transfer residual: %w", err)
+	}
+	t.fitted = true
+	return nil
+}
+
+// Predict returns source(x) + residual(x).
+func (t *TransferRegressor) Predict(x []float64) float64 {
+	if !t.fitted {
+		panic(ErrNotFitted)
+	}
+	return t.Source.Predict(x) + t.residual.Predict(x)
+}
+
+// Name implements Named.
+func (t *TransferRegressor) Name() string { return "Transfer" }

@@ -1,0 +1,92 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Source task: f(x); target task: f(x) + systematic shift g(x).
+func transferTasks(nSource, nTarget int, seed int64) (sx [][]float64, sy []float64, tx [][]float64, ty []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	f := func(x []float64) float64 { return 3*x[0] + x[1]*x[1] }
+	shift := func(x []float64) float64 { return 0.8 * x[0] * x[1] }
+	for i := 0; i < nSource; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		sx = append(sx, x)
+		sy = append(sy, f(x))
+	}
+	for i := 0; i < nTarget; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		tx = append(tx, x)
+		ty = append(ty, f(x)+shift(x))
+	}
+	return
+}
+
+func TestTransferBeatsBothBaselines(t *testing.T) {
+	sx, sy, tx, ty := transferTasks(400, 240, 50)
+	trainX, trainY := tx[:40], ty[:40] // few target labels
+	testX, testY := tx[40:], ty[40:]
+
+	source := &RandomForest{NumTrees: 60, Seed: 1}
+	if err := source.Fit(sx, sy); err != nil {
+		t.Fatal(err)
+	}
+	sourceMSE := MSE(testY, PredictBatch(source, testX))
+
+	scratch := &RandomForest{NumTrees: 60, Seed: 2}
+	if err := scratch.Fit(trainX, trainY); err != nil {
+		t.Fatal(err)
+	}
+	scratchMSE := MSE(testY, PredictBatch(scratch, testX))
+
+	tr := &TransferRegressor{Source: source, Seed: 3}
+	if err := tr.Fit(trainX, trainY); err != nil {
+		t.Fatal(err)
+	}
+	transferMSE := MSE(testY, PredictBatch(tr, testX))
+
+	if transferMSE >= sourceMSE {
+		t.Fatalf("transfer (%v) should beat source-only (%v)", transferMSE, sourceMSE)
+	}
+	if transferMSE >= scratchMSE {
+		t.Fatalf("transfer (%v) should beat from-scratch (%v) with few labels", transferMSE, scratchMSE)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	tr := &TransferRegressor{}
+	if err := tr.Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("expected missing-source error")
+	}
+	src := &LinearRegression{}
+	if err := src.Fit([][]float64{{1}, {2}}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	tr = &TransferRegressor{Source: src}
+	if err := tr.Fit(nil, nil); err == nil {
+		t.Fatal("expected empty-data error")
+	}
+	mustPanicML(t, func() { (&TransferRegressor{Source: src}).Predict([]float64{1}) })
+	if tr.Name() != "Transfer" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestTransferCustomResidual(t *testing.T) {
+	sx, sy, tx, ty := transferTasks(200, 60, 51)
+	src := &RandomForest{NumTrees: 30, Seed: 1}
+	if err := src.Fit(sx, sy); err != nil {
+		t.Fatal(err)
+	}
+	tr := &TransferRegressor{
+		Source:      src,
+		NewResidual: func() Regressor { return &Ridge{Lambda: 0.1} },
+	}
+	if err := tr.Fit(tx, ty); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := R2(ty, PredictBatch(tr, tx)); r2 < 0.8 {
+		t.Fatalf("transfer with ridge residual R2 = %v", r2)
+	}
+}

@@ -1,0 +1,60 @@
+package sysim
+
+import (
+	"testing"
+
+	"graphdse/internal/graph"
+)
+
+func BenchmarkTraceBFS(b *testing.B) {
+	g, err := graph.GenerateGTGraph(1024, 16, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := NewMachine(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := TraceBFS(m, g, 0, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceBFSCached(b *testing.B) {
+	g, err := graph.GenerateGTGraph(1024, 16, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.CachesEnabled = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := TraceBFS(m, g, 0, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTracePageRank(b *testing.B) {
+	g, err := graph.GenerateGTGraph(512, 8, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := NewMachine(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := TracePageRank(m, g, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

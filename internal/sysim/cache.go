@@ -1,0 +1,93 @@
+package sysim
+
+// cache is a set-associative write-back cache used for the optional L1/L2
+// hierarchy. It tracks tags only; data motion is expressed as trace events
+// by the machine.
+type cache struct {
+	ways int
+	sets int
+	tags [][]cline
+	tick uint64
+}
+
+type cline struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+func newCache(lines, ways int) *cache {
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	c := &cache{ways: ways, sets: sets, tags: make([][]cline, sets)}
+	for i := range c.tags {
+		c.tags[i] = make([]cline, ways)
+	}
+	return c
+}
+
+// access probes for line; on a hit it refreshes LRU state and applies the
+// dirty bit for writes. It does not allocate on miss.
+func (c *cache) access(line uint64, write bool) bool {
+	c.tick++
+	set := c.tags[line%uint64(c.sets)]
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].lastUse = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// fill installs line (dirty when the triggering access was a write) and
+// reports whether a dirty victim must be written back, along with its line
+// index.
+func (c *cache) fill(line uint64, dirty bool) (writeback bool, victim uint64) {
+	c.tick++
+	set := c.tags[line%uint64(c.sets)]
+	v := 0
+	for i := range set {
+		if !set[i].valid {
+			v = i
+			break
+		}
+		if set[i].lastUse < set[v].lastUse {
+			v = i
+		}
+	}
+	old := set[v]
+	set[v] = cline{tag: line, valid: true, dirty: dirty, lastUse: c.tick}
+	if old.valid && old.dirty {
+		return true, old.tag
+	}
+	return false, 0
+}
+
+// dirtyLines returns all dirty line indices in deterministic order.
+func (c *cache) dirtyLines() []uint64 {
+	var out []uint64
+	for _, set := range c.tags {
+		for _, l := range set {
+			if l.valid && l.dirty {
+				out = append(out, l.tag)
+			}
+		}
+	}
+	return out
+}
+
+// reset invalidates the whole cache.
+func (c *cache) reset() {
+	for _, set := range c.tags {
+		for i := range set {
+			set[i] = cline{}
+		}
+	}
+}

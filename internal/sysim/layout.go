@@ -1,0 +1,70 @@
+package sysim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Layout assigns named data structures to disjoint, line-aligned ranges of
+// the simulated physical address space, standing in for the process memory
+// map gem5 would reproduce.
+type Layout struct {
+	lineBytes uint64
+	next      uint64
+	segments  map[string]Segment
+}
+
+// Segment is one allocated region.
+type Segment struct {
+	Name string
+	Base uint64
+	Size uint64
+}
+
+// NewLayout starts an empty layout. The address space begins at a nonzero
+// base, as a real process image would.
+func NewLayout(lineBytes int) *Layout {
+	return &Layout{
+		lineBytes: uint64(lineBytes),
+		next:      0x10000,
+		segments:  map[string]Segment{},
+	}
+}
+
+// Alloc reserves size bytes under name and returns the base address. Each
+// segment starts on a line boundary and is padded by one guard line. It
+// panics on duplicate names or non-positive sizes, which are programming
+// errors in workload builders.
+func (l *Layout) Alloc(name string, size uint64) uint64 {
+	if size == 0 {
+		panic(fmt.Sprintf("sysim: zero-size segment %q", name))
+	}
+	if _, dup := l.segments[name]; dup {
+		panic(fmt.Sprintf("sysim: duplicate segment %q", name))
+	}
+	base := l.next
+	l.segments[name] = Segment{Name: name, Base: base, Size: size}
+	// Advance to the next line boundary plus a guard line.
+	end := base + size
+	l.next = (end/l.lineBytes + 2) * l.lineBytes
+	return base
+}
+
+// Segment looks up a named segment.
+func (l *Layout) Segment(name string) (Segment, bool) {
+	s, ok := l.segments[name]
+	return s, ok
+}
+
+// Segments returns all segments ordered by base address.
+func (l *Layout) Segments() []Segment {
+	out := make([]Segment, 0, len(l.segments))
+	for _, s := range l.segments {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// Footprint returns the total allocated bytes including padding.
+func (l *Layout) Footprint() uint64 { return l.next - 0x10000 }

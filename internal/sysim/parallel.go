@@ -1,0 +1,136 @@
+package sysim
+
+import (
+	"fmt"
+
+	"graphdse/internal/graph"
+)
+
+// TraceBFSParallel traces a level-synchronous parallel BFS: each level's
+// frontier is partitioned across threads hardware threads, every thread's
+// slice executes with its own clock starting at the level barrier, and the
+// level ends at the slowest thread (a barrier join) — the shared-memory
+// execution model of the Graph500 reference code. Emitted events carry
+// thread IDs; the trace is re-sorted into global time order afterwards.
+//
+// Discovery races are resolved deterministically: a vertex found by several
+// threads in the same level is owned by the lowest-ranked thread (memory
+// accesses of losing attempts are still traced, as real CAS failures
+// would be).
+func TraceBFSParallel(m *Machine, g *graph.CSR, root uint32, threads int) (*WorkloadResult, error) {
+	n := g.NumVertices()
+	if int(root) >= n {
+		return nil, fmt.Errorf("%w: root %d of %d", ErrWorkload, root, n)
+	}
+	if threads < 1 {
+		return nil, fmt.Errorf("%w: %d threads", ErrWorkload, threads)
+	}
+	if threads > 256 {
+		threads = 256
+	}
+	a := allocGraph(m, g, fmt.Sprintf("pbfs%d", root))
+	offsets := g.Offsets()
+
+	parent := make([]int64, n)
+	m.SetThread(0)
+	for i := range parent {
+		parent[i] = -1
+		m.Store(a.parent+uint64(i)*4, 4)
+		m.Compute(1)
+	}
+	parent[root] = int64(root)
+	m.Store(a.parent+uint64(root)*4, 4)
+
+	frontier := []uint32{root}
+	visited := 1
+	iterations := 0
+
+	for len(frontier) > 0 {
+		iterations++
+		levelStart := m.Cycle()
+		levelEnd := levelStart
+		// Per-thread discovered sets, merged deterministically at the
+		// barrier (lowest thread wins a racy discovery).
+		found := make([][]uint32, threads)
+		claimed := make(map[uint32]int, 64)
+
+		chunk := (len(frontier) + threads - 1) / threads
+		for tid := 0; tid < threads; tid++ {
+			lo := tid * chunk
+			if lo >= len(frontier) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			m.SetThread(uint8(tid))
+			m.SetClock(levelStart)
+			for fi := lo; fi < hi; fi++ {
+				u := frontier[fi]
+				m.Load(a.queue+uint64(fi)*4, 4)
+				m.Load(a.offsets+uint64(u)*8, 16)
+				m.Compute(14)
+				for ei := offsets[u]; ei < offsets[u+1]; ei++ {
+					m.Load(a.targets+uint64(ei)*4, 4)
+					v := g.Targets()[ei]
+					m.Load(a.parent+uint64(v)*4, 4)
+					m.Compute(16)
+					if parent[v] != -1 {
+						continue
+					}
+					// Attempt to claim v (CAS); the lowest thread wins.
+					if prev, raced := claimed[v]; !raced || tid < prev {
+						claimed[v] = tid
+					}
+					m.Store(a.parent+uint64(v)*4, 4)
+					m.Compute(8)
+				}
+				m.Compute(18)
+			}
+			if m.Cycle() > levelEnd {
+				levelEnd = m.Cycle()
+			}
+		}
+		// Barrier: commit claims in thread order, build the next frontier.
+		m.SetClock(levelEnd)
+		m.SetThread(0)
+		for tid := 0; tid < threads; tid++ {
+			found[tid] = found[tid][:0]
+		}
+		for v, tid := range claimed {
+			found[tid] = append(found[tid], v)
+		}
+		var next []uint32
+		for tid := 0; tid < threads; tid++ {
+			// Deterministic order within a thread's claims.
+			sortU32(found[tid])
+			for _, v := range found[tid] {
+				parent[v] = 1 // mark visited; the tracer does not need tree edges
+				m.Store(a.queue+uint64(len(next))*4, 4)
+				next = append(next, v)
+				visited++
+			}
+		}
+		frontier = next
+	}
+	m.Flush()
+	m.SortTrace()
+	return &WorkloadResult{
+		Stats:       m.Stats(),
+		Visited:     visited,
+		Iterations:  iterations,
+		FinalCycle:  m.Cycle(),
+		TraceEvents: len(m.Trace()),
+	}, nil
+}
+
+// sortU32 sorts a small slice in place (insertion sort; frontiers per thread
+// per level are small).
+func sortU32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

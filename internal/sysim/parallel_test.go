@@ -1,0 +1,129 @@
+package sysim
+
+import (
+	"testing"
+
+	"graphdse/internal/graph"
+)
+
+func TestTraceBFSParallelMatchesSequentialReachability(t *testing.T) {
+	g := paperGraph(t)
+	ref, err := graph.BFSTopDown(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		m, _ := NewMachine(DefaultConfig())
+		res, err := TraceBFSParallel(m, g, 0, threads)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if res.Visited != ref.Visited {
+			t.Fatalf("threads=%d: visited %d, reference %d", threads, res.Visited, ref.Visited)
+		}
+		if res.Iterations != ref.Iterations {
+			t.Fatalf("threads=%d: iterations %d vs %d", threads, res.Iterations, ref.Iterations)
+		}
+	}
+}
+
+func TestTraceBFSParallelTraceOrderedAndTagged(t *testing.T) {
+	g := paperGraph(t)
+	m, _ := NewMachine(DefaultConfig())
+	if _, err := TraceBFSParallel(m, g, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	events := m.Trace()
+	threadsSeen := map[uint8]bool{}
+	for i, e := range events {
+		if i > 0 && e.Cycle < events[i-1].Cycle {
+			t.Fatalf("trace unsorted at %d after SortTrace", i)
+		}
+		threadsSeen[e.Thread] = true
+	}
+	if len(threadsSeen) < 2 {
+		t.Fatalf("expected multiple thread tags, saw %d", len(threadsSeen))
+	}
+}
+
+func TestTraceBFSParallelBarrierSemantics(t *testing.T) {
+	// More threads must not lengthen the run: the critical path per level is
+	// the slowest slice, which shrinks (or stays equal) as threads grow.
+	g := paperGraph(t)
+	m1, _ := NewMachine(DefaultConfig())
+	r1, err := TraceBFSParallel(m1, g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8, _ := NewMachine(DefaultConfig())
+	r8, err := TraceBFSParallel(m8, g, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.FinalCycle >= r1.FinalCycle {
+		t.Fatalf("8 threads (%d cycles) should beat 1 thread (%d cycles)",
+			r8.FinalCycle, r1.FinalCycle)
+	}
+	// Speedup is bounded by the thread count.
+	speedup := float64(r1.FinalCycle) / float64(r8.FinalCycle)
+	if speedup > 8.5 {
+		t.Fatalf("impossible speedup %.1f with 8 threads", speedup)
+	}
+}
+
+func TestTraceBFSParallelValidation(t *testing.T) {
+	g := paperGraph(t)
+	m, _ := NewMachine(DefaultConfig())
+	if _, err := TraceBFSParallel(m, g, 9999, 2); err == nil {
+		t.Fatal("expected root error")
+	}
+	if _, err := TraceBFSParallel(m, g, 0, 0); err == nil {
+		t.Fatal("expected threads error")
+	}
+}
+
+func TestTraceBFSParallelDeterministic(t *testing.T) {
+	g := paperGraph(t)
+	m1, _ := NewMachine(DefaultConfig())
+	m2, _ := NewMachine(DefaultConfig())
+	if _, err := TraceBFSParallel(m1, g, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TraceBFSParallel(m2, g, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	a, b := m1.Trace(), m2.Trace()
+	if len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}
+
+func TestSetClockAndSortTrace(t *testing.T) {
+	m, _ := NewMachine(DefaultConfig())
+	m.SetClock(100)
+	m.Load(0x1000, 4)
+	m.SetClock(10)
+	m.SetThread(1)
+	m.Load(0x2000, 4)
+	events := m.Trace()
+	if events[0].Cycle < events[1].Cycle {
+		t.Fatal("setup should produce out-of-order events")
+	}
+	m.SortTrace()
+	events = m.Trace()
+	if events[0].Cycle > events[1].Cycle {
+		t.Fatal("SortTrace failed")
+	}
+	if events[0].Thread != 1 {
+		t.Fatalf("thread tag lost: %+v", events[0])
+	}
+	m.SetClock(0) // clamps to 1
+	if m.Cycle() != 1 {
+		t.Fatalf("SetClock(0) = %d", m.Cycle())
+	}
+}

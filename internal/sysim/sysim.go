@@ -1,0 +1,269 @@
+// Package sysim is the system-simulation front end standing in for gem5 in
+// the paper's workflow (gem5 SE mode, atomic CPU): it executes the real
+// graph kernels over the real data structures laid out in a simulated
+// address space and records every main-memory access as a trace event. Like
+// gem5's default SE/atomic configuration — which the paper used, and which
+// has no cache hierarchy — every load and store reaches memory by default;
+// an optional L1/L2 write-back hierarchy can be enabled for filtered-trace
+// studies.
+package sysim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"graphdse/internal/trace"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// CPUFreqMHz is used only to label the produced trace; timestamps are in
+	// CPU cycles.
+	CPUFreqMHz float64
+	// LineBytes is the memory access granularity (cache line size).
+	LineBytes int
+	// CachesEnabled turns on the L1/L2 hierarchy. Off by default, matching
+	// the paper's gem5 SE atomic configuration where every access reaches
+	// main memory.
+	CachesEnabled bool
+	// L1 and L2 geometry (used only when CachesEnabled).
+	L1Lines, L1Ways int
+	L2Lines, L2Ways int
+	// Penalties in CPU cycles.
+	L1HitCycles  uint64
+	L2HitCycles  uint64
+	MemCycles    uint64
+	ComputeScale int // multiplier on Compute costs; <=0 means 1
+	// PrefetchDegree enables a next-line stream prefetcher at the L2: on an
+	// L2 miss, the following PrefetchDegree lines are fetched into L2 (each
+	// emitting a memory read). 0 disables prefetching.
+	PrefetchDegree int
+}
+
+// DefaultConfig mirrors the paper's gem5 setup: a 2 GHz atomic CPU with no
+// caches.
+func DefaultConfig() Config {
+	return Config{
+		CPUFreqMHz:  2000,
+		LineBytes:   64,
+		L1Lines:     512, // 32 KiB
+		L1Ways:      8,
+		L2Lines:     4096, // 256 KiB
+		L2Ways:      8,
+		L1HitCycles: 1,
+		L2HitCycles: 8,
+		MemCycles:   0, // atomic memory access: zero added latency
+	}
+}
+
+// ErrConfig reports an invalid machine configuration.
+var ErrConfig = errors.New("sysim: invalid configuration")
+
+// Stats counts execution activity.
+type Stats struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	L1Hits       uint64
+	L1Misses     uint64
+	L2Hits       uint64
+	L2Misses     uint64
+	MemReads     uint64
+	MemWrites    uint64
+	Prefetches   uint64
+}
+
+// Machine is the atomic CPU model. It is not safe for concurrent use.
+type Machine struct {
+	cfg    Config
+	cycle  uint64
+	thread uint8
+	layout *Layout
+	l1, l2 *cache
+	events []trace.Event
+	stats  Stats
+}
+
+// NewMachine builds a machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.LineBytes <= 0 {
+		cfg.LineBytes = 64
+	}
+	if cfg.CPUFreqMHz <= 0 {
+		return nil, fmt.Errorf("%w: cpu %v MHz", ErrConfig, cfg.CPUFreqMHz)
+	}
+	if cfg.ComputeScale <= 0 {
+		cfg.ComputeScale = 1
+	}
+	m := &Machine{cfg: cfg, cycle: 1, layout: NewLayout(cfg.LineBytes)}
+	if cfg.CachesEnabled {
+		if cfg.L1Lines <= 0 || cfg.L1Ways <= 0 || cfg.L2Lines <= 0 || cfg.L2Ways <= 0 {
+			return nil, fmt.Errorf("%w: cache geometry", ErrConfig)
+		}
+		m.l1 = newCache(cfg.L1Lines, cfg.L1Ways)
+		m.l2 = newCache(cfg.L2Lines, cfg.L2Ways)
+	}
+	return m, nil
+}
+
+// Layout returns the machine's address-space layout.
+func (m *Machine) Layout() *Layout { return m.layout }
+
+// thread is the hardware-thread tag applied to emitted events.
+// SetThread/SetClock support the parallel-workload tracer, which simulates
+// each worker's level-slice with its own clock and joins at barriers.
+
+// SetThread tags subsequent memory events with a hardware-thread ID.
+func (m *Machine) SetThread(id uint8) { m.thread = id }
+
+// SetClock rewinds or advances the CPU clock; used by the parallel tracer
+// to model concurrently executing workers. The trace may become locally
+// unordered — call SortTrace before exporting.
+func (m *Machine) SetClock(c uint64) {
+	if c == 0 {
+		c = 1
+	}
+	m.cycle = c
+}
+
+// SortTrace stable-sorts the recorded events by cycle, restoring global
+// time order after parallel-section tracing.
+func (m *Machine) SortTrace() {
+	sort.SliceStable(m.events, func(a, b int) bool {
+		return m.events[a].Cycle < m.events[b].Cycle
+	})
+}
+
+// Cycle returns the current CPU cycle.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Stats returns a copy of the execution counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Trace returns the recorded main-memory events.
+func (m *Machine) Trace() []trace.Event { return m.events }
+
+// Compute advances the clock by n scaled cycles of non-memory work.
+func (m *Machine) Compute(n int) {
+	if n <= 0 {
+		return
+	}
+	m.cycle += uint64(n * m.cfg.ComputeScale)
+	m.stats.Instructions += uint64(n)
+}
+
+// Load performs a read of size bytes at addr.
+func (m *Machine) Load(addr uint64, size int) {
+	m.stats.Loads++
+	m.access(addr, size, false)
+}
+
+// Store performs a write of size bytes at addr.
+func (m *Machine) Store(addr uint64, size int) {
+	m.stats.Stores++
+	m.access(addr, size, true)
+}
+
+// access touches every line overlapped by [addr, addr+size).
+func (m *Machine) access(addr uint64, size int, write bool) {
+	m.stats.Instructions++
+	m.cycle++
+	if size <= 0 {
+		size = 1
+	}
+	lb := uint64(m.cfg.LineBytes)
+	first := addr / lb
+	last := (addr + uint64(size) - 1) / lb
+	for line := first; line <= last; line++ {
+		m.accessLine(line*lb, write)
+	}
+}
+
+func (m *Machine) accessLine(lineAddr uint64, write bool) {
+	if m.l1 == nil {
+		// Atomic, cacheless: the access goes straight to memory.
+		m.emit(lineAddr, write)
+		m.cycle += m.cfg.MemCycles
+		return
+	}
+	line := lineAddr / uint64(m.cfg.LineBytes)
+	if m.l1.access(line, write) {
+		m.stats.L1Hits++
+		m.cycle += m.cfg.L1HitCycles
+		return
+	}
+	m.stats.L1Misses++
+	m.cycle += m.cfg.L1HitCycles
+	// L1 miss: consult L2.
+	if m.l2.access(line, false) {
+		m.stats.L2Hits++
+		m.cycle += m.cfg.L2HitCycles
+	} else {
+		m.stats.L2Misses++
+		m.cycle += m.cfg.L2HitCycles
+		// L2 miss: read the line from main memory; a dirty L2 victim is
+		// written back to memory.
+		m.emit(lineAddr, false)
+		if wb, victim := m.l2.fill(line, false); wb {
+			m.emit(victim*uint64(m.cfg.LineBytes), true)
+		}
+		m.cycle += m.cfg.MemCycles
+		// Stream prefetch: pull the next lines into L2 off the critical
+		// path (no added CPU cycles, but real memory traffic).
+		for p := 1; p <= m.cfg.PrefetchDegree; p++ {
+			pl := line + uint64(p)
+			if m.l2.access(pl, false) {
+				continue // already resident
+			}
+			m.stats.Prefetches++
+			m.emit(pl*uint64(m.cfg.LineBytes), false)
+			if wb, victim := m.l2.fill(pl, false); wb {
+				m.emit(victim*uint64(m.cfg.LineBytes), true)
+			}
+		}
+	}
+	// Fill L1; a dirty L1 victim descends into L2 (never straight to
+	// memory in this inclusive hierarchy).
+	if wb, victim := m.l1.fill(line, write); wb {
+		if !m.l2.access(victim, true) {
+			if wb2, v2 := m.l2.fill(victim, true); wb2 {
+				m.emit(v2*uint64(m.cfg.LineBytes), true)
+			}
+		}
+	}
+}
+
+// emit records a main-memory event at the current cycle.
+func (m *Machine) emit(addr uint64, write bool) {
+	op := trace.Read
+	if write {
+		op = trace.Write
+		m.stats.MemWrites++
+	} else {
+		m.stats.MemReads++
+	}
+	m.events = append(m.events, trace.Event{Cycle: m.cycle, Op: op, Addr: addr, Thread: m.thread})
+}
+
+// Flush writes back all dirty cached lines to memory (end-of-run barrier),
+// emitting the corresponding write events.
+func (m *Machine) Flush() {
+	if m.l1 == nil {
+		return
+	}
+	for _, line := range m.l1.dirtyLines() {
+		if !m.l2.access(line, true) {
+			if wb, victim := m.l2.fill(line, true); wb {
+				m.emit(victim*uint64(m.cfg.LineBytes), true)
+				m.cycle++
+			}
+		}
+	}
+	for _, line := range m.l2.dirtyLines() {
+		m.emit(line*uint64(m.cfg.LineBytes), true)
+		m.cycle++
+	}
+	m.l1.reset()
+	m.l2.reset()
+}

@@ -1,0 +1,206 @@
+package sysim
+
+import (
+	"testing"
+
+	"graphdse/internal/trace"
+)
+
+func TestNewMachineValidation(t *testing.T) {
+	if _, err := NewMachine(Config{}); err == nil {
+		t.Fatal("expected error for zero CPU freq")
+	}
+	bad := DefaultConfig()
+	bad.CachesEnabled = true
+	bad.L1Lines = 0
+	if _, err := NewMachine(bad); err == nil {
+		t.Fatal("expected error for cache geometry")
+	}
+	m, err := NewMachine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycle() == 0 {
+		t.Fatal("cycle should start positive")
+	}
+}
+
+func TestCachelessEveryAccessReachesMemory(t *testing.T) {
+	m, err := NewMachine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(0x1000, 8)
+	m.Load(0x1000, 8) // same line again — still reaches memory (no caches)
+	m.Store(0x2000, 8)
+	events := m.Trace()
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	if events[0].Op != trace.Read || events[2].Op != trace.Write {
+		t.Fatalf("ops wrong: %+v", events)
+	}
+	st := m.Stats()
+	if st.MemReads != 2 || st.MemWrites != 1 || st.Loads != 2 || st.Stores != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestAccessSpanningTwoLines(t *testing.T) {
+	m, _ := NewMachine(DefaultConfig())
+	// 8-byte load at 60 crosses the 64-byte boundary → two line touches.
+	m.Load(60, 8)
+	if len(m.Trace()) != 2 {
+		t.Fatalf("events = %d, want 2", len(m.Trace()))
+	}
+}
+
+func TestCyclesAdvanceMonotonically(t *testing.T) {
+	m, _ := NewMachine(DefaultConfig())
+	c0 := m.Cycle()
+	m.Load(0x100, 4)
+	c1 := m.Cycle()
+	m.Compute(10)
+	c2 := m.Cycle()
+	if !(c0 < c1 && c1 < c2) {
+		t.Fatalf("cycles not monotone: %d %d %d", c0, c1, c2)
+	}
+	if c2-c1 != 10 {
+		t.Fatalf("Compute(10) advanced %d", c2-c1)
+	}
+}
+
+func TestComputeScale(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ComputeScale = 3
+	m, _ := NewMachine(cfg)
+	c0 := m.Cycle()
+	m.Compute(5)
+	if m.Cycle()-c0 != 15 {
+		t.Fatalf("scaled compute advanced %d, want 15", m.Cycle()-c0)
+	}
+}
+
+func TestCachedHierarchyFiltersRepeats(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CachesEnabled = true
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		m.Load(0x4000, 8) // same line repeatedly
+	}
+	st := m.Stats()
+	if st.MemReads != 1 {
+		t.Fatalf("MemReads = %d, want 1 (cache should absorb repeats)", st.MemReads)
+	}
+	if st.L1Hits != 99 {
+		t.Fatalf("L1Hits = %d, want 99", st.L1Hits)
+	}
+}
+
+func TestCachedDirtyEvictionWritesBack(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CachesEnabled = true
+	cfg.L1Lines = 4
+	cfg.L1Ways = 1 // direct-mapped, 4 sets
+	cfg.L2Lines = 8
+	cfg.L2Ways = 1
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Store(0x0, 8) // line 0 dirty in L1
+	// Touch many conflicting lines to force line 0 out of L1 and L2.
+	for i := 1; i <= 64; i++ {
+		m.Load(uint64(i*8*64), 8)
+	}
+	var writes int
+	for _, e := range m.Trace() {
+		if e.Op == trace.Write {
+			writes++
+		}
+	}
+	if writes == 0 {
+		t.Fatal("expected at least one writeback to memory")
+	}
+}
+
+func TestFlushEmitsDirtyLines(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CachesEnabled = true
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Store(0x1000, 8)
+	m.Store(0x2000, 8)
+	pre := m.Stats().MemWrites
+	m.Flush()
+	if got := m.Stats().MemWrites - pre; got < 2 {
+		t.Fatalf("Flush wrote back %d lines, want >= 2", got)
+	}
+	// A second flush has nothing left to write.
+	pre = m.Stats().MemWrites
+	m.Flush()
+	if got := m.Stats().MemWrites - pre; got != 0 {
+		t.Fatalf("second Flush wrote %d lines", got)
+	}
+}
+
+func TestFlushNoopWithoutCaches(t *testing.T) {
+	m, _ := NewMachine(DefaultConfig())
+	m.Store(0x1000, 8)
+	n := len(m.Trace())
+	m.Flush()
+	if len(m.Trace()) != n {
+		t.Fatal("cacheless Flush must not emit events")
+	}
+}
+
+func TestLayoutDisjointSegments(t *testing.T) {
+	l := NewLayout(64)
+	a := l.Alloc("a", 100)
+	b := l.Alloc("b", 200)
+	if b < a+100 {
+		t.Fatalf("segments overlap: a=%#x b=%#x", a, b)
+	}
+	if a%64 != 0 || b%64 != 0 {
+		t.Fatalf("segments not line-aligned: %#x %#x", a, b)
+	}
+	seg, ok := l.Segment("a")
+	if !ok || seg.Base != a || seg.Size != 100 {
+		t.Fatalf("Segment lookup: %+v ok=%v", seg, ok)
+	}
+	if _, ok := l.Segment("zzz"); ok {
+		t.Fatal("missing segment should not resolve")
+	}
+	if len(l.Segments()) != 2 {
+		t.Fatalf("Segments = %d", len(l.Segments()))
+	}
+	if l.Footprint() == 0 {
+		t.Fatal("footprint should be positive")
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	l := NewLayout(64)
+	l.Alloc("x", 10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected duplicate panic")
+			}
+		}()
+		l.Alloc("x", 10)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected zero-size panic")
+			}
+		}()
+		l.Alloc("y", 0)
+	}()
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: an 8-byte magic header followed by fixed 18-byte
+// little-endian records (cycle:8, addr:8, op:1, thread:1). Roughly 3× more
+// compact than the text format and an order of magnitude faster to parse.
+
+var binaryMagic = [8]byte{'G', 'D', 'S', 'E', 'T', 'R', 'C', '1'}
+
+const binaryRecordSize = 18
+
+// WriteBinary encodes events in the binary trace format.
+func WriteBinary(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var rec [binaryRecordSize]byte
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], e.Cycle)
+		binary.LittleEndian.PutUint64(rec[8:16], e.Addr)
+		rec[16] = byte(e.Op)
+		rec[17] = e.Thread
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a binary trace stream.
+func ReadBinary(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, magic[:])
+	}
+	var events []Event
+	var rec [binaryRecordSize]byte
+	for {
+		_, err := io.ReadFull(br, rec[:])
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated record: %v", ErrFormat, err)
+		}
+		e := Event{
+			Cycle:  binary.LittleEndian.Uint64(rec[0:8]),
+			Addr:   binary.LittleEndian.Uint64(rec[8:16]),
+			Op:     Op(rec[16]),
+			Thread: rec[17],
+		}
+		if err := e.Validate(); err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+}

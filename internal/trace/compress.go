@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Compressed binary trace format: an 8-byte magic header followed by
+// varint-encoded records exploiting trace structure — cycles are ascending
+// (delta-encoded) and addresses cluster around recent accesses
+// (zig-zag-delta encoded). Graph traces compress ~3-4× over the fixed
+// binary format.
+
+var compressedMagic = [8]byte{'G', 'D', 'S', 'E', 'T', 'R', 'C', '2'}
+
+// WriteCompressed encodes events in the compressed trace format. Events
+// must have non-decreasing cycles (as produced by the system simulator).
+func WriteCompressed(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(compressedMagic[:]); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(events)))
+	if _, err := bw.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	var prevCycle uint64
+	var prevAddr uint64
+	var buf [3 * binary.MaxVarintLen64]byte
+	for i, e := range events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		if e.Cycle < prevCycle {
+			return fmt.Errorf("%w: cycle regression at event %d (%d < %d)", ErrFormat, i, e.Cycle, prevCycle)
+		}
+		k := 0
+		// Cycle delta with the op bit folded into the low bit.
+		dc := (e.Cycle - prevCycle) << 1
+		if e.Op == Write {
+			dc |= 1
+		}
+		k += binary.PutUvarint(buf[k:], dc)
+		// Zig-zag address delta.
+		k += binary.PutVarint(buf[k:], int64(e.Addr)-int64(prevAddr))
+		buf[k] = e.Thread
+		k++
+		if _, err := bw.Write(buf[:k]); err != nil {
+			return err
+		}
+		prevCycle = e.Cycle
+		prevAddr = e.Addr
+	}
+	return bw.Flush()
+}
+
+// ReadCompressed decodes a compressed trace stream.
+func ReadCompressed(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
+	}
+	if magic != compressedMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, magic[:])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing count: %v", ErrFormat, err)
+	}
+	const maxReasonable = 1 << 34
+	if count > maxReasonable {
+		return nil, fmt.Errorf("%w: implausible event count %d", ErrFormat, count)
+	}
+	events := make([]Event, 0, count)
+	var cycle, addr uint64
+	for i := uint64(0); i < count; i++ {
+		dc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated at event %d: %v", ErrFormat, i, err)
+		}
+		da, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated addr at event %d: %v", ErrFormat, i, err)
+		}
+		thread, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated thread at event %d: %v", ErrFormat, i, err)
+		}
+		op := Read
+		if dc&1 == 1 {
+			op = Write
+		}
+		cycle += dc >> 1
+		addr = uint64(int64(addr) + da)
+		events = append(events, Event{Cycle: cycle, Op: op, Addr: addr, Thread: thread})
+	}
+	return events, nil
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	events := randomEvents(2000, 5)
+	var buf bytes.Buffer
+	if err := WriteCompressed(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("events = %d, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestCompressedSmallerThanBinary(t *testing.T) {
+	events := randomEvents(5000, 6)
+	var fixed, comp bytes.Buffer
+	if err := WriteBinary(&fixed, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCompressed(&comp, events); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= fixed.Len() {
+		t.Fatalf("compressed %d >= fixed %d bytes", comp.Len(), fixed.Len())
+	}
+	ratio := float64(fixed.Len()) / float64(comp.Len())
+	if ratio < 1.5 {
+		t.Fatalf("compression ratio = %.2f, want > 1.5", ratio)
+	}
+}
+
+func TestCompressedEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCompressed(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("events = %d", len(got))
+	}
+}
+
+func TestCompressedRejectsCycleRegression(t *testing.T) {
+	events := []Event{
+		{Cycle: 10, Op: Read, Addr: 1},
+		{Cycle: 5, Op: Read, Addr: 2},
+	}
+	if err := WriteCompressed(&bytes.Buffer{}, events); err == nil {
+		t.Fatal("expected cycle-regression error")
+	}
+}
+
+func TestCompressedRejectsBadInput(t *testing.T) {
+	if _, err := ReadCompressed(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := ReadCompressed(bytes.NewReader([]byte("BOGUSmag"))); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+	// Valid magic but truncated body.
+	var buf bytes.Buffer
+	if err := WriteCompressed(&buf, randomEvents(10, 7)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadCompressed(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	if err := WriteCompressed(&bytes.Buffer{}, []Event{{Op: 'Q'}}); err == nil {
+		t.Fatal("expected bad-op error")
+	}
+}
+
+// Property: any ascending-cycle event stream round-trips exactly.
+func TestPropCompressedRoundTrip(t *testing.T) {
+	f := func(deltas []uint16, addrs []uint32, writes []bool) bool {
+		n := len(deltas)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		events := make([]Event, n)
+		cycle := uint64(0)
+		for i := 0; i < n; i++ {
+			cycle += uint64(deltas[i])
+			op := Read
+			if writes[i] {
+				op = Write
+			}
+			events[i] = Event{Cycle: cycle, Op: op, Addr: uint64(addrs[i]), Thread: uint8(i % 4)}
+		}
+		var buf bytes.Buffer
+		if WriteCompressed(&buf, events) != nil {
+			return false
+		}
+		got, err := ReadCompressed(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// This file implements the trace conversion step of the workflow: extracting
+// memory events from a gem5-style trace and rewriting them in the NVMain
+// format. The paper (§III-D) reports that the sequential pass over its
+// ~91.5M-line trace was a bottleneck and describes a parallel script that
+// splits the input into user-sized chunks, converts the chunks in worker
+// processes, and concatenates the per-chunk output in order, achieving
+// linear speedup. ConvertParallel reproduces that design with goroutines.
+
+// ConvertStats reports what a conversion pass did.
+type ConvertStats struct {
+	LinesIn   int64
+	EventsOut int64
+	Chunks    int
+	Workers   int
+}
+
+// ConvertSequential converts a gem5-style stream to NVMain format one line
+// at a time — the baseline the paper's parallel script is compared against.
+func ConvertSequential(r io.Reader, w io.Writer, ticksPerCycle uint64) (ConvertStats, error) {
+	var st ConvertStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	bw := bufio.NewWriter(w)
+	for sc.Scan() {
+		st.LinesIn++
+		e, ok, err := ParseGem5Line(sc.Text(), ticksPerCycle)
+		if err != nil {
+			return st, fmt.Errorf("line %d: %w", st.LinesIn, err)
+		}
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d %c 0x%X %d\n", e.Cycle, e.Op, e.Addr, e.Thread); err != nil {
+			return st, err
+		}
+		st.EventsOut++
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	st.Chunks, st.Workers = 1, 1
+	return st, bw.Flush()
+}
+
+// ConvertParallel converts an in-memory gem5-style trace to NVMain format
+// using the paper's chunked scheme: the input is split into chunkSize-byte
+// chunks aligned to line boundaries, each worker converts its chunks into a
+// private buffer, and buffers are concatenated in input order so the output
+// is byte-identical to the sequential conversion. workers <= 0 uses
+// GOMAXPROCS; chunkSize <= 0 picks input/(8×workers) with a 64 KiB floor.
+func ConvertParallel(input []byte, w io.Writer, ticksPerCycle uint64, workers, chunkSize int) (ConvertStats, error) {
+	var st ConvertStats
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if chunkSize <= 0 {
+		chunkSize = len(input) / (8 * workers)
+		if chunkSize < 64*1024 {
+			chunkSize = 64 * 1024
+		}
+	}
+	chunks := splitChunks(input, chunkSize)
+	st.Chunks = len(chunks)
+	st.Workers = workers
+
+	type result struct {
+		buf   bytes.Buffer
+		lines int64
+		evts  int64
+		err   error
+	}
+	results := make([]result, len(chunks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for ci, chunk := range chunks {
+		wg.Add(1)
+		go func(ci int, chunk []byte) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := &results[ci]
+			res.lines, res.evts, res.err = convertChunk(chunk, &res.buf, ticksPerCycle)
+		}(ci, chunk)
+	}
+	wg.Wait()
+	bw := bufio.NewWriter(w)
+	for ci := range results {
+		if results[ci].err != nil {
+			return st, fmt.Errorf("chunk %d: %w", ci, results[ci].err)
+		}
+		st.LinesIn += results[ci].lines
+		st.EventsOut += results[ci].evts
+		if _, err := bw.Write(results[ci].buf.Bytes()); err != nil {
+			return st, err
+		}
+	}
+	return st, bw.Flush()
+}
+
+// ConvertFileParallel is the file-to-file variant used by cmd/traceconv.
+func ConvertFileParallel(inPath, outPath string, ticksPerCycle uint64, workers, chunkSize int) (ConvertStats, error) {
+	input, err := os.ReadFile(inPath)
+	if err != nil {
+		return ConvertStats{}, err
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		return ConvertStats{}, err
+	}
+	defer out.Close()
+	st, err := ConvertParallel(input, out, ticksPerCycle, workers, chunkSize)
+	if err != nil {
+		return st, err
+	}
+	return st, out.Close()
+}
+
+// splitChunks slices input into ~chunkSize pieces ending on newline
+// boundaries. The final chunk takes any trailing bytes without a newline.
+func splitChunks(input []byte, chunkSize int) [][]byte {
+	var chunks [][]byte
+	for start := 0; start < len(input); {
+		end := start + chunkSize
+		if end >= len(input) {
+			chunks = append(chunks, input[start:])
+			break
+		}
+		nl := bytes.IndexByte(input[end:], '\n')
+		if nl < 0 {
+			chunks = append(chunks, input[start:])
+			break
+		}
+		end += nl + 1
+		chunks = append(chunks, input[start:end])
+		start = end
+	}
+	return chunks
+}
+
+// convertChunk converts the lines of one chunk into buf.
+func convertChunk(chunk []byte, buf *bytes.Buffer, ticksPerCycle uint64) (lines, events int64, err error) {
+	var numBuf [20]byte
+	for len(chunk) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(chunk, '\n'); nl >= 0 {
+			line = chunk[:nl]
+			chunk = chunk[nl+1:]
+		} else {
+			line = chunk
+			chunk = nil
+		}
+		lines++
+		e, ok, perr := ParseGem5Line(string(line), ticksPerCycle)
+		if perr != nil {
+			return lines, events, perr
+		}
+		if !ok {
+			continue
+		}
+		buf.Write(strconv.AppendUint(numBuf[:0], e.Cycle, 10))
+		buf.WriteByte(' ')
+		buf.WriteByte(byte(e.Op))
+		buf.WriteString(" 0x")
+		buf.Write(upperHex(numBuf[:0], e.Addr))
+		buf.WriteByte(' ')
+		buf.Write(strconv.AppendUint(numBuf[:0], uint64(e.Thread), 10))
+		buf.WriteByte('\n')
+		events++
+	}
+	return lines, events, nil
+}
+
+// upperHex appends the uppercase hex form of v to dst (matching %X).
+func upperHex(dst []byte, v uint64) []byte {
+	const digits = "0123456789ABCDEF"
+	if v == 0 {
+		return append(dst, '0')
+	}
+	var tmp [16]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = digits[v&0xF]
+		v >>= 4
+	}
+	return append(dst, tmp[i:]...)
+}

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func gem5Corpus(t *testing.T, n int, seed int64) ([]byte, []Event) {
+	t.Helper()
+	events := randomEvents(n, seed)
+	var buf bytes.Buffer
+	if err := WriteGem5(&buf, events, 500); err != nil {
+		t.Fatal(err)
+	}
+	// Interleave compute lines the converter must skip, as in a real gem5
+	// trace where most lines are not memory events.
+	var mixed bytes.Buffer
+	lines := bytes.Split(buf.Bytes(), []byte("\n"))
+	for _, l := range lines {
+		if len(l) == 0 {
+			continue
+		}
+		mixed.Write(l)
+		mixed.WriteByte('\n')
+		mixed.WriteString("0: system.cpu.fetch: inst 0x400\n")
+	}
+	return mixed.Bytes(), events
+}
+
+func TestConvertSequential(t *testing.T) {
+	input, events := gem5Corpus(t, 300, 1)
+	var out bytes.Buffer
+	st, err := ConvertSequential(bytes.NewReader(input), &out, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventsOut != int64(len(events)) {
+		t.Fatalf("EventsOut = %d, want %d", st.EventsOut, len(events))
+	}
+	if st.LinesIn != int64(2*len(events)) {
+		t.Fatalf("LinesIn = %d, want %d", st.LinesIn, 2*len(events))
+	}
+	got, err := ReadNVMain(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestConvertParallelMatchesSequential(t *testing.T) {
+	input, _ := gem5Corpus(t, 1000, 2)
+	var seq, par bytes.Buffer
+	if _, err := ConvertSequential(bytes.NewReader(input), &seq, 500); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		par.Reset()
+		st, err := ConvertParallel(input, &par, 500, workers, 4096)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+			t.Fatalf("workers=%d: parallel output differs from sequential", workers)
+		}
+		if st.Chunks < 2 {
+			t.Fatalf("workers=%d: expected multiple chunks, got %d", workers, st.Chunks)
+		}
+	}
+}
+
+func TestConvertParallelSingleChunk(t *testing.T) {
+	input, events := gem5Corpus(t, 10, 3)
+	var out bytes.Buffer
+	st, err := ConvertParallel(input, &out, 500, 2, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Chunks != 1 {
+		t.Fatalf("Chunks = %d", st.Chunks)
+	}
+	got, err := ReadNVMain(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("events = %d", len(got))
+	}
+}
+
+func TestConvertParallelEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	st, err := ConvertParallel(nil, &out, 500, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventsOut != 0 || out.Len() != 0 {
+		t.Fatalf("empty input produced output: %+v", st)
+	}
+}
+
+func TestConvertParallelPropagatesErrors(t *testing.T) {
+	input := []byte("12: system.cpu.dcache: ReadReq addr=0xZZ size=8\n")
+	var out bytes.Buffer
+	if _, err := ConvertParallel(input, &out, 1, 2, 0); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestConvertNoTrailingNewline(t *testing.T) {
+	input := []byte("100: system.cpu.dcache: ReadReq addr=0x40 size=8 thread=1")
+	var out bytes.Buffer
+	st, err := ConvertParallel(input, &out, 1, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventsOut != 1 {
+		t.Fatalf("EventsOut = %d", st.EventsOut)
+	}
+}
+
+func TestConvertFileParallel(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "gem5.trc")
+	outPath := filepath.Join(dir, "nvmain.trc")
+	input, events := gem5Corpus(t, 100, 4)
+	if err := os.WriteFile(inPath, input, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ConvertFileParallel(inPath, outPath, 500, 4, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventsOut != int64(len(events)) {
+		t.Fatalf("EventsOut = %d", st.EventsOut)
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadNVMain(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip lost events: %d", len(got))
+	}
+}
+
+func TestConvertFileParallelMissingInput(t *testing.T) {
+	if _, err := ConvertFileParallel("/nonexistent/in", "/nonexistent/out", 1, 1, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSplitChunksAlignment(t *testing.T) {
+	input := []byte("aaa\nbbb\nccc\nddd")
+	chunks := splitChunks(input, 5)
+	var total int
+	for _, c := range chunks {
+		total += len(c)
+		if c[len(c)-1] != '\n' && !bytes.HasSuffix(input, c) {
+			t.Fatalf("chunk %q does not end at line boundary", c)
+		}
+	}
+	if total != len(input) {
+		t.Fatalf("chunks cover %d of %d bytes", total, len(input))
+	}
+}
+
+func TestUpperHex(t *testing.T) {
+	if got := string(upperHex(nil, 0)); got != "0" {
+		t.Fatalf("upperHex(0) = %q", got)
+	}
+	if got := string(upperHex(nil, 0xDEADBEEF)); got != "DEADBEEF" {
+		t.Fatalf("upperHex = %q", got)
+	}
+}
+
+// Property: parallel conversion output is byte-identical to sequential for
+// arbitrary event streams, any worker/chunk configuration.
+func TestPropConvertEquivalence(t *testing.T) {
+	f := func(seed int64, workers8, chunkKB uint8) bool {
+		events := randomEvents(50+int(seed%400+400)%400, seed)
+		var gem5 bytes.Buffer
+		if WriteGem5(&gem5, events, 500) != nil {
+			return false
+		}
+		input := gem5.Bytes()
+		var seq, par bytes.Buffer
+		if _, err := ConvertSequential(bytes.NewReader(input), &seq, 500); err != nil {
+			return false
+		}
+		workers := int(workers8)%8 + 1
+		chunk := (int(chunkKB)%16 + 1) * 256
+		if _, err := ConvertParallel(input, &par, 500, workers, chunk); err != nil {
+			return false
+		}
+		return bytes.Equal(seq.Bytes(), par.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

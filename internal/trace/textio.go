@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Gem5 text format (one line per simulated event), modeled on gem5's
+// --debug-flags=MemoryAccess output:
+//
+//	<tick>: system.cpu.dcache: <ReadReq|WriteReq> addr=0x1a2b size=8 thread=0
+//
+// Compute events use other device names and are skipped by the converter.
+// NVMain text format (what the memory simulator replays):
+//
+//	<cycle> <R|W> 0x<ADDR> <thread>
+
+// WriteGem5 renders events in the gem5-style text format. ticksPerCycle
+// scales CPU cycles to simulator ticks (gem5 uses picoseconds; 500 ticks per
+// cycle corresponds to a 2 GHz CPU).
+func WriteGem5(w io.Writer, events []Event, ticksPerCycle uint64) error {
+	if ticksPerCycle == 0 {
+		ticksPerCycle = 1
+	}
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		req := "ReadReq"
+		if e.Op == Write {
+			req = "WriteReq"
+		}
+		if _, err := fmt.Fprintf(bw, "%d: system.cpu.dcache: %s addr=0x%x size=8 thread=%d\n",
+			e.Cycle*ticksPerCycle, req, e.Addr, e.Thread); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseGem5Line parses one gem5-style line. Non-memory lines (device other
+// than a cache/memory port, or unknown request kinds) return ok=false with
+// no error, mirroring the paper's filtering of compute events.
+func ParseGem5Line(line string, ticksPerCycle uint64) (Event, bool, error) {
+	if ticksPerCycle == 0 {
+		ticksPerCycle = 1
+	}
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Event{}, false, nil
+	}
+	colon := strings.IndexByte(line, ':')
+	if colon < 0 {
+		return Event{}, false, fmt.Errorf("%w: no tick separator in %q", ErrFormat, line)
+	}
+	tick, err := strconv.ParseUint(strings.TrimSpace(line[:colon]), 10, 64)
+	if err != nil {
+		return Event{}, false, fmt.Errorf("%w: bad tick in %q", ErrFormat, line)
+	}
+	rest := line[colon+1:]
+	// Only dcache/memory lines carry main-memory traffic.
+	if !strings.Contains(rest, "dcache") && !strings.Contains(rest, "mem_ctrl") {
+		return Event{}, false, nil
+	}
+	var op Op
+	switch {
+	case strings.Contains(rest, "ReadReq"):
+		op = Read
+	case strings.Contains(rest, "WriteReq"):
+		op = Write
+	default:
+		return Event{}, false, nil
+	}
+	ai := strings.Index(rest, "addr=")
+	if ai < 0 {
+		return Event{}, false, fmt.Errorf("%w: no addr in %q", ErrFormat, line)
+	}
+	addrField := rest[ai+len("addr="):]
+	if sp := strings.IndexByte(addrField, ' '); sp >= 0 {
+		addrField = addrField[:sp]
+	}
+	addr, err := strconv.ParseUint(strings.TrimPrefix(addrField, "0x"), 16, 64)
+	if err != nil {
+		return Event{}, false, fmt.Errorf("%w: bad addr in %q", ErrFormat, line)
+	}
+	var thread uint64
+	if ti := strings.Index(rest, "thread="); ti >= 0 {
+		tf := rest[ti+len("thread="):]
+		if sp := strings.IndexByte(tf, ' '); sp >= 0 {
+			tf = tf[:sp]
+		}
+		thread, err = strconv.ParseUint(tf, 10, 8)
+		if err != nil {
+			return Event{}, false, fmt.Errorf("%w: bad thread in %q", ErrFormat, line)
+		}
+	}
+	return Event{Cycle: tick / ticksPerCycle, Op: op, Addr: addr, Thread: uint8(thread)}, true, nil
+}
+
+// ReadGem5 parses a full gem5-style stream, skipping non-memory lines.
+func ReadGem5(r io.Reader, ticksPerCycle uint64) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var events []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		e, ok, err := ParseGem5Line(sc.Text(), ticksPerCycle)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if ok {
+			events = append(events, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// WriteNVMain renders events in the NVMain trace format.
+func WriteNVMain(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%d %c 0x%X %d\n", e.Cycle, e.Op, e.Addr, e.Thread); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseNVMainLine parses one NVMain-format line.
+func ParseNVMainLine(line string) (Event, bool, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Event{}, false, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Event{}, false, fmt.Errorf("%w: %q", ErrFormat, line)
+	}
+	cycle, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return Event{}, false, fmt.Errorf("%w: bad cycle in %q", ErrFormat, line)
+	}
+	if len(fields[1]) != 1 || (fields[1][0] != byte(Read) && fields[1][0] != byte(Write)) {
+		return Event{}, false, fmt.Errorf("%w: bad op in %q", ErrFormat, line)
+	}
+	addr, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), 16, 64)
+	if err != nil {
+		return Event{}, false, fmt.Errorf("%w: bad addr in %q", ErrFormat, line)
+	}
+	var thread uint64
+	if len(fields) >= 4 {
+		thread, err = strconv.ParseUint(fields[3], 10, 8)
+		if err != nil {
+			return Event{}, false, fmt.Errorf("%w: bad thread in %q", ErrFormat, line)
+		}
+	}
+	return Event{Cycle: cycle, Op: Op(fields[1][0]), Addr: addr, Thread: uint8(thread)}, true, nil
+}
+
+// ReadNVMain parses a full NVMain-format stream.
+func ReadNVMain(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var events []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		e, ok, err := ParseNVMainLine(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if ok {
+			events = append(events, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}

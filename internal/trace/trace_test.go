@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomEvents(n int, seed int64) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]Event, n)
+	cycle := uint64(0)
+	for i := range events {
+		cycle += uint64(rng.Intn(50))
+		op := Read
+		if rng.Intn(4) == 0 {
+			op = Write
+		}
+		events[i] = Event{
+			Cycle:  cycle,
+			Op:     op,
+			Addr:   uint64(rng.Intn(1 << 24)),
+			Thread: uint8(rng.Intn(4)),
+		}
+	}
+	return events
+}
+
+func TestEventValidate(t *testing.T) {
+	if err := (Event{Op: Read}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Event{Op: 'X'}).Validate(); err == nil {
+		t.Fatal("expected error for bad op")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 10, Op: Write, Addr: 0xABC, Thread: 2}
+	if got := e.String(); got != "10 W 0xABC 2" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Cycle: 5, Op: Read, Addr: 100},
+		{Cycle: 2, Op: Write, Addr: 300},
+		{Cycle: 9, Op: Read, Addr: 50},
+	}
+	s := Summarize(events)
+	if s.Events != 3 || s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.FirstCycle != 2 || s.LastCycle != 9 || s.MinAddr != 50 || s.MaxAddr != 300 {
+		t.Fatalf("ranges: %+v", s)
+	}
+	if z := Summarize(nil); z.Events != 0 {
+		t.Fatalf("empty: %+v", z)
+	}
+}
+
+func TestGem5RoundTrip(t *testing.T) {
+	events := randomEvents(200, 1)
+	var buf bytes.Buffer
+	if err := WriteGem5(&buf, events, 500); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGem5(&buf, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("events = %d, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestParseGem5LineSkipsComputeEvents(t *testing.T) {
+	_, ok, err := ParseGem5Line("1000: system.cpu.fetch: inst 0x400", 1)
+	if err != nil || ok {
+		t.Fatalf("compute line: ok=%v err=%v", ok, err)
+	}
+	_, ok, err = ParseGem5Line("", 1)
+	if err != nil || ok {
+		t.Fatalf("blank line: ok=%v err=%v", ok, err)
+	}
+	_, ok, err = ParseGem5Line("# comment", 1)
+	if err != nil || ok {
+		t.Fatalf("comment: ok=%v err=%v", ok, err)
+	}
+	// Snoop or other request kinds on the dcache are also skipped.
+	_, ok, err = ParseGem5Line("1000: system.cpu.dcache: SnoopReq addr=0x10 size=8", 1)
+	if err != nil || ok {
+		t.Fatalf("snoop: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestParseGem5LineErrors(t *testing.T) {
+	cases := []string{
+		"notanumber: system.cpu.dcache: ReadReq addr=0x10",
+		"12 system.cpu.dcache ReadReq",                       // missing colon... actually has none
+		"12: system.cpu.dcache: ReadReq size=8",              // no addr
+		"12: system.cpu.dcache: ReadReq addr=0xZZ size=8",    // bad addr
+		"12: system.cpu.dcache: ReadReq addr=0x10 thread=xx", // bad thread
+	}
+	for _, c := range cases {
+		if _, ok, err := ParseGem5Line(c, 1); err == nil && ok {
+			t.Fatalf("expected failure or skip for %q", c)
+		}
+	}
+	// Specifically verify hard errors where they must occur.
+	if _, _, err := ParseGem5Line("x: system.cpu.dcache: ReadReq addr=0x10", 1); err == nil {
+		t.Fatal("expected tick error")
+	}
+	if _, _, err := ParseGem5Line("12: system.cpu.dcache: ReadReq addr=0xZZ", 1); err == nil {
+		t.Fatal("expected addr error")
+	}
+}
+
+func TestNVMainRoundTrip(t *testing.T) {
+	events := randomEvents(150, 2)
+	var buf bytes.Buffer
+	if err := WriteNVMain(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNVMain(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("events = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestParseNVMainLine(t *testing.T) {
+	e, ok, err := ParseNVMainLine("42 W 0x1F 3")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if e.Cycle != 42 || e.Op != Write || e.Addr != 0x1F || e.Thread != 3 {
+		t.Fatalf("parsed %+v", e)
+	}
+	// Thread field is optional.
+	e, ok, err = ParseNVMainLine("1 R 0xA")
+	if err != nil || !ok || e.Thread != 0 {
+		t.Fatalf("optional thread: %+v ok=%v err=%v", e, ok, err)
+	}
+	for _, bad := range []string{"x R 0x1", "1 Q 0x1", "1 R zz", "1 R", "1 R 0x1 xx"} {
+		if _, _, err := ParseNVMainLine(bad); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestWriteRejectsInvalidOp(t *testing.T) {
+	bad := []Event{{Op: 'Q'}}
+	if err := WriteNVMain(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := WriteGem5(&bytes.Buffer{}, bad, 1); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := WriteBinary(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	events := randomEvents(500, 3)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("events = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("BOGUSmagic")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("expected EOF error")
+	}
+}
+
+func TestBinaryRejectsTruncatedRecord(t *testing.T) {
+	events := randomEvents(3, 4)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+// Property: text and binary round trips preserve any valid event exactly.
+func TestPropFormatsRoundTrip(t *testing.T) {
+	f := func(cycle, addr uint64, thread uint8, isWrite bool) bool {
+		op := Read
+		if isWrite {
+			op = Write
+		}
+		e := Event{Cycle: cycle, Op: op, Addr: addr, Thread: thread}
+		var nb, bb bytes.Buffer
+		if WriteNVMain(&nb, []Event{e}) != nil || WriteBinary(&bb, []Event{e}) != nil {
+			return false
+		}
+		n, err1 := ReadNVMain(&nb)
+		b, err2 := ReadBinary(&bb)
+		return err1 == nil && err2 == nil && len(n) == 1 && len(b) == 1 && n[0] == e && b[0] == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeInterleavesByCycle(t *testing.T) {
+	a := []Event{{Cycle: 1, Op: Read, Addr: 0}, {Cycle: 5, Op: Read, Addr: 64}}
+	b := []Event{{Cycle: 2, Op: Write, Addr: 0}, {Cycle: 3, Op: Read, Addr: 64}}
+	merged := Merge(1<<20, a, b)
+	if len(merged) != 4 {
+		t.Fatalf("merged = %d events", len(merged))
+	}
+	wantCycles := []uint64{1, 2, 3, 5}
+	for i, e := range merged {
+		if e.Cycle != wantCycles[i] {
+			t.Fatalf("cycle order wrong: %+v", merged)
+		}
+	}
+	// Address windows are disjoint and thread-tagged per input.
+	if merged[0].Addr != 0 || merged[0].Thread != 0 {
+		t.Fatalf("first input altered: %+v", merged[0])
+	}
+	if merged[1].Addr != 1<<20 || merged[1].Thread != 1 {
+		t.Fatalf("second input not offset: %+v", merged[1])
+	}
+}
+
+func TestMergeEmptyAndSingle(t *testing.T) {
+	if got := Merge(0); len(got) != 0 {
+		t.Fatalf("empty merge = %d", len(got))
+	}
+	a := randomEvents(50, 9)
+	got := Merge(0, a)
+	if len(got) != len(a) {
+		t.Fatalf("single merge = %d", len(got))
+	}
+	for i := range got {
+		if got[i].Cycle != a[i].Cycle || got[i].Addr != a[i].Addr {
+			t.Fatal("single merge altered events")
+		}
+	}
+}
+
+func TestMergePreservesCounts(t *testing.T) {
+	a := randomEvents(100, 10)
+	b := randomEvents(150, 11)
+	c := randomEvents(70, 12)
+	merged := Merge(1<<30, a, b, c)
+	if len(merged) != 320 {
+		t.Fatalf("merged = %d", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Cycle < merged[i-1].Cycle {
+			t.Fatalf("merge not time-ordered at %d", i)
+		}
+	}
+}
