@@ -7,9 +7,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
@@ -32,6 +35,13 @@ func main() {
 		extended   = flag.Bool("extended", false, "add Ridge/KNN/MLP to the model comparison")
 		csvPath    = flag.String("csv", "", "export the ML dataset as CSV to this path")
 		all        = flag.Bool("all", false, "print everything")
+
+		checkpoint   = flag.String("checkpoint", "", "append completed sweep records to this JSON-lines file")
+		resume       = flag.Bool("resume", false, "resume from -checkpoint, skipping already-completed points")
+		timeout      = flag.Duration("timeout", 0, "per-configuration simulation deadline (0 = none)")
+		retries      = flag.Int("retries", 0, "retries for transient simulation faults")
+		minSurvivors = flag.Int("min-survivors", 0, "fail unless at least this many configurations survive the sweep")
+		faillog      = flag.Bool("faillog", false, "print the sweep failure log")
 	)
 	flag.Parse()
 	if !*figure2 && !*table1 && *figure3 == "" && !*recommend && !*pareto && !*importance && *csvPath == "" {
@@ -49,18 +59,35 @@ func main() {
 		opts.Models = dse.ExtendedModels(*seed)
 	}
 	if *failures {
-		opts.Sweep.FailureRate = dse.PaperFailureRate
-		opts.Sweep.FailureSeed = 1
+		opts.Sweep.Faults = dse.PaperFaults(dse.PaperFailureRate, 1)
 	}
+	opts.Sweep.CheckpointPath = *checkpoint
+	opts.Sweep.Resume = *resume
+	opts.Sweep.Timeout = *timeout
+	opts.Sweep.Retries = *retries
+	opts.Sweep.MinSurvivors = *minSurvivors
+
+	// Ctrl-C interrupts the sweep cleanly; with -checkpoint the completed
+	// records survive and -resume picks up where the run stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	start := time.Now()
-	res, err := dse.RunWorkflow(opts)
+	res, err := dse.RunWorkflowContext(ctx, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dse:", err)
+		var sf *dse.SweepFailureError
+		if errors.As(err, &sf) {
+			fmt.Fprintln(os.Stderr, "dse: sweep failure summary:", sf)
+		} else {
+			fmt.Fprintln(os.Stderr, "dse:", err)
+		}
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "workflow completed in %v: %d trace events, %d/%d configurations survived\n",
-		time.Since(start).Round(time.Millisecond), res.TraceEvents, res.SurvivorCount, len(res.Records))
+	fmt.Fprintf(os.Stderr, "workflow completed in %v: %d trace events, %d/%d configurations survived (%d failed)\n",
+		time.Since(start).Round(time.Millisecond), res.TraceEvents, res.SurvivorCount, len(res.Records), len(res.FailureLog))
+	if *faillog {
+		dse.RenderFailureLog(os.Stderr, res.FailureLog)
+	}
 
 	if *all || *figure2 {
 		fmt.Println("== Figure 2: memory performance summary (means per cell) ==")

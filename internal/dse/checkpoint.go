@@ -1,0 +1,179 @@
+package dse
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"graphdse/internal/memsim"
+)
+
+// checkpointRecord is the JSON-lines on-disk form of one terminal
+// RunRecord. Records are keyed by the point's stable ID; the full
+// DesignPoint is reconstructed from the live design space on load, so a
+// checkpoint stays valid across process restarts as long as the space
+// enumeration is unchanged.
+type checkpointRecord struct {
+	ID       string `json:"id"`
+	Failed   bool   `json:"failed,omitempty"`
+	Class    string `json:"class,omitempty"`
+	Attempts int    `json:"attempts"`
+	Err      string `json:"err,omitempty"`
+	// Result holds the full simulator output for survivors. LifetimeInf
+	// flags a +Inf LifetimeYears (write-free runs), which JSON cannot
+	// encode directly.
+	Result      *memsim.Result `json:"result,omitempty"`
+	LifetimeInf bool           `json:"lifetime_inf,omitempty"`
+}
+
+// EncodeRecord renders one terminal record as its canonical checkpoint
+// line (no trailing newline). Deterministic for a given record, which is
+// what makes resumed sweeps byte-comparable to uninterrupted ones.
+func EncodeRecord(r RunRecord) ([]byte, error) {
+	cr := checkpointRecord{
+		ID:       r.Point.ID(),
+		Failed:   r.Failed,
+		Attempts: r.Attempts,
+	}
+	if r.Failed {
+		cr.Class = r.FaultClass.String()
+		if r.Err != nil {
+			cr.Err = r.Err.Error()
+		}
+	} else if r.Result != nil {
+		res := *r.Result
+		if math.IsInf(res.LifetimeYears, 1) {
+			res.LifetimeYears = 0
+			cr.LifetimeInf = true
+		}
+		cr.Result = &res
+	}
+	return json.Marshal(cr)
+}
+
+// decodeRecord parses one checkpoint line back into a RunRecord. byID maps
+// point IDs of the live design space; lines for unknown points, survivor
+// lines without a result, and survivor results failing metric validation
+// are all rejected as corrupt.
+func decodeRecord(line []byte, byID map[string]DesignPoint) (RunRecord, error) {
+	var cr checkpointRecord
+	if err := json.Unmarshal(line, &cr); err != nil {
+		return RunRecord{}, err
+	}
+	if cr.ID == "" {
+		return RunRecord{}, errors.New("dse: checkpoint line missing id")
+	}
+	p, ok := byID[cr.ID]
+	if !ok {
+		return RunRecord{}, fmt.Errorf("dse: checkpoint id %q not in design space", cr.ID)
+	}
+	rec := RunRecord{
+		Point:          p,
+		Failed:         cr.Failed,
+		Attempts:       cr.Attempts,
+		FromCheckpoint: true,
+	}
+	if cr.Failed {
+		rec.FaultClass = parseFaultClass(cr.Class)
+		if cr.Err != "" {
+			rec.Err = errors.New(cr.Err)
+		}
+		return rec, nil
+	}
+	if cr.Result == nil {
+		return RunRecord{}, fmt.Errorf("dse: checkpoint survivor %q has no result", cr.ID)
+	}
+	if cr.LifetimeInf {
+		cr.Result.LifetimeYears = math.Inf(1)
+	}
+	if err := cr.Result.ValidateMetrics(); err != nil {
+		return RunRecord{}, fmt.Errorf("dse: checkpoint survivor %q: %w", cr.ID, err)
+	}
+	rec.Result = cr.Result
+	return rec, nil
+}
+
+// LoadCheckpoint reads a JSON-lines checkpoint and returns the usable
+// records keyed by point ID plus the number of corrupt/stale lines skipped.
+// Corrupt lines (truncated writes, garbage, unknown points, invalid
+// metrics) are skipped — resume simply re-runs those points. When the same
+// point appears on multiple lines the last one wins.
+func LoadCheckpoint(path string, points []DesignPoint) (map[string]RunRecord, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	byID := make(map[string]DesignPoint, len(points))
+	for _, p := range points {
+		byID[p.ID()] = p
+	}
+	out := map[string]RunRecord{}
+	skipped := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := decodeRecord(line, byID)
+		if err != nil {
+			skipped++
+			continue
+		}
+		out[rec.Point.ID()] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return out, skipped, err
+	}
+	return out, skipped, nil
+}
+
+// checkpointWriter appends terminal records to the checkpoint file, one
+// JSON line per record, each written in a single Write call so concurrent
+// workers never interleave partial lines.
+type checkpointWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openCheckpoint opens the checkpoint for appending; without resume the
+// file is truncated so a fresh sweep starts clean.
+func openCheckpoint(path string, resume bool) (*checkpointWriter, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &checkpointWriter{f: f}, nil
+}
+
+// Append writes one record. Errors are returned but the sweep treats the
+// checkpoint as best-effort: a failed append degrades resumability, not
+// correctness.
+func (w *checkpointWriter) Append(r RunRecord) error {
+	line, err := EncodeRecord(r)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err = w.f.Write(line)
+	return err
+}
+
+func (w *checkpointWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

@@ -1,0 +1,206 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// canonicalSurvivors renders the surviving records in their checkpoint
+// encoding, sorted by content — the byte-level identity used to prove that
+// resumed sweeps equal uninterrupted ones.
+func canonicalSurvivors(t *testing.T, records []RunRecord) []string {
+	t.Helper()
+	var lines []string
+	for _, r := range Survivors(records) {
+		b, err := EncodeRecord(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(b))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	events := smallTrace(t)
+	points := EnumerateSpace(tinySpace())
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	// Resume against a missing checkpoint is a fresh start, not an error.
+	records, err := Sweep(events, points, SweepOptions{
+		Faults: PaperFaults(0.25, 3), CheckpointPath: path, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, skipped, err := LoadCheckpoint(path, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("clean checkpoint skipped %d lines", skipped)
+	}
+	if len(loaded) != len(points) {
+		t.Fatalf("checkpoint holds %d records, want %d", len(loaded), len(points))
+	}
+	for _, r := range records {
+		lr, ok := loaded[r.Point.ID()]
+		if !ok {
+			t.Fatalf("point %s missing from checkpoint", r.Point.ID())
+		}
+		if lr.Failed != r.Failed || lr.Attempts != r.Attempts || lr.FaultClass != r.FaultClass {
+			t.Fatalf("point %s: loaded %+v does not match live record", r.Point.ID(), lr)
+		}
+		if !r.Failed {
+			a, err := EncodeRecord(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lr.FromCheckpoint = false
+			b, err := EncodeRecord(lr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(a) != string(b) {
+				t.Fatalf("point %s: round-trip not byte-identical:\n%s\n%s", r.Point.ID(), a, b)
+			}
+		}
+	}
+}
+
+func TestCheckpointCorruptLineSkippedAndRerun(t *testing.T) {
+	events := smallTrace(t)
+	points := EnumerateSpace(tinySpace())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.ckpt")
+
+	ref, err := Sweep(events, points, SweepOptions{CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalSurvivors(t, ref)
+
+	// Corrupt one survivor line mid-write (a truncated append).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != len(points) {
+		t.Fatalf("checkpoint has %d lines, want %d", len(lines), len(points))
+	}
+	lines[3] = lines[3][:len(lines[3])/2]
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, skipped, err := LoadCheckpoint(path, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d corrupt lines, want 1", skipped)
+	}
+	if len(loaded) != len(points)-1 {
+		t.Fatalf("loaded %d records, want %d", len(loaded), len(points)-1)
+	}
+
+	// Resume re-runs only the corrupted point and converges to the
+	// uninterrupted result.
+	var reran atomic.Int64
+	testHookPointStart = func(DesignPoint) { reran.Add(1) }
+	defer func() { testHookPointStart = nil }()
+	resumed, err := Sweep(events, points, SweepOptions{CheckpointPath: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reran.Load() != 1 {
+		t.Fatalf("resume re-ran %d points, want 1", reran.Load())
+	}
+	got := canonicalSurvivors(t, resumed)
+	if len(got) != len(want) {
+		t.Fatalf("resumed survivors = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs after corrupt-line resume:\n%s\n%s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCheckpointKillResumeByteIdentical is the acceptance test: a sweep
+// killed mid-flight and resumed from its checkpoint must produce surviving
+// records byte-identical to an uninterrupted run.
+func TestCheckpointKillResumeByteIdentical(t *testing.T) {
+	events := smallTrace(t)
+	points := EnumerateSpace(smallSpace())
+	inj := PaperFaults(0.2, 3)
+	dir := t.TempDir()
+
+	refPath := filepath.Join(dir, "ref.ckpt")
+	ref, err := Sweep(events, points, SweepOptions{Faults: inj, CheckpointPath: refPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalSurvivors(t, ref)
+
+	// "Kill" a second sweep after 8 completed points.
+	path := filepath.Join(dir, "sweep.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int64
+	testHookPointDone = func(DesignPoint) {
+		if done.Add(1) == 8 {
+			cancel()
+		}
+	}
+	partial, err := SweepContext(ctx, events, points, SweepOptions{
+		Faults: inj, CheckpointPath: path, Workers: 2,
+	})
+	testHookPointDone = nil
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed sweep returned %v, want context.Canceled", err)
+	}
+	skippedPoints := 0
+	for _, r := range partial {
+		if r.Skipped {
+			skippedPoints++
+		}
+	}
+	if skippedPoints == 0 {
+		t.Fatal("kill left no work behind; cancel earlier")
+	}
+
+	// Resume from the checkpoint and complete the sweep.
+	resumed, err := Sweep(events, points, SweepOptions{
+		Faults: inj, CheckpointPath: path, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adopted := 0
+	for _, r := range resumed {
+		if r.FromCheckpoint {
+			adopted++
+		}
+	}
+	if adopted == 0 {
+		t.Fatal("resume adopted nothing from the checkpoint")
+	}
+	got := canonicalSurvivors(t, resumed)
+	if len(got) != len(want) {
+		t.Fatalf("resumed survivors = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d not byte-identical after kill+resume:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+}

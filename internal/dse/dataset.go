@@ -19,6 +19,10 @@ type Dataset struct {
 	Y map[string][]float64
 	// Points keeps the originating design points row-aligned with X.
 	Points []DesignPoint
+	// Quarantined counts surviving records dropped because their metric
+	// vector failed validation (NaN/Inf/negative) — defense in depth behind
+	// the engine's own gate.
+	Quarantined int
 }
 
 // ErrNoData is returned when no surviving records are available.
@@ -35,12 +39,19 @@ func BuildDataset(records []RunRecord) (*Dataset, error) {
 		ds.Y[name] = make([]float64, 0, len(survivors))
 	}
 	for _, r := range survivors {
+		if r.Result == nil || r.Result.ValidateMetrics() != nil {
+			ds.Quarantined++
+			continue
+		}
 		ds.X = append(ds.X, r.Point.FeatureVector())
 		ds.Points = append(ds.Points, r.Point)
 		vec := r.Result.MetricVector()
 		for mi, name := range memsim.MetricNames {
 			ds.Y[name] = append(ds.Y[name], vec[mi])
 		}
+	}
+	if len(ds.X) == 0 {
+		return nil, fmt.Errorf("%w: all %d survivors quarantined", ErrNoData, ds.Quarantined)
 	}
 	return ds, nil
 }

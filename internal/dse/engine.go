@@ -1,0 +1,347 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"graphdse/internal/memsim"
+	"graphdse/internal/trace"
+)
+
+// ErrTransient marks failures worth retrying (injected transient faults and
+// anything else classified as recoverable).
+var ErrTransient = errors.New("dse: transient fault")
+
+// PanicError wraps a panic recovered inside a supervised worker so the
+// crash of one design point becomes a structured record instead of killing
+// the whole sweep process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("dse: simulation panic: %v", e.Value)
+}
+
+// defaultHangTimeout bounds injected hangs when the caller set no Timeout,
+// so a chaos run can never deadlock the sweep.
+const defaultHangTimeout = time.Second
+
+// maxBackoff caps the exponential retry delay.
+const maxBackoff = 2 * time.Second
+
+// Test hooks: called (when non-nil) as each dispatched point starts and
+// finishes, so tests can observe worker-pool concurrency and interrupt
+// sweeps at deterministic progress marks.
+var (
+	testHookPointStart func(p DesignPoint)
+	testHookPointDone  func(p DesignPoint)
+)
+
+// sweepEngine is the resilient sweep core: a bounded worker pool pulls
+// points from a channel (never spawning more goroutines than workers), each
+// point runs supervised with panic recovery, a per-point deadline, bounded
+// retry with backoff for transient faults, and metric validation; completed
+// records stream to an optional JSON-lines checkpoint.
+func sweepEngine(ctx context.Context, events []trace.Event, points []DesignPoint, opts SweepOptions) ([]RunRecord, error) {
+	if len(events) == 0 {
+		return nil, memsim.ErrEmptyTrace
+	}
+	if len(points) == 0 {
+		return nil, errors.New("dse: empty design space")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	inj := opts.injector()
+	if opts.Timeout <= 0 && inj.hasClass(FaultHang) {
+		opts.Timeout = defaultHangTimeout
+	}
+
+	var resumed map[string]RunRecord
+	var ckpt *checkpointWriter
+	if opts.CheckpointPath != "" {
+		if opts.Resume {
+			var err error
+			resumed, _, err = LoadCheckpoint(opts.CheckpointPath, points)
+			if err != nil && !errors.Is(err, os.ErrNotExist) {
+				return nil, fmt.Errorf("dse: resume: %w", err)
+			}
+		}
+		var err error
+		ckpt, err = openCheckpoint(opts.CheckpointPath, opts.Resume)
+		if err != nil {
+			return nil, fmt.Errorf("dse: checkpoint: %w", err)
+		}
+		defer ckpt.Close()
+	}
+
+	records := make([]RunRecord, len(points))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if testHookPointStart != nil {
+					testHookPointStart(points[i])
+				}
+				records[i] = runPoint(ctx, events, points[i], opts, inj, ckpt)
+				if testHookPointDone != nil {
+					testHookPointDone(points[i])
+				}
+			}
+		}()
+	}
+feed:
+	for i := range points {
+		if rec, ok := resumed[points[i].ID()]; ok {
+			rec.Point = points[i]
+			records[i] = rec
+			continue
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		// Mark points that were never dispatched; in-flight points already
+		// recorded their cancellation.
+		for i := range records {
+			if records[i].Attempts == 0 && !records[i].FromCheckpoint {
+				records[i] = RunRecord{Point: points[i], Failed: true, Err: err, Skipped: true}
+			}
+		}
+		return records, fmt.Errorf("dse: sweep interrupted: %w", err)
+	}
+
+	survivors := 0
+	for i := range records {
+		if !records[i].Failed {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		return records, ErrAllFailed
+	}
+	if opts.MinSurvivors > 0 && survivors < opts.MinSurvivors {
+		return records, newSweepFailureError(records, survivors, opts.MinSurvivors)
+	}
+	return records, nil
+}
+
+// runPoint drives one design point to a terminal record: attempt, classify,
+// retry transients with backoff, and checkpoint the outcome.
+func runPoint(ctx context.Context, events []trace.Event, p DesignPoint, opts SweepOptions, inj *FaultInjector, ckpt *checkpointWriter) RunRecord {
+	if err := ctx.Err(); err != nil {
+		return RunRecord{Point: p, Failed: true, Err: err, Skipped: true}
+	}
+	rec := RunRecord{Point: p}
+	var res *memsim.Result
+	var err error
+	for attempt := 1; ; attempt++ {
+		rec.Attempts = attempt
+		res, err = attemptPoint(ctx, events, p, opts, inj, attempt)
+		if err == nil {
+			break
+		}
+		if attempt > opts.Retries || !errors.Is(err, ErrTransient) || ctx.Err() != nil {
+			break
+		}
+		if !sleepBackoff(ctx, opts.BackoffBase, attempt, p) {
+			break
+		}
+	}
+	if err != nil {
+		rec.Failed = true
+		rec.Err = err
+		rec.FaultClass = classifyError(err)
+	} else {
+		rec.Result = res
+	}
+	// A record cut short by sweep cancellation is not a terminal outcome;
+	// keep it out of the checkpoint so resume re-runs the point.
+	if ckpt != nil && !errors.Is(err, context.Canceled) {
+		ckpt.Append(rec)
+	}
+	return rec
+}
+
+// attemptPoint supervises a single simulation attempt: it runs in its own
+// goroutine with panic recovery and races against the per-point deadline.
+// On timeout the attempt's goroutine is abandoned (Go cannot kill it) and
+// its eventual result discarded — the price of containing a hung simulator.
+func attemptPoint(ctx context.Context, events []trace.Event, p DesignPoint, opts SweepOptions, inj *FaultInjector, attempt int) (*memsim.Result, error) {
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	type outcome struct {
+		res *memsim.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		defer func() {
+			if r := recover(); r != nil {
+				o = outcome{nil, &PanicError{Value: r, Stack: debug.Stack()}}
+			}
+			ch <- o
+		}()
+		o.res, o.err = simulatePoint(ctx, events, p, opts, inj, attempt)
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("dse: %s: %w", p.ID(), ctx.Err())
+	}
+}
+
+// simulatePoint applies any injected fault, then runs the memory simulator
+// and validates its metrics.
+func simulatePoint(ctx context.Context, events []trace.Event, p DesignPoint, opts SweepOptions, inj *FaultInjector, attempt int) (*memsim.Result, error) {
+	switch inj.Decide(p, attempt) {
+	case FaultCrash:
+		panic(fmt.Sprintf("injected crash for %s", p.ID()))
+	case FaultHang:
+		<-ctx.Done()
+		return nil, fmt.Errorf("dse: %s: injected hang: %w", p.ID(), ctx.Err())
+	case FaultTransient:
+		return nil, fmt.Errorf("dse: %s attempt %d: %w", p.ID(), attempt, ErrTransient)
+	case FaultCorrupt:
+		res, err := memsim.RunTrace(p.Config(opts.FootprintLines), events)
+		if err != nil {
+			return nil, err
+		}
+		poisoned := *res
+		poisoned.AvgPowerPerChannel = math.NaN()
+		if verr := poisoned.ValidateMetrics(); verr != nil {
+			return nil, fmt.Errorf("dse: %s: %w", p.ID(), verr)
+		}
+		return &poisoned, nil
+	}
+	res, err := memsim.RunTrace(p.Config(opts.FootprintLines), events)
+	if err != nil {
+		return nil, err
+	}
+	// RunTrace already validates, but guard against future simulator paths
+	// that bypass it.
+	if err := res.ValidateMetrics(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// classifyError maps a terminal error onto the fault taxonomy for failure
+// logs and checkpoints.
+func classifyError(err error) FaultClass {
+	var pe *PanicError
+	switch {
+	case errors.As(err, &pe):
+		return FaultCrash
+	case errors.Is(err, context.DeadlineExceeded):
+		return FaultHang
+	case errors.Is(err, ErrTransient):
+		return FaultTransient
+	case errors.Is(err, memsim.ErrInvalidMetrics):
+		return FaultCorrupt
+	default:
+		return FaultNone
+	}
+}
+
+// sleepBackoff waits base·2^(attempt−1) plus deterministic jitter, capped at
+// maxBackoff, returning false if the context was cancelled first.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int, p DesignPoint) bool {
+	if base <= 0 {
+		base = 20 * time.Millisecond
+	}
+	d := base << uint(attempt-1)
+	if d > maxBackoff || d <= 0 {
+		d = maxBackoff
+	}
+	// Deterministic jitter in [0, d/2] keeps retries reproducible while
+	// decorrelating simultaneous retry storms across points.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", p.ID(), attempt)
+	if half := int64(d / 2); half > 0 {
+		d += time.Duration(h.Sum64() % uint64(half+1))
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// FailureRecord is one entry of a sweep's failure log.
+type FailureRecord struct {
+	PointID  string
+	Class    string
+	Attempts int
+	Err      string
+}
+
+// BuildFailureLog extracts the failed records into a compact, render-ready
+// log, sorted by point ID.
+func BuildFailureLog(records []RunRecord) []FailureRecord {
+	var out []FailureRecord
+	for _, r := range records {
+		if !r.Failed {
+			continue
+		}
+		msg := ""
+		if r.Err != nil {
+			msg = r.Err.Error()
+		}
+		out = append(out, FailureRecord{
+			PointID:  r.Point.ID(),
+			Class:    r.FaultClass.String(),
+			Attempts: r.Attempts,
+			Err:      msg,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PointID < out[j].PointID })
+	return out
+}
+
+func newSweepFailureError(records []RunRecord, survivors, min int) *SweepFailureError {
+	e := &SweepFailureError{
+		Survivors:    survivors,
+		Total:        len(records),
+		MinSurvivors: min,
+		ByClass:      map[string]int{},
+	}
+	log := BuildFailureLog(records)
+	for _, f := range log {
+		e.ByClass[f.Class]++
+	}
+	if len(log) > 5 {
+		log = log[:5]
+	}
+	e.Sample = log
+	return e
+}

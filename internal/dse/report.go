@@ -165,6 +165,36 @@ func dashes(n int) string {
 	return string(b)
 }
 
+// RenderFailureLog writes the sweep's failure log: per-class counts
+// followed by one line per lost configuration — the reproduction of the
+// paper's "42 of 416 runs crashed" bookkeeping.
+func RenderFailureLog(w io.Writer, log []FailureRecord) {
+	if len(log) == 0 {
+		fmt.Fprintln(w, "Sweep failure log: all configurations survived")
+		return
+	}
+	byClass := map[string]int{}
+	for _, f := range log {
+		byClass[f.Class]++
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Fprintf(w, "Sweep failure log: %d configurations lost (", len(log))
+	for i, c := range classes {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprintf(w, "%s=%d", c, byClass[c])
+	}
+	fmt.Fprintln(w, ")")
+	for _, f := range log {
+		fmt.Fprintf(w, "  %-46s %-10s attempts=%d  %s\n", f.PointID, f.Class, f.Attempts, f.Err)
+	}
+}
+
 // RenderRecommendations writes the §IV-B co-design recommendation list.
 func RenderRecommendations(w io.Writer, r Recommendations) {
 	fmt.Fprintf(w, "Co-design recommendations for the graph workload:\n")

@@ -1,11 +1,12 @@
 package dse
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
-	"runtime"
-	"sync"
+	"sort"
+	"strings"
+	"time"
 
 	"graphdse/internal/memsim"
 	"graphdse/internal/trace"
@@ -15,25 +16,74 @@ import (
 type RunRecord struct {
 	Point  DesignPoint
 	Result *memsim.Result
-	// Failed marks configurations whose simulation "crashed" — the paper
-	// reports ~42 of 416 NVMain runs exiting with segmentation faults; the
-	// runner reproduces that survivorship deterministically.
+	// Failed marks configurations whose simulation crashed, hung past its
+	// deadline, exhausted its retries, or produced invalid metrics — the
+	// paper reports ~42 of 416 NVMain runs exiting with segmentation
+	// faults, and the engine contains each such failure in its record.
 	Failed bool
 	Err    error
+	// FaultClass classifies the failure (crash/hang/transient/corrupt);
+	// FaultNone for healthy records and unclassified errors.
+	FaultClass FaultClass
+	// Attempts counts simulation attempts, >1 when transient faults were
+	// retried.
+	Attempts int
+	// FromCheckpoint marks records adopted from a resume checkpoint rather
+	// than re-simulated.
+	FromCheckpoint bool
+	// Skipped marks points never dispatched because the sweep was cancelled.
+	Skipped bool
 }
 
-// SweepOptions controls the sweep runner.
+// SweepOptions controls the sweep engine.
 type SweepOptions struct {
 	// FootprintLines sizes hybrid DRAM caches relative to the workload (see
 	// DesignPoint.Config).
 	FootprintLines int
 	// FailureRate in [0,1) injects deterministic simulated crashes,
 	// reproducing the paper's 374-of-416 survivorship. Zero disables it.
+	// It is legacy shorthand for Faults = PaperFaults(FailureRate,
+	// FailureSeed) and is ignored when Faults is set.
 	FailureRate float64
 	// FailureSeed varies which configurations fail.
 	FailureSeed uint64
 	// Workers caps parallelism; <=0 uses GOMAXPROCS.
 	Workers int
+
+	// Faults composes injected fault classes (crash, hang, transient,
+	// corrupt) for survivorship modes and chaos testing. Overrides
+	// FailureRate when non-nil.
+	Faults *FaultInjector
+	// Timeout is the per-point deadline; 0 disables it (but a hang-class
+	// injector forces a default so chaos runs cannot deadlock).
+	Timeout time.Duration
+	// Retries bounds re-attempts for transient failures (0 = no retry).
+	Retries int
+	// BackoffBase seeds the exponential retry backoff (default 20ms),
+	// doubled per attempt with deterministic jitter.
+	BackoffBase time.Duration
+	// CheckpointPath appends each completed record to a JSON-lines file so
+	// an interrupted sweep can resume. Empty disables checkpointing.
+	CheckpointPath string
+	// Resume loads CheckpointPath before sweeping and skips points whose
+	// records are already present (corrupt lines are skipped and re-run).
+	// Without Resume the checkpoint file is truncated.
+	Resume bool
+	// MinSurvivors fails the sweep with a *SweepFailureError when fewer
+	// points survive; 0 only requires one survivor (ErrAllFailed otherwise).
+	MinSurvivors int
+}
+
+// injector resolves the effective fault injector, folding the legacy
+// FailureRate knob into the harness.
+func (o *SweepOptions) injector() *FaultInjector {
+	if o.Faults != nil {
+		return o.Faults
+	}
+	if o.FailureRate > 0 {
+		return PaperFaults(o.FailureRate, o.FailureSeed)
+	}
+	return nil
 }
 
 // PaperFailureRate reproduces the paper's ≈42/416 crash rate.
@@ -42,65 +92,47 @@ const PaperFailureRate = 0.101
 // ErrAllFailed is returned when every configuration failed.
 var ErrAllFailed = errors.New("dse: every configuration failed")
 
-// injectedFailure deterministically decides whether a point "segfaults".
-func injectedFailure(p DesignPoint, rate float64, seed uint64) bool {
-	if rate <= 0 {
-		return false
+// SweepFailureError is the structured summary returned when a sweep
+// completes but leaves fewer survivors than MinSurvivors requires.
+type SweepFailureError struct {
+	Survivors    int
+	Total        int
+	MinSurvivors int
+	// ByClass counts failures per fault class name.
+	ByClass map[string]int
+	// Sample holds up to a handful of representative failure records.
+	Sample []FailureRecord
+}
+
+func (e *SweepFailureError) Error() string {
+	classes := make([]string, 0, len(e.ByClass))
+	for c := range e.ByClass {
+		classes = append(classes, c)
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d", p.ID(), seed)
-	return float64(h.Sum64()%1_000_000)/1_000_000 < rate
+	sort.Strings(classes)
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, fmt.Sprintf("%s=%d", c, e.ByClass[c]))
+	}
+	return fmt.Sprintf("dse: %d/%d configurations survived, need >= %d (failures: %s)",
+		e.Survivors, e.Total, e.MinSurvivors, strings.Join(parts, " "))
 }
 
 // Sweep replays the trace against every design point in parallel and returns
-// one record per point, in input order.
+// one record per point, in input order. It never lets a single point kill
+// the sweep: panics, hangs, transient errors, and corrupted metrics are
+// contained in the point's record (see SweepContext for cancellation).
 func Sweep(events []trace.Event, points []DesignPoint, opts SweepOptions) ([]RunRecord, error) {
-	if len(events) == 0 {
-		return nil, memsim.ErrEmptyTrace
-	}
-	if len(points) == 0 {
-		return nil, errors.New("dse: empty design space")
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	records := make([]RunRecord, len(points))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, p := range points {
-		wg.Add(1)
-		go func(i int, p DesignPoint) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rec := RunRecord{Point: p}
-			if injectedFailure(p, opts.FailureRate, opts.FailureSeed) {
-				rec.Failed = true
-				rec.Err = fmt.Errorf("dse: simulated crash for %s", p.ID())
-			} else {
-				res, err := memsim.RunTrace(p.Config(opts.FootprintLines), events)
-				if err != nil {
-					rec.Failed = true
-					rec.Err = err
-				} else {
-					rec.Result = res
-				}
-			}
-			records[i] = rec
-		}(i, p)
-	}
-	wg.Wait()
-	ok := 0
-	for _, r := range records {
-		if !r.Failed {
-			ok++
-		}
-	}
-	if ok == 0 {
-		return records, ErrAllFailed
-	}
-	return records, nil
+	return SweepContext(context.Background(), events, points, opts)
+}
+
+// SweepContext is Sweep with caller-controlled cancellation: when ctx is
+// cancelled, in-flight points finish as failures, undispatched points are
+// marked Skipped, and the partial records are returned alongside ctx's
+// error. Combined with CheckpointPath, a cancelled sweep resumes from its
+// completed records.
+func SweepContext(ctx context.Context, events []trace.Event, points []DesignPoint, opts SweepOptions) ([]RunRecord, error) {
+	return sweepEngine(ctx, events, points, opts)
 }
 
 // Survivors filters out failed records.

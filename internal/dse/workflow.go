@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -130,12 +131,25 @@ type WorkflowResult struct {
 	Figure3        map[string]*Figure3Series
 	Figure2        []Figure2Row
 	Recommendation Recommendations
+	// FailureLog records every configuration the sweep lost (crash, hang,
+	// exhausted retries, corrupted metrics), mirroring the paper's ~42
+	// discarded NVMain runs.
+	FailureLog []FailureRecord
 }
 
 // RunWorkflow executes the full pipeline of Figure 1: workload → system
 // simulation → trace → memory-simulation sweep → dataset → surrogate
 // training and evaluation → recommendations.
 func RunWorkflow(opts WorkflowOptions) (*WorkflowResult, error) {
+	return RunWorkflowContext(context.Background(), opts)
+}
+
+// RunWorkflowContext is RunWorkflow with cancellation: ctx aborts the sweep
+// (which, with a checkpoint configured, stays resumable). The workflow
+// degrades gracefully under sweep failures — it proceeds whenever the
+// survivor count clears opts.Sweep.MinSurvivors and otherwise returns the
+// sweep's structured *SweepFailureError.
+func RunWorkflowContext(ctx context.Context, opts WorkflowOptions) (*WorkflowResult, error) {
 	opts.fill()
 	machine, _, err := sysim.PaperWorkloadTrace(opts.SysConfig, opts.Vertices, opts.EdgeFactor, opts.Seed, opts.Repeats)
 	if err != nil {
@@ -147,7 +161,7 @@ func RunWorkflow(opts WorkflowOptions) (*WorkflowResult, error) {
 		sweepOpts.FootprintLines = int(machine.Layout().Footprint()) / 64
 	}
 	points := EnumerateSpace(opts.Space)
-	records, err := Sweep(events, points, sweepOpts)
+	records, err := SweepContext(ctx, events, points, sweepOpts)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
@@ -170,6 +184,7 @@ func RunWorkflow(opts WorkflowOptions) (*WorkflowResult, error) {
 		Figure3:        fig3,
 		Figure2:        fig2,
 		Recommendation: Recommend(fig2, table1),
+		FailureLog:     BuildFailureLog(records),
 	}, nil
 }
 

@@ -74,7 +74,13 @@ func (s *Simulator) Run(events []trace.Event) (*Result, error) {
 		}(ch)
 	}
 	wg.Wait()
-	return s.assemble(stats, hitRates), nil
+	res := s.assemble(stats, hitRates)
+	// Fail loudly rather than let NaN/Inf/negative metrics flow silently
+	// into downstream datasets.
+	if err := res.ValidateMetrics(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 func (s *Simulator) assemble(stats []ChannelStats, hitRates []float64) *Result {

@@ -1,7 +1,9 @@
 package memsim
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -114,6 +116,23 @@ func (r *Result) MetricVector() []float64 {
 		r.AvgReadsPerChannel,
 		r.AvgWritesPerChannel,
 	}
+}
+
+// ErrInvalidMetrics marks a simulation whose output metrics are unusable
+// (NaN, ±Inf, or negative). Such results must never reach the ML dataset.
+var ErrInvalidMetrics = errors.New("memsim: invalid metrics")
+
+// ValidateMetrics checks the six ML-target metrics for NaN, ±Inf, and
+// negative values. The NVMain runs the paper reports on occasionally
+// completed with garbage statistics; this is the quarantine gate that keeps
+// such results out of the surrogate training corpus.
+func (r *Result) ValidateMetrics() error {
+	for i, v := range r.MetricVector() {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("%w: %s = %v", ErrInvalidMetrics, MetricNames[i], v)
+		}
+	}
+	return nil
 }
 
 // String renders a compact multi-line summary.
