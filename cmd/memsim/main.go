@@ -38,14 +38,13 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	var events []trace.Event
+	// Stream the trace straight into the simulator — paper-scale traces
+	// (91.5M lines) never need to fit in memory as a parsed event slice.
+	var src trace.Source
 	if *binary {
-		events, err = trace.ReadBinary(f)
+		src = trace.NewBinarySource(f)
 	} else {
-		events, err = trace.ReadNVMain(f)
-	}
-	if err != nil {
-		fatal(err)
+		src = trace.NewNVMainSource(f)
 	}
 
 	t := *trcd
@@ -73,7 +72,7 @@ func main() {
 		cfg.Policy = memsim.ClosedPage
 	}
 
-	res, err := memsim.RunTrace(cfg, events)
+	res, err := memsim.RunTraceSource(cfg, src)
 	if err != nil {
 		fatal(err)
 	}

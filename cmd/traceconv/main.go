@@ -1,7 +1,9 @@
 // Command traceconv converts gem5-style traces to the NVMain format. It
 // implements both the sequential baseline and the paper's parallel chunked
 // converter (§III-D), and reports the achieved throughput so the linear
-// speedup can be observed directly.
+// speedup can be observed directly. The parallel path streams: input is cut
+// into line-aligned chunks as it is read, so memory stays bounded at
+// O(workers × chunk) no matter how large the trace is.
 package main
 
 import (

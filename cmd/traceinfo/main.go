@@ -1,11 +1,14 @@
 // Command traceinfo summarizes a memory trace: operation mix, inter-arrival
 // distribution, address-space footprint, working-set estimate, and hot
-// lines — the profile a co-design study starts from.
+// lines — the profile a co-design study starts from. The trace is streamed:
+// memory use is bounded by the working set (distinct 64-byte lines), never
+// by trace length, so paper-scale (91.5M-line) traces summarize in place.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/bits"
 	"os"
 	"sort"
 
@@ -28,44 +31,53 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	var events []trace.Event
+	var src trace.Source
 	if *binary {
-		events, err = trace.ReadBinary(f)
+		src = trace.NewBinarySource(f)
 	} else {
-		events, err = trace.ReadNVMain(f)
+		src = trace.NewNVMainSource(f)
 	}
+
+	// One streaming pass: aggregate stats, a log2 inter-arrival histogram
+	// (constant memory, unlike sorting every gap), and per-line counts
+	// (bounded by the working set, not the trace length).
+	var st trace.Stats
+	var gapHist [65]uint64
+	var gapSum, gapCount uint64
+	var prevCycle uint64
+	lines := map[uint64]int{}
+	err = trace.ForEach(src, func(e trace.Event) error {
+		if st.Events > 0 {
+			g := e.Cycle - prevCycle
+			gapHist[bits.Len64(g)]++
+			gapSum += g
+			gapCount++
+		}
+		prevCycle = e.Cycle
+		st.Add(e)
+		lines[e.Addr/64]++
+		return nil
+	})
 	if err != nil {
 		fatal(err)
 	}
-	if len(events) == 0 {
+	if st.Events == 0 {
 		fatal(fmt.Errorf("empty trace"))
 	}
 
-	st := trace.Summarize(events)
 	fmt.Printf("events        %d (%d reads, %d writes; %.1f%% writes)\n",
 		st.Events, st.Reads, st.Writes, 100*float64(st.Writes)/float64(st.Events))
 	fmt.Printf("cycle span    %d .. %d (%d cycles)\n", st.FirstCycle, st.LastCycle, st.LastCycle-st.FirstCycle)
 	fmt.Printf("address range %#x .. %#x\n", st.MinAddr, st.MaxAddr)
 
-	// Inter-arrival distribution.
-	gaps := make([]uint64, 0, len(events)-1)
-	for i := 1; i < len(events); i++ {
-		gaps = append(gaps, events[i].Cycle-events[i-1].Cycle)
+	if gapCount > 0 {
+		fmt.Printf("inter-arrival mean=%.1f p50≲%d p95≲%d p99≲%d cycles\n",
+			float64(gapSum)/float64(gapCount),
+			gapPercentile(&gapHist, gapCount, 0.50),
+			gapPercentile(&gapHist, gapCount, 0.95),
+			gapPercentile(&gapHist, gapCount, 0.99))
 	}
-	sort.Slice(gaps, func(a, b int) bool { return gaps[a] < gaps[b] })
-	pct := func(q float64) uint64 { return gaps[int(q*float64(len(gaps)-1))] }
-	var sum uint64
-	for _, g := range gaps {
-		sum += g
-	}
-	fmt.Printf("inter-arrival mean=%.1f p50=%d p95=%d p99=%d cycles\n",
-		float64(sum)/float64(len(gaps)), pct(0.5), pct(0.95), pct(0.99))
 
-	// Working set and hot lines at 64-byte granularity.
-	lines := map[uint64]int{}
-	for _, e := range events {
-		lines[e.Addr/64]++
-	}
 	fmt.Printf("working set   %d distinct lines (%.1f KiB)\n", len(lines), float64(len(lines))*64/1024)
 	type hot struct {
 		line  uint64
@@ -79,8 +91,26 @@ func main() {
 	fmt.Printf("hottest lines:\n")
 	for i := 0; i < *top && i < len(hots); i++ {
 		fmt.Printf("  %#x  %d accesses (%.2f%%)\n",
-			hots[i].line*64, hots[i].count, 100*float64(hots[i].count)/float64(len(events)))
+			hots[i].line*64, hots[i].count, 100*float64(hots[i].count)/float64(st.Events))
 	}
+}
+
+// gapPercentile returns the upper bound of the log2 histogram bucket
+// containing quantile q — an approximate percentile that never needs the
+// gaps materialized.
+func gapPercentile(hist *[65]uint64, total uint64, q float64) uint64 {
+	rank := uint64(q * float64(total-1))
+	var seen uint64
+	for b, c := range hist {
+		seen += c
+		if c > 0 && seen > rank {
+			if b == 0 {
+				return 0
+			}
+			return 1<<uint(b) - 1
+		}
+	}
+	return 1<<64 - 1
 }
 
 func fatal(err error) {

@@ -60,6 +60,13 @@ func (a *AdaptiveDSE) Run(events []trace.Event, points []DesignPoint, sweep Swee
 	if len(points) < a.InitialSamples {
 		return nil, fmt.Errorf("%w: %d points for %d initial samples", ErrNoData, len(points), a.InitialSamples)
 	}
+	// Decode once, replay many: the active-learning loop re-simulates the
+	// same trace dozens of times, so share one PreparedTrace across all
+	// oracle calls instead of re-validating the slice per simulation.
+	pt, err := memsim.Prepare(events)
+	if err != nil {
+		return nil, err
+	}
 
 	// Feature pool, min-max scaled over the whole space (features are known
 	// without simulation).
@@ -90,7 +97,7 @@ func (a *AdaptiveDSE) Run(events []trace.Event, points []DesignPoint, sweep Swee
 		if v, ok := cache[i]; ok {
 			return v, nil
 		}
-		r, err := simulateOne(events, points[i], sweep)
+		r, err := simulateOne(pt, points[i], sweep)
 		if err != nil {
 			return 0, err
 		}
@@ -143,9 +150,10 @@ func (a *AdaptiveDSE) Run(events []trace.Event, points []DesignPoint, sweep Swee
 	return res, nil
 }
 
-// simulateOne runs the memory simulator for a single point.
-func simulateOne(events []trace.Event, p DesignPoint, sweep SweepOptions) (*memsim.Result, error) {
-	recs, err := Sweep(events, []DesignPoint{p}, SweepOptions{
+// simulateOne runs the memory simulator for a single point over the shared
+// prepared trace.
+func simulateOne(pt *memsim.PreparedTrace, p DesignPoint, sweep SweepOptions) (*memsim.Result, error) {
+	recs, err := SweepPrepared(pt, []DesignPoint{p}, SweepOptions{
 		FootprintLines: sweep.FootprintLines,
 		Workers:        1,
 	})

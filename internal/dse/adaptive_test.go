@@ -3,6 +3,8 @@ package dse
 import (
 	"math"
 	"testing"
+
+	"graphdse/internal/memsim"
 )
 
 func TestAdaptiveDSEBudgetAndAccuracy(t *testing.T) {
@@ -40,13 +42,17 @@ func TestAdaptiveDSEBudgetAndAccuracy(t *testing.T) {
 	for _, r := range res.Records {
 		explored[r.Point.ID()] = true
 	}
+	pt, err := memsim.Prepare(events)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var checked int
 	var totalRel float64
 	for _, p := range points {
 		if explored[p.ID()] || checked >= 8 {
 			continue
 		}
-		truth, err := simulateOne(events, p, SweepOptions{})
+		truth, err := simulateOne(pt, p, SweepOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,7 +14,6 @@ import (
 	"time"
 
 	"graphdse/internal/memsim"
-	"graphdse/internal/trace"
 )
 
 // ErrTransient marks failures worth retrying (injected transient faults and
@@ -53,8 +52,8 @@ var (
 // point runs supervised with panic recovery, a per-point deadline, bounded
 // retry with backoff for transient faults, and metric validation; completed
 // records stream to an optional JSON-lines checkpoint.
-func sweepEngine(ctx context.Context, events []trace.Event, points []DesignPoint, opts SweepOptions) ([]RunRecord, error) {
-	if len(events) == 0 {
+func sweepEngine(ctx context.Context, pt *memsim.PreparedTrace, points []DesignPoint, opts SweepOptions) ([]RunRecord, error) {
+	if pt == nil || pt.Len() == 0 {
 		return nil, memsim.ErrEmptyTrace
 	}
 	if len(points) == 0 {
@@ -98,7 +97,7 @@ func sweepEngine(ctx context.Context, events []trace.Event, points []DesignPoint
 				if testHookPointStart != nil {
 					testHookPointStart(points[i])
 				}
-				records[i] = runPoint(ctx, events, points[i], opts, inj, ckpt)
+				records[i] = runPoint(ctx, pt, points[i], opts, inj, ckpt)
 				if testHookPointDone != nil {
 					testHookPointDone(points[i])
 				}
@@ -149,7 +148,7 @@ feed:
 
 // runPoint drives one design point to a terminal record: attempt, classify,
 // retry transients with backoff, and checkpoint the outcome.
-func runPoint(ctx context.Context, events []trace.Event, p DesignPoint, opts SweepOptions, inj *FaultInjector, ckpt *checkpointWriter) RunRecord {
+func runPoint(ctx context.Context, pt *memsim.PreparedTrace, p DesignPoint, opts SweepOptions, inj *FaultInjector, ckpt *checkpointWriter) RunRecord {
 	if err := ctx.Err(); err != nil {
 		return RunRecord{Point: p, Failed: true, Err: err, Skipped: true}
 	}
@@ -158,7 +157,7 @@ func runPoint(ctx context.Context, events []trace.Event, p DesignPoint, opts Swe
 	var err error
 	for attempt := 1; ; attempt++ {
 		rec.Attempts = attempt
-		res, err = attemptPoint(ctx, events, p, opts, inj, attempt)
+		res, err = attemptPoint(ctx, pt, p, opts, inj, attempt)
 		if err == nil {
 			break
 		}
@@ -188,7 +187,7 @@ func runPoint(ctx context.Context, events []trace.Event, p DesignPoint, opts Swe
 // goroutine with panic recovery and races against the per-point deadline.
 // On timeout the attempt's goroutine is abandoned (Go cannot kill it) and
 // its eventual result discarded — the price of containing a hung simulator.
-func attemptPoint(ctx context.Context, events []trace.Event, p DesignPoint, opts SweepOptions, inj *FaultInjector, attempt int) (*memsim.Result, error) {
+func attemptPoint(ctx context.Context, pt *memsim.PreparedTrace, p DesignPoint, opts SweepOptions, inj *FaultInjector, attempt int) (*memsim.Result, error) {
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
@@ -207,7 +206,7 @@ func attemptPoint(ctx context.Context, events []trace.Event, p DesignPoint, opts
 			}
 			ch <- o
 		}()
-		o.res, o.err = simulatePoint(ctx, events, p, opts, inj, attempt)
+		o.res, o.err = simulatePoint(ctx, pt, p, opts, inj, attempt)
 	}()
 	select {
 	case o := <-ch:
@@ -219,7 +218,7 @@ func attemptPoint(ctx context.Context, events []trace.Event, p DesignPoint, opts
 
 // simulatePoint applies any injected fault, then runs the memory simulator
 // and validates its metrics.
-func simulatePoint(ctx context.Context, events []trace.Event, p DesignPoint, opts SweepOptions, inj *FaultInjector, attempt int) (*memsim.Result, error) {
+func simulatePoint(ctx context.Context, pt *memsim.PreparedTrace, p DesignPoint, opts SweepOptions, inj *FaultInjector, attempt int) (*memsim.Result, error) {
 	switch inj.Decide(p, attempt) {
 	case FaultCrash:
 		panic(fmt.Sprintf("injected crash for %s", p.ID()))
@@ -229,7 +228,7 @@ func simulatePoint(ctx context.Context, events []trace.Event, p DesignPoint, opt
 	case FaultTransient:
 		return nil, fmt.Errorf("dse: %s attempt %d: %w", p.ID(), attempt, ErrTransient)
 	case FaultCorrupt:
-		res, err := memsim.RunTrace(p.Config(opts.FootprintLines), events)
+		res, err := memsim.RunPreparedTrace(p.Config(opts.FootprintLines), pt)
 		if err != nil {
 			return nil, err
 		}
@@ -240,12 +239,12 @@ func simulatePoint(ctx context.Context, events []trace.Event, p DesignPoint, opt
 		}
 		return &poisoned, nil
 	}
-	res, err := memsim.RunTrace(p.Config(opts.FootprintLines), events)
+	res, err := memsim.RunPreparedTrace(p.Config(opts.FootprintLines), pt)
 	if err != nil {
 		return nil, err
 	}
-	// RunTrace already validates, but guard against future simulator paths
-	// that bypass it.
+	// RunPreparedTrace already validates, but guard against future simulator
+	// paths that bypass it.
 	if err := res.ValidateMetrics(); err != nil {
 		return nil, err
 	}

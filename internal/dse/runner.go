@@ -122,6 +122,10 @@ func (e *SweepFailureError) Error() string {
 // one record per point, in input order. It never lets a single point kill
 // the sweep: panics, hangs, transient errors, and corrupted metrics are
 // contained in the point's record (see SweepContext for cancellation).
+//
+// The trace is validated and decoded exactly once, then shared read-only
+// across all points; callers sweeping the same trace repeatedly (or holding
+// it only as a stream) should use SweepPrepared directly.
 func Sweep(events []trace.Event, points []DesignPoint, opts SweepOptions) ([]RunRecord, error) {
 	return SweepContext(context.Background(), events, points, opts)
 }
@@ -132,7 +136,27 @@ func Sweep(events []trace.Event, points []DesignPoint, opts SweepOptions) ([]Run
 // error. Combined with CheckpointPath, a cancelled sweep resumes from its
 // completed records.
 func SweepContext(ctx context.Context, events []trace.Event, points []DesignPoint, opts SweepOptions) ([]RunRecord, error) {
-	return sweepEngine(ctx, events, points, opts)
+	if len(events) == 0 {
+		return nil, memsim.ErrEmptyTrace
+	}
+	pt, err := memsim.Prepare(events)
+	if err != nil {
+		return nil, err
+	}
+	return sweepEngine(ctx, pt, points, opts)
+}
+
+// SweepPrepared sweeps an already-prepared trace — the decode-once,
+// replay-many path. The PreparedTrace is shared read-only by all workers, so
+// per-point cost is address mapping and queueing only.
+func SweepPrepared(pt *memsim.PreparedTrace, points []DesignPoint, opts SweepOptions) ([]RunRecord, error) {
+	return SweepPreparedContext(context.Background(), pt, points, opts)
+}
+
+// SweepPreparedContext is SweepPrepared with caller-controlled cancellation
+// (see SweepContext).
+func SweepPreparedContext(ctx context.Context, pt *memsim.PreparedTrace, points []DesignPoint, opts SweepOptions) ([]RunRecord, error) {
+	return sweepEngine(ctx, pt, points, opts)
 }
 
 // Survivors filters out failed records.

@@ -155,13 +155,19 @@ func RunWorkflowContext(ctx context.Context, opts WorkflowOptions) (*WorkflowRes
 	if err != nil {
 		return nil, fmt.Errorf("system simulation: %w", err)
 	}
-	events := machine.Trace()
+	// Stream the recorded trace straight into the sweep-shared prepared
+	// form: one validation/decode pass for the entire pipeline, with no
+	// intermediate trace copy.
+	pt, err := memsim.PrepareSource(machine.TraceSource())
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
 	sweepOpts := opts.Sweep
 	if sweepOpts.FootprintLines == 0 {
 		sweepOpts.FootprintLines = int(machine.Layout().Footprint()) / 64
 	}
 	points := EnumerateSpace(opts.Space)
-	records, err := SweepContext(ctx, events, points, sweepOpts)
+	records, err := SweepPreparedContext(ctx, pt, points, sweepOpts)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
@@ -175,8 +181,8 @@ func RunWorkflowContext(ctx context.Context, opts WorkflowOptions) (*WorkflowRes
 	}
 	fig2 := BuildFigure2(records)
 	return &WorkflowResult{
-		TraceEvents:    len(events),
-		TraceStats:     trace.Summarize(events),
+		TraceEvents:    pt.Len(),
+		TraceStats:     pt.Stats(),
 		Records:        records,
 		SurvivorCount:  ds.Len(),
 		Dataset:        ds,

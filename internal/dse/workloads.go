@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"graphdse/internal/graph"
+	"graphdse/internal/memsim"
 	"graphdse/internal/sysim"
 	"graphdse/internal/trace"
 )
@@ -98,19 +99,25 @@ func CompareWorkloads(cfg sysim.Config, specs []WorkloadSpec, space SpaceParams,
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", spec.Label(), err)
 		}
+		// Prepare once per workload; the sweep shares the decoded trace
+		// across every design point.
+		pt, err := memsim.Prepare(events)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Label(), err)
+		}
 		so := sweep
 		if so.FootprintLines == 0 {
 			so.FootprintLines = footprint
 		}
 		points := EnumerateSpace(space)
-		records, err := Sweep(events, points, so)
+		records, err := SweepPrepared(pt, points, so)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", spec.Label(), err)
 		}
 		fig2 := BuildFigure2(records)
 		out = append(out, WorkloadComparison{
 			Spec:           spec,
-			TraceEvents:    len(events),
+			TraceEvents:    pt.Len(),
 			Recommendation: Recommend(fig2, nil),
 			Figure2:        fig2,
 		})

@@ -1,0 +1,178 @@
+package memsim
+
+import (
+	"io"
+
+	"graphdse/internal/trace"
+)
+
+// PreparedTrace is a trace validated and decoded exactly once into an
+// immutable, sweep-shareable form. A design-space sweep replays the same
+// trace against hundreds of configurations (416 in the paper); preparing it
+// once drops the per-point work to address mapping and queueing — no
+// re-validation, no re-decoding, no per-point copy of the event slice. The
+// struct-of-arrays layout also streams through the cache better than
+// []trace.Event during partitioning.
+//
+// A PreparedTrace is safe for concurrent use by any number of simulators.
+type PreparedTrace struct {
+	cycles []uint64
+	addrs  []uint64
+	writes []bool
+	stats  trace.Stats
+}
+
+// Prepare validates and decodes events into a PreparedTrace.
+func Prepare(events []trace.Event) (*PreparedTrace, error) {
+	p := newPreparedTrace(len(events))
+	if err := p.append(events); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PrepareSource drains a trace stream into a PreparedTrace, validating each
+// event exactly once. Only the decoded arrays are retained; the stream
+// itself is never materialized as []trace.Event.
+func PrepareSource(src trace.Source) (*PreparedTrace, error) {
+	p := newPreparedTrace(0)
+	batch := make([]trace.Event, trace.DefaultBatch)
+	for {
+		n, err := src.Next(batch)
+		if aerr := p.append(batch[:n]); aerr != nil {
+			return nil, aerr
+		}
+		if err == io.EOF {
+			return p, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func newPreparedTrace(capHint int) *PreparedTrace {
+	return &PreparedTrace{
+		cycles: make([]uint64, 0, capHint),
+		addrs:  make([]uint64, 0, capHint),
+		writes: make([]bool, 0, capHint),
+	}
+}
+
+func (p *PreparedTrace) append(events []trace.Event) error {
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		p.cycles = append(p.cycles, e.Cycle)
+		p.addrs = append(p.addrs, e.Addr)
+		p.writes = append(p.writes, e.Op == trace.Write)
+		p.stats.Add(e)
+	}
+	return nil
+}
+
+// Len returns the number of events in the prepared trace.
+func (p *PreparedTrace) Len() int { return len(p.cycles) }
+
+// Stats returns the aggregate trace statistics gathered during preparation.
+func (p *PreparedTrace) Stats() trace.Stats { return p.stats }
+
+// Events reconstructs the trace as a fresh []trace.Event slice. The thread
+// tag is not retained by preparation (the simulator does not consume it), so
+// reconstructed events carry thread 0.
+func (p *PreparedTrace) Events() []trace.Event {
+	out := make([]trace.Event, len(p.cycles))
+	for i := range out {
+		op := trace.Read
+		if p.writes[i] {
+			op = trace.Write
+		}
+		out[i] = trace.Event{Cycle: p.cycles[i], Op: op, Addr: p.addrs[i]}
+	}
+	return out
+}
+
+// RunPrepared replays a prepared trace. Events are not re-validated — that
+// happened once at Prepare time — so per-point cost is address mapping,
+// partitioning, and channel simulation only.
+func (s *Simulator) RunPrepared(p *PreparedTrace) (*Result, error) {
+	n := p.Len()
+	if n == 0 {
+		return nil, ErrEmptyTrace
+	}
+	cfg := &s.cfg
+	ratio := cfg.CtrlFreqMHz / cfg.CPUFreqMHz
+	// Presize channel queues assuming a roughly uniform interleave, with
+	// slack so skewed mappings rarely reallocate.
+	capHint := n/cfg.Channels + n/8 + 8
+	perChannel := make([][]request, cfg.Channels)
+	for ch := range perChannel {
+		perChannel[ch] = make([]request, 0, capHint)
+	}
+	for i := 0; i < n; i++ {
+		loc := s.mapper.Map(p.addrs[i])
+		perChannel[loc.Channel] = append(perChannel[loc.Channel], request{
+			arrival: uint64(float64(p.cycles[i]) * ratio),
+			write:   p.writes[i],
+			loc:     loc,
+		})
+	}
+	return s.runPartitioned(perChannel)
+}
+
+// RunSource replays a trace stream in one pass without materializing it as
+// []trace.Event: each batch is validated, mapped, and partitioned into the
+// per-channel queues as it arrives. Memory use is the simulator's working
+// form (per-channel request queues) plus one batch.
+func (s *Simulator) RunSource(src trace.Source) (*Result, error) {
+	cfg := &s.cfg
+	ratio := cfg.CtrlFreqMHz / cfg.CPUFreqMHz
+	perChannel := make([][]request, cfg.Channels)
+	batch := make([]trace.Event, trace.DefaultBatch)
+	total := 0
+	for {
+		n, err := src.Next(batch)
+		for _, e := range batch[:n] {
+			if verr := e.Validate(); verr != nil {
+				return nil, verr
+			}
+			loc := s.mapper.Map(e.Addr)
+			perChannel[loc.Channel] = append(perChannel[loc.Channel], request{
+				arrival: uint64(float64(e.Cycle) * ratio),
+				write:   e.Op == trace.Write,
+				loc:     loc,
+			})
+		}
+		total += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if total == 0 {
+		return nil, ErrEmptyTrace
+	}
+	return s.runPartitioned(perChannel)
+}
+
+// RunPreparedTrace is the PreparedTrace analog of RunTrace: build a
+// simulator for cfg and replay the prepared trace in one call.
+func RunPreparedTrace(cfg Config, p *PreparedTrace) (*Result, error) {
+	sim, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunPrepared(p)
+}
+
+// RunTraceSource is the streaming analog of RunTrace.
+func RunTraceSource(cfg Config, src trace.Source) (*Result, error) {
+	sim, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunSource(src)
+}

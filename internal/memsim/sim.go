@@ -39,6 +39,9 @@ type request struct {
 
 // Run replays events (CPU-cycle timestamps, ascending) and returns the
 // aggregated metrics. Channels are independent and simulated in parallel.
+// For sweeps replaying the same trace against many configurations, prefer
+// Prepare + RunPrepared, which validates and decodes the trace once; for
+// traces too large to hold in memory, use RunSource.
 func (s *Simulator) Run(events []trace.Event) (*Result, error) {
 	if len(events) == 0 {
 		return nil, ErrEmptyTrace
@@ -57,7 +60,14 @@ func (s *Simulator) Run(events []trace.Event) (*Result, error) {
 			loc:     loc,
 		})
 	}
+	return s.runPartitioned(perChannel)
+}
 
+// runPartitioned simulates the already-partitioned per-channel request
+// queues and assembles the result — the shared back half of Run,
+// RunPrepared, and RunSource.
+func (s *Simulator) runPartitioned(perChannel [][]request) (*Result, error) {
+	cfg := &s.cfg
 	stats := make([]ChannelStats, cfg.Channels)
 	hitRates := make([]float64, cfg.Channels)
 	var wg sync.WaitGroup

@@ -121,7 +121,7 @@ func TraceBFSParallel(m *Machine, g *graph.CSR, root uint32, threads int) (*Work
 		Visited:     visited,
 		Iterations:  iterations,
 		FinalCycle:  m.Cycle(),
-		TraceEvents: len(m.Trace()),
+		TraceEvents: m.TraceLen(),
 	}, nil
 }
 

@@ -1,0 +1,154 @@
+package sysim
+
+import (
+	"errors"
+	"testing"
+
+	"graphdse/internal/trace"
+)
+
+// runSmallWorkload drives a fixed access pattern so slice mode and sink
+// mode can be compared event for event.
+func runSmallWorkload(m *Machine) {
+	for i := 0; i < 200; i++ {
+		m.Compute(3)
+		m.Load(uint64(0x1000+64*i), 8)
+		if i%4 == 0 {
+			m.Store(uint64(0x8000+64*(i%32)), 8)
+		}
+	}
+}
+
+func TestSinkModeMatchesSliceMode(t *testing.T) {
+	ms, err := NewMachine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSmallWorkload(ms)
+	want := ms.Trace()
+
+	mk, err := NewMachine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink trace.SliceSink
+	mk.SetSink(&sink)
+	runSmallWorkload(mk)
+	if err := mk.FlushTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Events) != len(want) {
+		t.Fatalf("sink captured %d events, slice mode %d", len(sink.Events), len(want))
+	}
+	for i := range want {
+		if sink.Events[i] != want[i] {
+			t.Fatalf("event %d: sink %+v vs slice %+v", i, sink.Events[i], want[i])
+		}
+	}
+	if mk.TraceLen() != 0 {
+		t.Fatalf("sink mode still accumulated %d events in memory", mk.TraceLen())
+	}
+}
+
+func TestSinkModeKeepsStats(t *testing.T) {
+	ms, _ := NewMachine(DefaultConfig())
+	runSmallWorkload(ms)
+	mk, _ := NewMachine(DefaultConfig())
+	var sink trace.SliceSink
+	mk.SetSink(&sink)
+	runSmallWorkload(mk)
+	if err := mk.FlushTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Stats() != mk.Stats() {
+		t.Fatalf("stats diverge: slice %+v vs sink %+v", ms.Stats(), mk.Stats())
+	}
+}
+
+type failingSink struct{ err error }
+
+func (f *failingSink) Emit([]trace.Event) error { return f.err }
+
+func TestFlushTraceReportsSinkError(t *testing.T) {
+	m, _ := NewMachine(DefaultConfig())
+	want := errors.New("disk full")
+	m.SetSink(&failingSink{err: want})
+	runSmallWorkload(m)
+	if err := m.FlushTrace(); !errors.Is(err, want) {
+		t.Fatalf("FlushTrace err = %v, want %v", err, want)
+	}
+}
+
+func TestSetSinkNilReturnsToSliceMode(t *testing.T) {
+	m, _ := NewMachine(DefaultConfig())
+	var sink trace.SliceSink
+	m.SetSink(&sink)
+	m.Load(0x1000, 8)
+	m.SetSink(nil) // flushes the pending buffer first
+	m.Load(0x2000, 8)
+	if err := m.FlushTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Events) != 1 {
+		t.Fatalf("sink got %d events, want 1", len(sink.Events))
+	}
+	if m.TraceLen() != 1 {
+		t.Fatalf("slice mode recorded %d events after SetSink(nil), want 1", m.TraceLen())
+	}
+}
+
+// TestTraceDefensiveCopy: mutating the slice Trace() returns must not
+// corrupt the machine's internal record.
+func TestTraceDefensiveCopy(t *testing.T) {
+	m, _ := NewMachine(DefaultConfig())
+	m.Load(0x1000, 8)
+	m.Store(0x2000, 8)
+	got := m.Trace()
+	got[0].Addr = 0xdead
+	got[1].Op = 'Q'
+	again := m.Trace()
+	if again[0].Addr == 0xdead || again[1].Op == 'Q' {
+		t.Fatal("Trace() exposed internal state: mutation visible on next call")
+	}
+}
+
+func TestTraceSourceStreamsRecordedEvents(t *testing.T) {
+	m, _ := NewMachine(DefaultConfig())
+	m.Load(0x1000, 8)
+	m.Load(0x2000, 8)
+	got, err := trace.Collect(m.TraceSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Trace()
+	if len(got) != len(want) {
+		t.Fatalf("source yielded %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+// TestSinkModeStreamsLongWorkload exercises multiple internal buffer
+// flushes (workload emits well over sinkBufCap events).
+func TestSinkModeStreamsLongWorkload(t *testing.T) {
+	m, _ := NewMachine(DefaultConfig())
+	var sink trace.SliceSink
+	m.SetSink(&sink)
+	for i := 0; i < 2000; i++ {
+		m.Load(uint64(0x1000+64*i), 8)
+	}
+	if err := m.FlushTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Events) != 2000 {
+		t.Fatalf("sink captured %d events, want 2000", len(sink.Events))
+	}
+	for i := 1; i < len(sink.Events); i++ {
+		if sink.Events[i].Cycle < sink.Events[i-1].Cycle {
+			t.Fatalf("cycle regression at %d", i)
+		}
+	}
+}

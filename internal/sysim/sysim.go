@@ -83,7 +83,17 @@ type Machine struct {
 	l1, l2 *cache
 	events []trace.Event
 	stats  Stats
+	// Streaming emit path: when sink is set, events flow through sinkBuf
+	// (a small bounded buffer) into the sink instead of growing events.
+	sink    trace.Sink
+	sinkBuf []trace.Event
+	sinkErr error
 }
+
+// sinkBufCap sizes the bounded emit buffer used in sink mode — large enough
+// to amortize Sink.Emit calls, small enough to keep the machine's memory
+// footprint constant regardless of trace length.
+const sinkBufCap = 512
 
 // NewMachine builds a machine.
 func NewMachine(cfg Config) (*Machine, error) {
@@ -128,7 +138,9 @@ func (m *Machine) SetClock(c uint64) {
 }
 
 // SortTrace stable-sorts the recorded events by cycle, restoring global
-// time order after parallel-section tracing.
+// time order after parallel-section tracing. It only reorders events
+// recorded in slice mode; events already streamed to a sink are past
+// recall, so parallel tracing (SetClock rewinds) requires slice mode.
 func (m *Machine) SortTrace() {
 	sort.SliceStable(m.events, func(a, b int) bool {
 		return m.events[a].Cycle < m.events[b].Cycle
@@ -141,8 +153,58 @@ func (m *Machine) Cycle() uint64 { return m.cycle }
 // Stats returns a copy of the execution counters.
 func (m *Machine) Stats() Stats { return m.stats }
 
-// Trace returns the recorded main-memory events.
-func (m *Machine) Trace() []trace.Event { return m.events }
+// Trace returns a copy of the recorded main-memory events. The copy is
+// defensive: callers can sort, truncate, or retag it without corrupting the
+// machine's internal state (use TraceSource for a zero-copy read-only
+// view). In sink mode only events recorded before SetSink are returned.
+func (m *Machine) Trace() []trace.Event {
+	return append([]trace.Event(nil), m.events...)
+}
+
+// TraceLen returns the number of recorded events without copying the trace.
+func (m *Machine) TraceLen() int { return len(m.events) }
+
+// TraceSource returns a zero-copy streaming view of the recorded events.
+// The view is invalidated by further simulation or SortTrace; drain it (or
+// hand it straight to a consumer like memsim.PrepareSource) before running
+// more work on the machine.
+func (m *Machine) TraceSource() trace.Source { return trace.NewSliceSource(m.events) }
+
+// SetSink switches the machine to streaming emit: subsequent main-memory
+// events are buffered (bounded at sinkBufCap) and flushed to sink instead
+// of accumulating in the in-memory trace, so arbitrarily long workloads
+// trace in constant memory. Call FlushTrace after the workload to drain the
+// buffer and observe any sink error. Passing nil returns the machine to
+// slice recording. Sink mode assumes in-order emission: it is incompatible
+// with SortTrace-based parallel tracing.
+func (m *Machine) SetSink(s trace.Sink) {
+	if m.sink != nil {
+		m.flushSinkBuf()
+	}
+	m.sink = s
+	if s != nil && m.sinkBuf == nil {
+		m.sinkBuf = make([]trace.Event, 0, sinkBufCap)
+	}
+}
+
+// FlushTrace drains the bounded emit buffer into the sink and reports the
+// first error any Emit returned. It is a no-op in slice mode.
+func (m *Machine) FlushTrace() error {
+	if m.sink != nil {
+		m.flushSinkBuf()
+	}
+	return m.sinkErr
+}
+
+func (m *Machine) flushSinkBuf() {
+	if len(m.sinkBuf) == 0 {
+		return
+	}
+	if err := m.sink.Emit(m.sinkBuf); err != nil && m.sinkErr == nil {
+		m.sinkErr = err
+	}
+	m.sinkBuf = m.sinkBuf[:0]
+}
 
 // Compute advances the clock by n scaled cycles of non-memory work.
 func (m *Machine) Compute(n int) {
@@ -234,7 +296,8 @@ func (m *Machine) accessLine(lineAddr uint64, write bool) {
 	}
 }
 
-// emit records a main-memory event at the current cycle.
+// emit records a main-memory event at the current cycle — into the bounded
+// sink buffer in streaming mode, into the in-memory trace otherwise.
 func (m *Machine) emit(addr uint64, write bool) {
 	op := trace.Read
 	if write {
@@ -243,7 +306,15 @@ func (m *Machine) emit(addr uint64, write bool) {
 	} else {
 		m.stats.MemReads++
 	}
-	m.events = append(m.events, trace.Event{Cycle: m.cycle, Op: op, Addr: addr, Thread: m.thread})
+	e := trace.Event{Cycle: m.cycle, Op: op, Addr: addr, Thread: m.thread}
+	if m.sink != nil {
+		m.sinkBuf = append(m.sinkBuf, e)
+		if len(m.sinkBuf) == cap(m.sinkBuf) {
+			m.flushSinkBuf()
+		}
+		return
+	}
+	m.events = append(m.events, e)
 }
 
 // Flush writes back all dirty cached lines to memory (end-of-run barrier),

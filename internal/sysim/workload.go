@@ -129,7 +129,7 @@ func TraceBFS(m *Machine, g *graph.CSR, root uint32, includeBuild bool) (*Worklo
 		Visited:     visited,
 		Iterations:  iterations,
 		FinalCycle:  m.Cycle(),
-		TraceEvents: len(m.Trace()),
+		TraceEvents: m.TraceLen(),
 	}, nil
 }
 
@@ -176,7 +176,7 @@ func TracePageRank(m *Machine, g *graph.CSR, iters int) (*WorkloadResult, error)
 		Visited:     n,
 		Iterations:  iters,
 		FinalCycle:  m.Cycle(),
-		TraceEvents: len(m.Trace()),
+		TraceEvents: m.TraceLen(),
 	}, nil
 }
 
@@ -223,7 +223,7 @@ func TraceConnectedComponents(m *Machine, g *graph.CSR) (*WorkloadResult, error)
 		Visited:     n,
 		Iterations:  iterations,
 		FinalCycle:  m.Cycle(),
-		TraceEvents: len(m.Trace()),
+		TraceEvents: m.TraceLen(),
 	}, nil
 }
 
@@ -285,7 +285,7 @@ func TraceSSSP(m *Machine, g *graph.CSR, source uint32) (*WorkloadResult, error)
 		Visited:     visited,
 		Iterations:  iterations,
 		FinalCycle:  m.Cycle(),
-		TraceEvents: len(m.Trace()),
+		TraceEvents: m.TraceLen(),
 	}, nil
 }
 

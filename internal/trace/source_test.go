@@ -1,0 +1,421 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// drainN drains src with the given batch size, exercising batch-boundary
+// handling that Collect (DefaultBatch) would skip over.
+func drainN(t *testing.T, src Source, batchSize int) []Event {
+	t.Helper()
+	var out []Event
+	batch := make([]Event, batchSize)
+	for {
+		n, err := src.Next(batch)
+		if n > 0 && err != nil {
+			t.Fatalf("Next returned n=%d with err=%v", n, err)
+		}
+		out = append(out, batch[:n]...)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSliceSourceRoundTrip(t *testing.T) {
+	events := randomEvents(1000, 1)
+	for _, bs := range []int{1, 7, 256, 4096} {
+		got := drainN(t, NewSliceSource(events), bs)
+		if len(got) != len(events) {
+			t.Fatalf("batch=%d: %d events, want %d", bs, len(got), len(events))
+		}
+		for i := range got {
+			if got[i] != events[i] {
+				t.Fatalf("batch=%d: event %d differs", bs, i)
+			}
+		}
+	}
+}
+
+func TestSliceSourceEmpty(t *testing.T) {
+	n, err := NewSliceSource(nil).Next(make([]Event, 8))
+	if n != 0 || err != io.EOF {
+		t.Fatalf("Next on empty = %d, %v", n, err)
+	}
+}
+
+func TestCollectMatchesSlice(t *testing.T) {
+	events := randomEvents(9000, 2) // > 2×DefaultBatch
+	got, err := Collect(NewSliceSource(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("Collect lost events: %d of %d", len(got), len(events))
+	}
+}
+
+func TestCopyToSliceSink(t *testing.T) {
+	events := randomEvents(500, 3)
+	var sink SliceSink
+	n, err := Copy(&sink, NewSliceSource(events))
+	if err != nil || n != int64(len(events)) {
+		t.Fatalf("Copy = %d, %v", n, err)
+	}
+	for i := range sink.Events {
+		if sink.Events[i] != events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+// Every (writer, streaming reader) pair must round-trip exactly and agree
+// with the slice readers.
+func TestStreamingReadersMatchSliceReaders(t *testing.T) {
+	events := randomEvents(5000, 4)
+
+	t.Run("nvmain", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := WriteNVMain(&buf, events); err != nil {
+			t.Fatal(err)
+		}
+		got := drainN(t, NewNVMainSource(bytes.NewReader(buf.Bytes())), 777)
+		want, err := ReadNVMain(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareEvents(t, got, want)
+	})
+
+	t.Run("gem5", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := WriteGem5(&buf, events, 500); err != nil {
+			t.Fatal(err)
+		}
+		got := drainN(t, NewGem5Source(bytes.NewReader(buf.Bytes()), 500), 777)
+		want, err := ReadGem5(bytes.NewReader(buf.Bytes()), 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareEvents(t, got, want)
+	})
+
+	t.Run("binary", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, events); err != nil {
+			t.Fatal(err)
+		}
+		got := drainN(t, NewBinarySource(bytes.NewReader(buf.Bytes())), 777)
+		want, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareEvents(t, got, want)
+	})
+}
+
+func compareEvents(t *testing.T, got, want []Event) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// Streaming sinks must produce output byte-identical to the slice writers,
+// regardless of how emissions are batched.
+func TestSinksMatchSliceWriters(t *testing.T) {
+	events := randomEvents(3000, 5)
+	emitChunked := func(s Sink, chunk int) error {
+		for i := 0; i < len(events); i += chunk {
+			end := i + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			if err := s.Emit(events[i:end]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var want, got bytes.Buffer
+	if err := WriteNVMain(&want, events); err != nil {
+		t.Fatal(err)
+	}
+	ns := NewNVMainSink(&got)
+	if err := emitChunked(ns, 123); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("NVMainSink output differs from WriteNVMain")
+	}
+
+	want.Reset()
+	got.Reset()
+	if err := WriteGem5(&want, events, 500); err != nil {
+		t.Fatal(err)
+	}
+	gs := NewGem5Sink(&got, 500)
+	if err := emitChunked(gs, 123); err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("Gem5Sink output differs from WriteGem5")
+	}
+
+	want.Reset()
+	got.Reset()
+	if err := WriteBinary(&want, events); err != nil {
+		t.Fatal(err)
+	}
+	bs := NewBinarySink(&got)
+	if err := emitChunked(bs, 123); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("BinarySink output differs from WriteBinary")
+	}
+}
+
+func TestBinarySinkEmptyFlushWritesHeader(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewBinarySink(&buf)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty sink produced %d events", len(got))
+	}
+}
+
+func TestSourcesRejectMalformedInput(t *testing.T) {
+	src := NewNVMainSource(bytes.NewReader([]byte("10 R 0x40 0\nbogus line\n")))
+	batch := make([]Event, 8)
+	n, err := src.Next(batch)
+	if n != 1 || err != nil {
+		t.Fatalf("first Next = %d, %v; want the valid prefix", n, err)
+	}
+	if _, err := src.Next(batch); !errors.Is(err, ErrFormat) {
+		t.Fatalf("second Next err = %v, want ErrFormat", err)
+	}
+
+	if _, err := NewBinarySource(bytes.NewReader([]byte("not a trace"))).Next(batch); !errors.Is(err, ErrFormat) {
+		t.Fatalf("binary bad magic err = %v", err)
+	}
+}
+
+// mergeLinearReference is the pre-refactor O(k·n) Merge, kept as the oracle
+// the heap-based implementation must match byte-for-byte.
+func mergeLinearReference(addrStride uint64, traces ...[]Event) []Event {
+	total := 0
+	for _, tr := range traces {
+		total += len(tr)
+	}
+	out := make([]Event, 0, total)
+	idx := make([]int, len(traces))
+	for {
+		best := -1
+		var bestCycle uint64
+		for ti, tr := range traces {
+			if idx[ti] >= len(tr) {
+				continue
+			}
+			c := tr[idx[ti]].Cycle
+			if best < 0 || c < bestCycle {
+				best, bestCycle = ti, c
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		e := traces[best][idx[best]]
+		e.Addr += uint64(best) * addrStride
+		e.Thread = uint8(best)
+		out = append(out, e)
+		idx[best]++
+	}
+}
+
+func TestMergeMatchesLinearReference(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 8, 16} {
+		traces := make([][]Event, k)
+		for i := range traces {
+			traces[i] = randomEvents(200+37*i, int64(i+1))
+		}
+		want := mergeLinearReference(1<<20, traces...)
+		got := Merge(1<<20, traces...)
+		compareEvents(t, got, want)
+	}
+}
+
+func TestMergeTieBreaksByInputOrder(t *testing.T) {
+	a := []Event{{Cycle: 5, Op: Read, Addr: 1}, {Cycle: 5, Op: Read, Addr: 2}}
+	b := []Event{{Cycle: 5, Op: Write, Addr: 3}}
+	c := []Event{{Cycle: 5, Op: Read, Addr: 4}}
+	got := Merge(0, a, b, c)
+	want := mergeLinearReference(0, a, b, c)
+	compareEvents(t, got, want)
+	// All cycle-5 events from input 0 must precede input 1's, etc.
+	if got[0].Thread != 0 || got[1].Thread != 0 || got[2].Thread != 1 || got[3].Thread != 2 {
+		t.Fatalf("tie-break order broken: %+v", got)
+	}
+}
+
+func TestPropMergeEquivalence(t *testing.T) {
+	f := func(seedA, seedB, seedC int64, stride16 uint16) bool {
+		traces := [][]Event{
+			randomEvents(int(seedA%150+150)%150+1, seedA),
+			randomEvents(int(seedB%150+150)%150+1, seedB),
+			randomEvents(int(seedC%150+150)%150+1, seedC),
+		}
+		stride := uint64(stride16) << 10
+		want := mergeLinearReference(stride, traces...)
+		got := Merge(stride, traces...)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeSourcesStreamsEmptyInputs(t *testing.T) {
+	a := randomEvents(10, 6)
+	got, err := Collect(MergeSources(0, NewSliceSource(nil), NewSliceSource(a), NewSliceSource(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mergeLinearReference(0, nil, a, nil)
+	compareEvents(t, got, want)
+}
+
+func TestMergeSourcesPropagatesError(t *testing.T) {
+	bad := NewNVMainSource(bytes.NewReader([]byte("garbage\n")))
+	good := NewSliceSource(randomEvents(5, 7))
+	if _, err := Collect(MergeSources(0, good, bad)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestSummarizeSourceMatchesSummarize(t *testing.T) {
+	events := randomEvents(6000, 8)
+	want := Summarize(events)
+	got, err := SummarizeSource(NewSliceSource(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("SummarizeSource = %+v, want %+v", got, want)
+	}
+}
+
+func TestConvertStreamMatchesSequential(t *testing.T) {
+	input, _ := gem5Corpus(t, 1500, 11)
+	var seq bytes.Buffer
+	if _, err := ConvertSequential(bytes.NewReader(input), &seq, 500); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, chunk := range []int{512, 4096, 1 << 20} {
+			var out bytes.Buffer
+			st, err := ConvertStream(bytes.NewReader(input), &out, 500, workers, chunk)
+			if err != nil {
+				t.Fatalf("workers=%d chunk=%d: %v", workers, chunk, err)
+			}
+			if !bytes.Equal(seq.Bytes(), out.Bytes()) {
+				t.Fatalf("workers=%d chunk=%d: streaming output differs from sequential", workers, chunk)
+			}
+			if st.Workers != workers {
+				t.Fatalf("Workers = %d", st.Workers)
+			}
+		}
+	}
+}
+
+// onePassReader fails the test if anything tries to rewind or re-read it,
+// proving the converter consumes its input as a forward-only stream.
+type onePassReader struct {
+	r io.Reader
+}
+
+func (o *onePassReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+func TestConvertStreamForwardOnly(t *testing.T) {
+	input, events := gem5Corpus(t, 800, 12)
+	var out bytes.Buffer
+	st, err := ConvertStream(&onePassReader{bytes.NewReader(input)}, &out, 500, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventsOut != int64(len(events)) {
+		t.Fatalf("EventsOut = %d, want %d", st.EventsOut, len(events))
+	}
+	got, err := ReadNVMain(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareEvents(t, got, events)
+}
+
+func TestConvertStreamEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	st, err := ConvertStream(bytes.NewReader(nil), &out, 500, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventsOut != 0 || out.Len() != 0 {
+		t.Fatalf("empty input produced output: %+v", st)
+	}
+}
+
+func TestConvertStreamPropagatesParseError(t *testing.T) {
+	input := []byte("12: system.cpu.dcache: ReadReq addr=0xZZ size=8\n")
+	var out bytes.Buffer
+	if _, err := ConvertStream(bytes.NewReader(input), &out, 1, 2, 16); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestConvertStreamNoTrailingNewline(t *testing.T) {
+	input := []byte("100: system.cpu.dcache: ReadReq addr=0x40 size=8 thread=1")
+	var out bytes.Buffer
+	st, err := ConvertStream(bytes.NewReader(input), &out, 1, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventsOut != 1 {
+		t.Fatalf("EventsOut = %d", st.EventsOut)
+	}
+}

@@ -130,11 +130,25 @@ func WriteNVMain(w io.Writer, events []Event) error {
 		if err := e.Validate(); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(bw, "%d %c 0x%X %d\n", e.Cycle, e.Op, e.Addr, e.Thread); err != nil {
+		if err := appendNVMainLine(bw, e); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// appendNVMainLine writes one event as an NVMain text line, byte-identical
+// to fmt.Fprintf(w, "%d %c 0x%X %d\n", ...) but without the fmt overhead.
+func appendNVMainLine(bw *bufio.Writer, e Event) error {
+	var numBuf [20]byte
+	bw.Write(strconv.AppendUint(numBuf[:0], e.Cycle, 10))
+	bw.WriteByte(' ')
+	bw.WriteByte(byte(e.Op))
+	bw.WriteString(" 0x")
+	bw.Write(upperHex(numBuf[:0], e.Addr))
+	bw.WriteByte(' ')
+	bw.Write(strconv.AppendUint(numBuf[:0], uint64(e.Thread), 10))
+	return bw.WriteByte('\n')
 }
 
 // ParseNVMainLine parses one NVMain-format line.
