@@ -11,11 +11,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
 	"time"
 
+	"graphdse/internal/artifact"
 	"graphdse/internal/dse"
 )
 
@@ -38,6 +40,8 @@ func main() {
 
 		checkpoint   = flag.String("checkpoint", "", "append completed sweep records to this JSON-lines file")
 		resume       = flag.Bool("resume", false, "resume from -checkpoint, skipping already-completed points")
+		strictCkpt   = flag.Bool("strict-checkpoint", false, "fail resume on malformed interior checkpoint lines instead of re-running them")
+		checkedCSV   = flag.Bool("checked-csv", false, "wrap the -csv export in the checksummed artifact container")
 		timeout      = flag.Duration("timeout", 0, "per-configuration simulation deadline (0 = none)")
 		retries      = flag.Int("retries", 0, "retries for transient simulation faults")
 		minSurvivors = flag.Int("min-survivors", 0, "fail unless at least this many configurations survive the sweep")
@@ -63,6 +67,13 @@ func main() {
 	}
 	opts.Sweep.CheckpointPath = *checkpoint
 	opts.Sweep.Resume = *resume
+	opts.Sweep.StrictCheckpoint = *strictCkpt
+	opts.Sweep.OnCheckpointSalvage = func(rep *dse.CheckpointReport) {
+		fmt.Fprintln(os.Stderr, "dse: resume salvage:", rep)
+		for _, s := range rep.Sample {
+			fmt.Fprintln(os.Stderr, "dse:   ", s)
+		}
+	}
 	opts.Sweep.Timeout = *timeout
 	opts.Sweep.Retries = *retries
 	opts.Sweep.MinSurvivors = *minSurvivors
@@ -153,16 +164,14 @@ func main() {
 		}
 	}
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+		// Atomic: readers of the export never observe a half-written file.
+		err := artifact.WriteFileAtomic(*csvPath, 0o644, func(w io.Writer) error {
+			if *checkedCSV {
+				return dse.WriteCSVChecked(w, res.Dataset)
+			}
+			return dse.WriteCSV(w, res.Dataset)
+		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dse:", err)
-			os.Exit(1)
-		}
-		if err := dse.WriteCSV(f, res.Dataset); err != nil {
-			fmt.Fprintln(os.Stderr, "dse:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "dse:", err)
 			os.Exit(1)
 		}

@@ -7,8 +7,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"graphdse/internal/artifact"
 	"graphdse/internal/graph"
 	"graphdse/internal/sysim"
 	"graphdse/internal/trace"
@@ -66,25 +68,25 @@ func main() {
 		fatal(err)
 	}
 
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
 	events := machine.Trace()
-	switch *format {
-	case "gem5":
-		err = trace.WriteGem5(w, events, *ticks)
-	case "nvmain":
-		err = trace.WriteNVMain(w, events)
-	case "binary":
-		err = trace.WriteBinary(w, events)
-	default:
-		err = fmt.Errorf("unknown format %q", *format)
+	write := func(w io.Writer) error {
+		switch *format {
+		case "gem5":
+			return trace.WriteGem5(w, events, *ticks)
+		case "nvmain":
+			return trace.WriteNVMain(w, events)
+		case "binary":
+			return trace.WriteBinary(w, events)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+	if *out == "-" {
+		err = write(os.Stdout)
+	} else {
+		// Atomic: a crash mid-write leaves the old file (or nothing), never
+		// a torn trace.
+		err = artifact.WriteFileAtomic(*out, 0o644, write)
 	}
 	if err != nil {
 		fatal(err)

@@ -6,8 +6,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"graphdse/internal/artifact"
 	"graphdse/internal/graph"
 )
 
@@ -17,14 +19,30 @@ func main() {
 		edgeFactor = flag.Int("ef", 16, "edges per vertex")
 		roots      = flag.Int("roots", 64, "BFS roots (Graph500 specifies 64)")
 		seed       = flag.Int64("seed", 42, "generator seed")
+		out        = flag.String("o", "-", "report output path (atomic write), - for stdout")
 	)
 	flag.Parse()
 
 	res, err := graph.RunGraph500(*scale, *edgeFactor, *roots, *seed, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graph500:", err)
-		os.Exit(1)
+		os.Exit(artifact.ExitError)
 	}
-	fmt.Println(res)
-	fmt.Printf("total_time=%v\n", res.TotalTime)
+	report := func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, res); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "total_time=%v\n", res.TotalTime)
+		return err
+	}
+	if *out == "-" {
+		err = report(os.Stdout)
+	} else {
+		// Atomic: a long benchmark run never leaves a torn report behind.
+		err = artifact.WriteFileAtomic(*out, 0o644, report)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graph500:", err)
+		os.Exit(artifact.ExitError)
+	}
 }

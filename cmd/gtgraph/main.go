@@ -7,8 +7,10 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"graphdse/internal/artifact"
 	"graphdse/internal/graph"
 )
 
@@ -49,23 +51,25 @@ func main() {
 		fatal(err)
 	}
 
-	w := bufio.NewWriter(os.Stdout)
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
+	write := func(out io.Writer) error {
+		w := bufio.NewWriter(out)
+		for _, e := range edges {
+			if *weighted {
+				fmt.Fprintf(w, "%d %d %.6f\n", e.Src, e.Dst, e.Weight)
+			} else {
+				fmt.Fprintf(w, "%d %d\n", e.Src, e.Dst)
+			}
 		}
-		defer f.Close()
-		w = bufio.NewWriter(f)
+		return w.Flush()
 	}
-	for _, e := range edges {
-		if *weighted {
-			fmt.Fprintf(w, "%d %d %.6f\n", e.Src, e.Dst, e.Weight)
-		} else {
-			fmt.Fprintf(w, "%d %d\n", e.Src, e.Dst)
-		}
+	if *out == "-" {
+		err = write(os.Stdout)
+	} else {
+		// Atomic: a crash mid-write leaves the old file (or nothing), never
+		// a torn edge list.
+		err = artifact.WriteFileAtomic(*out, 0o644, write)
 	}
-	if err := w.Flush(); err != nil {
+	if err != nil {
 		fatal(err)
 	}
 

@@ -4,10 +4,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"graphdse/internal/artifact"
 	"graphdse/internal/memsim"
 	"graphdse/internal/trace"
 )
@@ -16,6 +18,8 @@ func main() {
 	var (
 		in       = flag.String("i", "", "input trace (required); NVMain text or binary format")
 		binary   = flag.Bool("binary", false, "input is in binary trace format")
+		strict   = flag.Bool("strict", true, "fail on the first corrupt record or malformed line")
+		maxBad   = flag.Int64("max-bad-lines", 0, "permissive mode: fail after this many malformed lines (0 = unlimited)")
 		memType  = flag.String("type", "dram", "memory type: dram, nvm, or hybrid")
 		channels = flag.Int("channels", 2, "memory channels")
 		cpu      = flag.Float64("cpu-mhz", 2000, "CPU frequency in MHz")
@@ -30,7 +34,7 @@ func main() {
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(artifact.ExitUsage)
 	}
 
 	f, err := os.Open(*in)
@@ -40,11 +44,22 @@ func main() {
 	defer f.Close()
 	// Stream the trace straight into the simulator — paper-scale traces
 	// (91.5M lines) never need to fit in memory as a parsed event slice.
+	// Permissive mode replays the valid prefix of a damaged trace and exits
+	// with the salvage code.
 	var src trace.Source
+	var txt *trace.TextSource
+	var bin *trace.SalvageSource
 	if *binary {
-		src = trace.NewBinarySource(f)
+		bsrc := trace.NewBinarySource(f)
+		if *strict {
+			src = bsrc
+		} else {
+			bin = trace.NewSalvageSource(bsrc)
+			src = bin
+		}
 	} else {
-		src = trace.NewNVMainSource(f)
+		txt = trace.NewNVMainSourceOpts(f, trace.TextOptions{Strict: *strict, MaxBadLines: *maxBad})
+		src = txt
 	}
 
 	t := *trcd
@@ -76,6 +91,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	exit := artifact.ExitOK
+	if bin != nil && bin.Report() != nil {
+		fmt.Fprintf(os.Stderr, "memsim: input damaged, replayed valid prefix: %s\n", bin.Report())
+		exit = artifact.ExitSalvaged
+	}
+	if txt != nil && txt.Report().BadLines > 0 {
+		rep := txt.Report()
+		fmt.Fprintf(os.Stderr, "memsim: dropped %d malformed lines of %d\n", rep.BadLines, rep.Lines)
+		exit = artifact.ExitSalvaged
+	}
 	fmt.Println(res)
 	fmt.Printf("  energy        %8.3g mJ\n", res.TotalEnergyNJ*1e-6)
 	if res.MaxRowWrites > 0 {
@@ -87,9 +112,16 @@ func main() {
 				ch, st.Reads, st.Writes, st.RowHits, st.RowMisses, st.StallCycles)
 		}
 	}
+	os.Exit(exit)
 }
 
+// fatal reports err and exits with the corrupt-input code when the error is
+// a detected format/integrity failure, the generic code otherwise.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "memsim:", err)
-	os.Exit(1)
+	if errors.Is(err, artifact.ErrCorrupt) || errors.Is(err, artifact.ErrTruncated) ||
+		errors.Is(err, trace.ErrFormat) || errors.Is(err, trace.ErrBadLineBudget) {
+		os.Exit(artifact.ExitCorrupt)
+	}
+	os.Exit(artifact.ExitError)
 }

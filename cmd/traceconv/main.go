@@ -3,15 +3,20 @@
 // converter (§III-D), and reports the achieved throughput so the linear
 // speedup can be observed directly. The parallel path streams: input is cut
 // into line-aligned chunks as it is read, so memory stays bounded at
-// O(workers × chunk) no matter how large the trace is.
+// O(workers × chunk) no matter how large the trace is. Output is written
+// atomically (temp file + rename), so a crash mid-convert never leaves a
+// torn trace behind.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"graphdse/internal/artifact"
 	"graphdse/internal/trace"
 )
 
@@ -23,11 +28,19 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		chunk     = flag.Int("chunk", 0, "chunk size in bytes (0 = auto)")
 		seqential = flag.Bool("sequential", false, "use the sequential baseline instead")
+		strict    = flag.Bool("strict", true, "fail on the first malformed input line")
+		maxBad    = flag.Int64("max-bad-lines", 0, "permissive mode: fail after this many malformed lines (0 = unlimited)")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(artifact.ExitUsage)
+	}
+	opts := trace.ConvertOptions{
+		TicksPerCycle: *ticks,
+		Workers:       *workers,
+		ChunkSize:     *chunk,
+		Text:          trace.TextOptions{Strict: *strict, MaxBadLines: *maxBad},
 	}
 
 	start := time.Now()
@@ -39,17 +52,13 @@ func main() {
 			fatal(ferr)
 		}
 		defer inF.Close()
-		outF, ferr := os.Create(*out)
-		if ferr != nil {
-			fatal(ferr)
-		}
-		defer outF.Close()
-		st, err = trace.ConvertSequential(inF, outF, *ticks)
-		if err == nil {
-			err = outF.Close()
-		}
+		err = artifact.WriteFileAtomic(*out, 0o644, func(w io.Writer) error {
+			var cerr error
+			st, cerr = trace.ConvertSequentialOpts(inF, w, opts)
+			return cerr
+		})
 	} else {
-		st, err = trace.ConvertFileParallel(*in, *out, *ticks, *workers, *chunk)
+		st, err = trace.ConvertFileParallelOpts(*in, *out, opts)
 	}
 	if err != nil {
 		fatal(err)
@@ -58,9 +67,19 @@ func main() {
 	fmt.Fprintf(os.Stderr, "converted %d lines -> %d events in %v (%.1f Mlines/s, %d chunks, %d workers)\n",
 		st.LinesIn, st.EventsOut, elapsed,
 		float64(st.LinesIn)/elapsed.Seconds()/1e6, st.Chunks, st.Workers)
+	if st.BadLines > 0 {
+		fmt.Fprintf(os.Stderr, "traceconv: dropped %d malformed lines\n", st.BadLines)
+		os.Exit(artifact.ExitSalvaged)
+	}
 }
 
+// fatal reports err and exits with the corrupt-input code when the error is
+// a detected format failure, the generic code otherwise.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "traceconv:", err)
-	os.Exit(1)
+	if errors.Is(err, trace.ErrFormat) || errors.Is(err, trace.ErrBadLineBudget) ||
+		errors.Is(err, artifact.ErrCorrupt) || errors.Is(err, artifact.ErrTruncated) {
+		os.Exit(artifact.ExitCorrupt)
+	}
+	os.Exit(artifact.ExitError)
 }

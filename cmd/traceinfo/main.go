@@ -6,12 +6,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/bits"
 	"os"
 	"sort"
 
+	"graphdse/internal/artifact"
 	"graphdse/internal/trace"
 )
 
@@ -20,22 +22,35 @@ func main() {
 		in     = flag.String("i", "", "input trace (required)")
 		binary = flag.Bool("binary", false, "input is in binary trace format")
 		top    = flag.Int("top", 5, "hottest lines to report")
+		strict = flag.Bool("strict", true, "fail on the first corrupt record or malformed line")
+		maxBad = flag.Int64("max-bad-lines", 0, "permissive mode: fail after this many malformed lines (0 = unlimited)")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(artifact.ExitUsage)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
+	// Permissive mode summarizes the valid prefix of a damaged trace and
+	// exits with the salvage code instead of failing outright.
 	var src trace.Source
+	var txt *trace.TextSource
+	var bin *trace.SalvageSource
 	if *binary {
-		src = trace.NewBinarySource(f)
+		bsrc := trace.NewBinarySource(f)
+		if *strict {
+			src = bsrc
+		} else {
+			bin = trace.NewSalvageSource(bsrc)
+			src = bin
+		}
 	} else {
-		src = trace.NewNVMainSource(f)
+		txt = trace.NewNVMainSourceOpts(f, trace.TextOptions{Strict: *strict, MaxBadLines: *maxBad})
+		src = txt
 	}
 
 	// One streaming pass: aggregate stats, a log2 inter-arrival histogram
@@ -63,6 +78,22 @@ func main() {
 	}
 	if st.Events == 0 {
 		fatal(fmt.Errorf("empty trace"))
+	}
+
+	// Salvage accounting: note what a damaged input cost and pick the exit
+	// code once the summary has printed.
+	exit := artifact.ExitOK
+	if bin != nil && bin.Report() != nil {
+		fmt.Fprintf(os.Stderr, "traceinfo: input damaged, summarized valid prefix: %s\n", bin.Report())
+		exit = artifact.ExitSalvaged
+	}
+	if txt != nil && txt.Report().BadLines > 0 {
+		rep := txt.Report()
+		fmt.Fprintf(os.Stderr, "traceinfo: dropped %d malformed lines of %d\n", rep.BadLines, rep.Lines)
+		for _, le := range rep.Sample {
+			fmt.Fprintf(os.Stderr, "traceinfo:   %s\n", le)
+		}
+		exit = artifact.ExitSalvaged
 	}
 
 	fmt.Printf("events        %d (%d reads, %d writes; %.1f%% writes)\n",
@@ -93,6 +124,7 @@ func main() {
 		fmt.Printf("  %#x  %d accesses (%.2f%%)\n",
 			hots[i].line*64, hots[i].count, 100*float64(hots[i].count)/float64(st.Events))
 	}
+	os.Exit(exit)
 }
 
 // gapPercentile returns the upper bound of the log2 histogram bucket
@@ -113,7 +145,13 @@ func gapPercentile(hist *[65]uint64, total uint64, q float64) uint64 {
 	return 1<<64 - 1
 }
 
+// fatal reports err and exits with the corrupt-input code when the error is
+// a detected format/integrity failure, the generic code otherwise.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "traceinfo:", err)
-	os.Exit(1)
+	if errors.Is(err, artifact.ErrCorrupt) || errors.Is(err, artifact.ErrTruncated) ||
+		errors.Is(err, trace.ErrFormat) || errors.Is(err, trace.ErrBadLineBudget) {
+		os.Exit(artifact.ExitCorrupt)
+	}
+	os.Exit(artifact.ExitError)
 }

@@ -1,0 +1,88 @@
+// Package artifact is the durability layer under every on-disk artifact in
+// the pipeline: traces, converted traces, sweep checkpoints, datasets, graph
+// snapshots, and trained models. At paper scale (91.5M-line traces,
+// multi-hour 416-point sweeps) a torn write or a flipped bit in any link of
+// that chain silently poisons everything downstream, so the package provides
+// the two guarantees the rest of the repository builds on:
+//
+//   - Atomic persistence (atomic.go): WriteFileAtomic and AtomicFile write
+//     through a temp file in the destination directory, fsync, and rename,
+//     so a crash at any instant leaves either the old complete artifact or
+//     the new complete artifact — never a torn file.
+//
+//   - Checksummed container framing (container.go): a self-describing
+//     envelope (magic, format tag, format version) carrying the payload in
+//     blocks protected by CRC32-Castagnoli and record counts, with a trailer
+//     that seals the total. Readers detect bit rot (naming the bad block)
+//     and distinguish it from truncation, and salvage readers recover the
+//     longest valid prefix of a damaged file, reporting exactly what was
+//     dropped (SalvageReport).
+package artifact
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt reports data that is present but provably damaged: a checksum
+// mismatch, an implausible length prefix, or a sealed total that does not
+// match what was read. Retrying the read will not help; the artifact must be
+// regenerated or salvaged.
+var ErrCorrupt = errors.New("artifact: corrupt data")
+
+// ErrTruncated reports an artifact that ends mid-frame — the signature of a
+// torn write or an interrupted copy. The prefix before the tear may still be
+// salvageable.
+var ErrTruncated = errors.New("artifact: truncated data")
+
+// Process exit codes shared by the cmd/* tools so scripts can distinguish
+// failure modes: ExitCorrupt means the input failed validation and nothing
+// was produced; ExitSalvaged means the tool completed using the valid prefix
+// of a damaged input and the output reflects losses.
+const (
+	ExitOK       = 0
+	ExitError    = 1
+	ExitUsage    = 2
+	ExitCorrupt  = 3
+	ExitSalvaged = 4
+)
+
+// SalvageReport describes how much of a damaged artifact a salvage reader
+// recovered and why it stopped. Readers return it alongside the recovered
+// prefix so callers can log precisely what was lost instead of guessing.
+type SalvageReport struct {
+	Format       string // format tag of the artifact ("TRACEBIN", "jsonl", ...)
+	RecordsKept  uint64 // records recovered from the valid prefix
+	BlocksKept   uint64 // container blocks verified (0 for line formats)
+	BytesKept    int64  // length of the valid prefix in bytes
+	DroppedBytes int64  // bytes past the valid prefix, -1 when unknown
+	Truncated    bool   // input ended mid-frame or mid-record (torn write)
+	Corrupt      bool   // checksum or structural mismatch at the cut point
+	Reason       string // human-readable cause of the cut, "" when complete
+}
+
+// Complete reports whether the artifact was read to its sealed end with
+// nothing dropped.
+func (r *SalvageReport) Complete() bool {
+	return r != nil && !r.Truncated && !r.Corrupt
+}
+
+// String renders the report as a one-line salvage note.
+func (r *SalvageReport) String() string {
+	if r == nil {
+		return "salvage: no report"
+	}
+	if r.Complete() {
+		return fmt.Sprintf("%s: complete, %d records (%d bytes)", r.Format, r.RecordsKept, r.BytesKept)
+	}
+	kind := "truncated"
+	if r.Corrupt {
+		kind = "corrupt"
+	}
+	dropped := "unknown bytes"
+	if r.DroppedBytes >= 0 {
+		dropped = fmt.Sprintf("%d bytes", r.DroppedBytes)
+	}
+	return fmt.Sprintf("%s: %s after %d records (%d bytes kept, %s dropped): %s",
+		r.Format, kind, r.RecordsKept, r.BytesKept, dropped, r.Reason)
+}

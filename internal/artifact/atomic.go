@@ -1,0 +1,115 @@
+package artifact
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Atomic file persistence. POSIX rename(2) within one directory is atomic:
+// writing the new artifact to a temp file in the destination directory,
+// fsyncing it, and renaming it over the target guarantees that a crash at
+// any instant — including kill -9 mid-write — leaves either the old complete
+// file or the new complete file, never a torn mixture. The directory is
+// fsynced after the rename so the new name itself survives a power cut.
+
+// WriteFileAtomic writes the output of fn to path atomically. fn receives a
+// buffered temp-file writer; if fn or any durability step fails, the target
+// is left untouched and the temp file is removed.
+func WriteFileAtomic(path string, perm os.FileMode, fn func(io.Writer) error) error {
+	af, err := CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	if err := af.Chmod(perm); err != nil {
+		af.Abort()
+		return err
+	}
+	if err := fn(af); err != nil {
+		af.Abort()
+		return err
+	}
+	return af.Commit()
+}
+
+// AtomicFile is the streaming form of WriteFileAtomic: an io.Writer backed
+// by a temp file in the destination directory. Commit makes the written
+// content durably replace the target; Abort discards it. Exactly one of the
+// two must be called; Abort after Commit is a safe no-op.
+type AtomicFile struct {
+	f      *os.File
+	path   string
+	tmp    string
+	closed bool
+}
+
+// CreateAtomic starts an atomic write of path.
+func CreateAtomic(path string) (*AtomicFile, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("artifact: atomic write of %s: %w", path, err)
+	}
+	return &AtomicFile{f: f, path: path, tmp: f.Name()}, nil
+}
+
+// Write implements io.Writer on the temp file.
+func (a *AtomicFile) Write(p []byte) (int, error) {
+	if a.closed {
+		return 0, fmt.Errorf("artifact: write to committed/aborted atomic file %s", a.path)
+	}
+	return a.f.Write(p)
+}
+
+// Chmod sets the permissions the committed file will carry.
+func (a *AtomicFile) Chmod(perm os.FileMode) error {
+	return a.f.Chmod(perm)
+}
+
+// Commit fsyncs the temp file, renames it over the target, and fsyncs the
+// directory. On any error the temp file is removed and the target is left
+// as it was.
+func (a *AtomicFile) Commit() error {
+	if a.closed {
+		return fmt.Errorf("artifact: double commit of %s", a.path)
+	}
+	a.closed = true
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(a.tmp)
+		return fmt.Errorf("artifact: fsync %s: %w", a.tmp, err)
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.tmp)
+		return fmt.Errorf("artifact: close %s: %w", a.tmp, err)
+	}
+	if err := os.Rename(a.tmp, a.path); err != nil {
+		os.Remove(a.tmp)
+		return fmt.Errorf("artifact: commit %s: %w", a.path, err)
+	}
+	syncDir(filepath.Dir(a.path))
+	return nil
+}
+
+// Abort discards the pending write, leaving the target untouched.
+func (a *AtomicFile) Abort() {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	a.f.Close()
+	os.Remove(a.tmp)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Best-effort: some filesystems (and platforms) reject directory fsync; the
+// rename itself is still atomic there.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,258 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// buildContainer writes a small sealed container and returns its bytes.
+func buildContainer(t *testing.T, blocks ...[]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw, err := NewBlockWriter(&buf, "TESTFMT", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if err := bw.WriteBlock(b, uint32(len(b))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func readAllBlocks(data []byte) (blocks int, records uint64, err error) {
+	br, err := NewBlockReader(bytes.NewReader(data))
+	if err != nil {
+		return 0, 0, err
+	}
+	for {
+		_, _, err := br.Next()
+		if err == io.EOF {
+			return int(br.Blocks()), br.Records(), nil
+		}
+		if err != nil {
+			return int(br.Blocks()), br.Records(), err
+		}
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	b1 := []byte("hello durable world")
+	b2 := bytes.Repeat([]byte{0xAB}, 1000)
+	data := buildContainer(t, b1, b2)
+
+	br, err := NewBlockReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Format() != "TESTFMT" || br.Version() != 2 {
+		t.Fatalf("self-description lost: format=%q version=%d", br.Format(), br.Version())
+	}
+	p1, r1, err := br.Next()
+	if err != nil || !bytes.Equal(p1, b1) || r1 != uint32(len(b1)) {
+		t.Fatalf("block 0: %q/%d err=%v", p1, r1, err)
+	}
+	p2, _, err := br.Next()
+	if err != nil || !bytes.Equal(p2, b2) {
+		t.Fatalf("block 1 mismatch: err=%v", err)
+	}
+	if _, _, err := br.Next(); err != io.EOF {
+		t.Fatalf("expected sealed EOF, got %v", err)
+	}
+	if rep := br.Report(nil); !rep.Complete() || rep.RecordsKept != uint64(len(b1)+len(b2)) {
+		t.Fatalf("report not complete: %v", rep)
+	}
+}
+
+func TestContainerEmptySealed(t *testing.T) {
+	data := buildContainer(t)
+	blocks, records, err := readAllBlocks(data)
+	if err != nil || blocks != 0 || records != 0 {
+		t.Fatalf("empty container: blocks=%d records=%d err=%v", blocks, records, err)
+	}
+}
+
+// TestContainerBitFlipMatrix flips every single byte of a sealed container
+// and asserts the damage is always detected — the core promise of the v2
+// framing. Flips in the header or checksums must be ErrCorrupt; flips in a
+// length prefix may instead present as truncation.
+func TestContainerBitFlipMatrix(t *testing.T) {
+	data := buildContainer(t, []byte("block-one-payload"), []byte("block-two"))
+	for i := range data {
+		for _, bit := range []byte{0x01, 0x80} {
+			corrupted := append([]byte(nil), data...)
+			corrupted[i] ^= bit
+			_, _, err := readAllBlocks(corrupted)
+			if err == nil {
+				t.Fatalf("bit flip at byte %d (mask %#x) went undetected", i, bit)
+			}
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("byte %d: unexpected error class: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestContainerTruncationMatrix cuts the container at every byte length and
+// asserts every cut is detected (no silent short read).
+func TestContainerTruncationMatrix(t *testing.T) {
+	data := buildContainer(t, []byte("0123456789abcdef"), []byte("xyz"))
+	for cut := 0; cut < len(data); cut++ {
+		_, _, err := readAllBlocks(data[:cut])
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes went undetected", cut, len(data))
+		}
+	}
+}
+
+func TestContainerNamesBadBlock(t *testing.T) {
+	data := buildContainer(t, []byte("first block ok"), []byte("second block bad"))
+	// Flip a byte inside the second block's payload (last 16+trailer bytes
+	// from the end minus trailer): locate by re-reading structure instead —
+	// payload of block 1 starts at header+frame+len(b0)+frame.
+	off := headerSize + frameHeaderSize + len("first block ok") + frameHeaderSize + 3
+	corrupted := append([]byte(nil), data...)
+	corrupted[off] ^= 0xFF
+	_, _, err := readAllBlocks(corrupted)
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("expected checksum error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "block 1") {
+		t.Fatalf("error does not name the bad block: %v", err)
+	}
+}
+
+func TestContainerRejectsWrongMagicAndVersionSurvives(t *testing.T) {
+	if _, err := NewBlockReader(strings.NewReader("NOTMAGIC-and-more-bytes-here")); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong magic not rejected: %v", err)
+	}
+	if _, err := NewBlockReader(strings.NewReader("GDSE")); err == nil || !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header not rejected: %v", err)
+	}
+	// Unknown-but-intact versions are surfaced, not rejected: format owners
+	// decide what versions they accept.
+	var buf bytes.Buffer
+	bw, err := NewBlockWriter(&buf, "F", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw.Close()
+	br, err := NewBlockReader(bytes.NewReader(buf.Bytes()))
+	if err != nil || br.Version() != 99 {
+		t.Fatalf("version not preserved: %d err=%v", br.Version(), err)
+	}
+}
+
+// TestContainerAllocationBomb feeds a frame claiming a huge payload with
+// almost no data behind it: the reader must fail fast without allocating the
+// claimed size.
+func TestContainerAllocationBomb(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBlockWriter(&buf, "BOMB", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = bw                                  // header only; now hand-craft an implausible frame
+	frame := []byte{0xFE, 0xFF, 0xFF, 0x7F} // payloadLen ~2 GiB
+	data := append(buf.Bytes(), frame...)
+	br, err := NewBlockReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := br.Next(); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("implausible payload length not rejected: %v", err)
+	}
+}
+
+func TestContainerTrailerSealsRecordTotal(t *testing.T) {
+	data := buildContainer(t, []byte("abc"))
+	// Cut the file exactly at the block boundary (drop the trailer): must be
+	// reported as truncated, not clean EOF.
+	cut := len(data) - 16
+	_, _, err := readAllBlocks(data[:cut])
+	if err == nil || !errors.Is(err, ErrTruncated) {
+		t.Fatalf("missing trailer not detected: %v", err)
+	}
+}
+
+func TestByteStreamWriterReader(t *testing.T) {
+	payload := bytes.Repeat([]byte("0123456789"), 100_000) // ~1MB, spans blocks
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "STREAM", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("byte stream round trip lost data: %d vs %d bytes", len(got), len(payload))
+	}
+	// One flipped payload bit must surface as ErrCorrupt from Read.
+	corrupted := append([]byte(nil), buf.Bytes()...)
+	corrupted[headerSize+frameHeaderSize+100] ^= 0x10
+	r2, err := NewReader(bytes.NewReader(corrupted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(r2); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped bit not detected by stream reader: %v", err)
+	}
+}
+
+func TestSalvageReportString(t *testing.T) {
+	rep := &SalvageReport{Format: "TRACEBIN", RecordsKept: 42, BytesKept: 800, DroppedBytes: 36, Truncated: true, Reason: "torn frame"}
+	s := rep.String()
+	for _, want := range []string{"TRACEBIN", "42", "truncated", "36 bytes"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+	if rep.Complete() {
+		t.Fatal("truncated report claims completeness")
+	}
+	if !(&SalvageReport{Format: "x"}).Complete() {
+		t.Fatal("clean report not complete")
+	}
+}
+
+func TestWriteBlockLimits(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBlockWriter(&buf, "LIM", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteBlock(nil, 0); err == nil {
+		t.Fatal("empty block accepted")
+	}
+	if err := bw.WriteBlock(make([]byte, MaxBlockPayload+1), 1); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+	if _, err := NewBlockWriter(&buf, "NINECHARS", 1); err == nil {
+		t.Fatal("over-long format tag accepted")
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteBlock([]byte("x"), 1); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// fuzzSeedContainer builds a valid sealed container for the seed corpus.
+func fuzzSeedContainer() []byte {
+	var buf bytes.Buffer
+	bw, _ := NewBlockWriter(&buf, "FUZZFMT", 3)
+	bw.WriteBlock([]byte("seed block one"), 3)
+	bw.WriteBlock(bytes.Repeat([]byte{0x5A}, 300), 7)
+	bw.Close()
+	return buf.Bytes()
+}
+
+// FuzzBlockReader drives the block reader over arbitrary bytes: it must
+// never panic, never allocate beyond MaxBlockPayload per block, and must
+// classify every failure as ErrCorrupt or ErrTruncated.
+func FuzzBlockReader(f *testing.F) {
+	f.Add(fuzzSeedContainer())
+	f.Add([]byte{})
+	f.Add([]byte("GDSECHK1garbage-after-magic-without-checksum"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	seed := fuzzSeedContainer()
+	f.Add(seed[:len(seed)-5]) // torn trailer
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br, err := NewBlockReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("unclassified header error: %v", err)
+			}
+			return
+		}
+		for {
+			payload, _, err := br.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+					t.Fatalf("unclassified block error: %v", err)
+				}
+				// Sticky: the same error must repeat.
+				if _, _, err2 := br.Next(); err2 == nil {
+					t.Fatal("reader continued past terminal error")
+				}
+				return
+			}
+			if len(payload) > MaxBlockPayload {
+				t.Fatalf("payload %d exceeds cap", len(payload))
+			}
+		}
+	})
+}
+
+// FuzzByteStreamReader checks the io.Reader adapter on arbitrary bytes.
+func FuzzByteStreamReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "STREAM", 1)
+	w.Write([]byte("the quick brown fox"))
+	w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte("GDSECHK1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if _, err := io.Copy(io.Discard, r); err != nil &&
+			!errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("unclassified stream error: %v", err)
+		}
+	})
+}
+
+// FuzzContainerRoundTrip re-frames fuzz payloads and checks they verify and
+// decode back identically.
+func FuzzContainerRoundTrip(f *testing.F) {
+	f.Add([]byte("payload"), uint32(5))
+	f.Add([]byte{0}, uint32(0))
+	f.Fuzz(func(t *testing.T, payload []byte, records uint32) {
+		if len(payload) == 0 || len(payload) > 1<<16 {
+			return
+		}
+		var buf bytes.Buffer
+		bw, err := NewBlockWriter(&buf, "RT", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.WriteBlock(payload, records); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		br, err := NewBlockReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rec, err := br.Next()
+		if err != nil || rec != records || !bytes.Equal(got, payload) {
+			t.Fatalf("round trip lost data: rec=%d err=%v", rec, err)
+		}
+		if _, _, err := br.Next(); err != io.EOF {
+			t.Fatalf("expected sealed EOF, got %v", err)
+		}
+	})
+}

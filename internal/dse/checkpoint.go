@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sync"
@@ -98,15 +99,62 @@ func decodeRecord(line []byte, byID map[string]DesignPoint) (RunRecord, error) {
 	return rec, nil
 }
 
+// CheckpointReport accounts for what a checkpoint load kept and dropped, so
+// a resumed sweep can say exactly how much work a damaged checkpoint costs.
+type CheckpointReport struct {
+	Lines    int64 // non-empty lines seen
+	Loaded   int64 // lines decoded into usable records
+	Skipped  int64 // corrupt/stale lines dropped (re-run on resume)
+	TornTail bool  // final line had no newline (torn append)
+	// Sample quotes the first few skip reasons for diagnostics.
+	Sample []string
+}
+
+const maxCheckpointSample = 8
+
+func (r *CheckpointReport) addSkip(lineNo int64, err error) {
+	r.Skipped++
+	if len(r.Sample) < maxCheckpointSample {
+		r.Sample = append(r.Sample, fmt.Sprintf("line %d: %v", lineNo, err))
+	}
+}
+
+// Clean reports whether every line loaded and the file ended on a newline.
+func (r *CheckpointReport) Clean() bool { return r.Skipped == 0 && !r.TornTail }
+
+// String renders a one-line human-readable salvage note.
+func (r *CheckpointReport) String() string {
+	s := fmt.Sprintf("checkpoint: %d/%d lines loaded", r.Loaded, r.Lines)
+	if r.Skipped > 0 {
+		s += fmt.Sprintf(", %d skipped (will re-run)", r.Skipped)
+	}
+	if r.TornTail {
+		s += ", torn final line"
+	}
+	return s
+}
+
 // LoadCheckpoint reads a JSON-lines checkpoint and returns the usable
 // records keyed by point ID plus the number of corrupt/stale lines skipped.
 // Corrupt lines (truncated writes, garbage, unknown points, invalid
 // metrics) are skipped — resume simply re-runs those points. When the same
 // point appears on multiple lines the last one wins.
 func LoadCheckpoint(path string, points []DesignPoint) (map[string]RunRecord, int, error) {
+	out, rep, err := LoadCheckpointReport(path, points, false)
+	return out, int(rep.Skipped), err
+}
+
+// LoadCheckpointReport is LoadCheckpoint with full salvage accounting and a
+// strict mode. Permissive (strict=false) drops any undecodable line; strict
+// fails on the first one — except a torn final line (no trailing newline),
+// the signature of a crash mid-append, which is tolerated and flagged in
+// the report in both modes because it is exactly the damage checkpoints
+// exist to absorb.
+func LoadCheckpointReport(path string, points []DesignPoint, strict bool) (map[string]RunRecord, *CheckpointReport, error) {
+	rep := &CheckpointReport{}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, rep, err
 	}
 	defer f.Close()
 	byID := make(map[string]DesignPoint, len(points))
@@ -114,25 +162,44 @@ func LoadCheckpoint(path string, points []DesignPoint) (map[string]RunRecord, in
 		byID[p.ID()] = p
 	}
 	out := map[string]RunRecord{}
-	skipped := 0
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
+	// Read lines manually: bufio.Scanner hides whether the final line was
+	// newline-terminated, which is the torn-tail signal.
+	br := bufio.NewReaderSize(f, 64*1024)
+	var lineNo int64
+	for {
+		line, rerr := br.ReadBytes('\n')
+		terminated := rerr == nil
+		if rerr != nil && rerr != io.EOF {
+			return out, rep, rerr
 		}
-		rec, err := decodeRecord(line, byID)
-		if err != nil {
-			skipped++
-			continue
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			lineNo++
+			rep.Lines++
+			rec, derr := decodeRecord(trimmed, byID)
+			switch {
+			case derr == nil:
+				rep.Loaded++
+				out[rec.Point.ID()] = rec
+				if !terminated {
+					// Complete record, missing only its newline.
+					rep.TornTail = true
+				}
+			case !terminated:
+				// Torn final line: tolerated in both modes.
+				rep.TornTail = true
+				rep.addSkip(lineNo, fmt.Errorf("torn final line: %w", derr))
+			case strict:
+				rep.addSkip(lineNo, derr)
+				return out, rep, fmt.Errorf("dse: checkpoint line %d: %w", lineNo, derr)
+			default:
+				rep.addSkip(lineNo, derr)
+			}
 		}
-		out[rec.Point.ID()] = rec
+		if rerr == io.EOF {
+			return out, rep, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return out, skipped, err
-	}
-	return out, skipped, nil
 }
 
 // checkpointWriter appends terminal records to the checkpoint file, one

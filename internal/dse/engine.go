@@ -73,9 +73,13 @@ func sweepEngine(ctx context.Context, pt *memsim.PreparedTrace, points []DesignP
 	if opts.CheckpointPath != "" {
 		if opts.Resume {
 			var err error
-			resumed, _, err = LoadCheckpoint(opts.CheckpointPath, points)
+			var rep *CheckpointReport
+			resumed, rep, err = LoadCheckpointReport(opts.CheckpointPath, points, opts.StrictCheckpoint)
 			if err != nil && !errors.Is(err, os.ErrNotExist) {
 				return nil, fmt.Errorf("dse: resume: %w", err)
+			}
+			if err == nil && !rep.Clean() && opts.OnCheckpointSalvage != nil {
+				opts.OnCheckpointSalvage(rep)
 			}
 		}
 		var err error

@@ -1,12 +1,21 @@
 package dse
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
 
+	"graphdse/internal/artifact"
 	"graphdse/internal/memsim"
+)
+
+// DatasetFormatTag and DatasetFormatVersion identify the checksummed dataset
+// export container (CSV body wrapped in the artifact framing).
+const (
+	DatasetFormatTag     = "DSEDATA"
+	DatasetFormatVersion = 2
 )
 
 // WriteCSV exports the dataset as CSV: configuration features followed by
@@ -37,9 +46,56 @@ func WriteCSV(w io.Writer, ds *Dataset) error {
 	return cw.Error()
 }
 
-// ReadCSV loads a dataset previously written by WriteCSV. Points are not
-// reconstructed (only features and targets).
+// WriteCSVChecked exports the same CSV body wrapped in the checksummed
+// artifact container, so downstream loads can prove the dataset was neither
+// truncated nor bit-rotted. ReadCSV auto-detects both forms.
+func WriteCSVChecked(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	aw, err := artifact.NewWriter(bw, DatasetFormatTag, DatasetFormatVersion)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(aw, ds); err != nil {
+		return err
+	}
+	if err := aw.Close(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV loads a dataset previously written by WriteCSV or WriteCSVChecked,
+// auto-detected from the leading bytes. In the checked path every byte is
+// checksum-verified (including the sealed trailer) before rows are trusted.
 func ReadCSV(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(artifact.Magic))
+	if err == nil && [8]byte(head) == artifact.Magic {
+		ar, err := artifact.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("dse: %w", err)
+		}
+		if ar.Format() != DatasetFormatTag {
+			return nil, fmt.Errorf("dse: container holds %q, want %q", ar.Format(), DatasetFormatTag)
+		}
+		if ar.Version() > DatasetFormatVersion {
+			return nil, fmt.Errorf("dse: dataset format version %d newer than supported %d", ar.Version(), DatasetFormatVersion)
+		}
+		ds, err := readCSVBody(ar)
+		if err != nil {
+			return nil, err
+		}
+		// Drain to force the sealed-trailer verification even though the CSV
+		// reader stopped at the last row.
+		if _, err := io.Copy(io.Discard, ar); err != nil {
+			return nil, fmt.Errorf("dse: %w", err)
+		}
+		return ds, nil
+	}
+	return readCSVBody(br)
+}
+
+func readCSVBody(r io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	rows, err := cr.ReadAll()
 	if err != nil {

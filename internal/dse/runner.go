@@ -72,6 +72,14 @@ type SweepOptions struct {
 	// MinSurvivors fails the sweep with a *SweepFailureError when fewer
 	// points survive; 0 only requires one survivor (ErrAllFailed otherwise).
 	MinSurvivors int
+	// StrictCheckpoint fails resume on the first malformed interior
+	// checkpoint line instead of skipping it. A torn final line (crash
+	// mid-append) is tolerated in both modes.
+	StrictCheckpoint bool
+	// OnCheckpointSalvage, when set, receives the load report whenever a
+	// resumed checkpoint was not pristine (skipped lines or a torn tail),
+	// so callers can log exactly what a damaged checkpoint cost.
+	OnCheckpointSalvage func(*CheckpointReport)
 }
 
 // injector resolves the effective fault injector, folding the legacy

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"graphdse/internal/artifact"
+)
+
+func durabilityGraph(t *testing.T) *CSR {
+	t.Helper()
+	edges := []Edge{
+		{Src: 0, Dst: 1, Weight: 1.5}, {Src: 1, Dst: 2, Weight: 0.25},
+		{Src: 2, Dst: 3, Weight: 2}, {Src: 3, Dst: 0, Weight: 0.75},
+		{Src: 0, Dst: 2, Weight: 1},
+	}
+	g, err := NewCSR(4, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func csrEqual(a, b *CSR) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() || a.Weighted() != b.Weighted() {
+		return false
+	}
+	for v := uint32(0); int(v) < a.NumVertices(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+		wa, wb := a.NeighborWeights(v), b.NeighborWeights(v)
+		for i := range wa {
+			if wa[i] != wb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBinaryCSRV2RoundTripAndV1BackCompat(t *testing.T) {
+	g := durabilityGraph(t)
+	var v2 bytes.Buffer
+	if err := WriteBinaryCSR(&v2, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(v2.Bytes(), artifact.Magic[:]) {
+		t.Fatal("WriteBinaryCSR did not emit the v2 container magic")
+	}
+	got, err := ReadBinaryCSR(bytes.NewReader(v2.Bytes()))
+	if err != nil || !csrEqual(got, g) {
+		t.Fatalf("v2 CSR round trip failed: %v", err)
+	}
+
+	var v1 bytes.Buffer
+	if err := WriteBinaryCSRV1(&v1, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadBinaryCSR(bytes.NewReader(v1.Bytes()))
+	if err != nil || !csrEqual(got, g) {
+		t.Fatalf("v1 CSR back-compat read failed: %v", err)
+	}
+}
+
+// TestBinaryCSRV2BitFlipMatrix flips every byte of a v2 CSR file: the
+// container checksum must catch all of them.
+func TestBinaryCSRV2BitFlipMatrix(t *testing.T) {
+	g := durabilityGraph(t)
+	var buf bytes.Buffer
+	if err := WriteBinaryCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i := range data {
+		corrupted := append([]byte(nil), data...)
+		corrupted[i] ^= 0x01
+		if _, err := ReadBinaryCSR(bytes.NewReader(corrupted)); err == nil {
+			t.Fatalf("bit flip at byte %d/%d went undetected", i, len(data))
+		}
+	}
+}
+
+// TestBinaryCSRTruncationMatrix cuts both format generations at every byte:
+// no cut may load successfully.
+func TestBinaryCSRTruncationMatrix(t *testing.T) {
+	g := durabilityGraph(t)
+	for name, write := range map[string]func(*bytes.Buffer) error{
+		"v2": func(b *bytes.Buffer) error { return WriteBinaryCSR(b, g) },
+		"v1": func(b *bytes.Buffer) error { return WriteBinaryCSRV1(b, g) },
+	} {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		for cut := 0; cut < len(data); cut++ {
+			if _, err := ReadBinaryCSR(bytes.NewReader(data[:cut])); err == nil {
+				t.Fatalf("%s: truncation to %d/%d bytes went undetected", name, cut, len(data))
+			}
+		}
+	}
+}
+
+// TestBinaryCSRAllocationBomb feeds v1 headers claiming enormous dimensions
+// over a nearly-empty body: the reader must fail from the missing data
+// without allocating anywhere near the claimed sizes (~64 GiB of offsets).
+func TestBinaryCSRAllocationBomb(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(csrMagic[:])
+	hdr := make([]byte, 17)
+	binary.LittleEndian.PutUint64(hdr[0:8], 1<<32)  // n
+	binary.LittleEndian.PutUint64(hdr[8:16], 1<<32) // m
+	buf.Write(hdr)
+	buf.Write(make([]byte, 64)) // a few offsets, then EOF
+	if _, err := ReadBinaryCSR(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("allocation bomb not rejected")
+	}
+	// Beyond the plausibility cap must be rejected from the header alone.
+	binary.LittleEndian.PutUint64(hdr[0:8], 1<<40)
+	var buf2 bytes.Buffer
+	buf2.Write(csrMagic[:])
+	buf2.Write(hdr)
+	if _, err := ReadBinaryCSR(bytes.NewReader(buf2.Bytes())); err == nil {
+		t.Fatal("implausible dimensions not rejected")
+	}
+}
+
+func TestBinaryCSRWrongMagicAndVersion(t *testing.T) {
+	if _, err := ReadBinaryCSR(bytes.NewReader([]byte("BADMAGIC-and-then-some"))); err == nil {
+		t.Fatal("wrong magic not rejected")
+	}
+	// A container with the wrong format tag must be rejected.
+	var buf bytes.Buffer
+	aw, err := artifact.NewWriter(&buf, "OTHERFMT", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw.Write([]byte("payload"))
+	aw.Close()
+	if _, err := ReadBinaryCSR(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("wrong container format not rejected")
+	}
+	// A future CSR version must be rejected.
+	var buf2 bytes.Buffer
+	aw2, err := artifact.NewWriter(&buf2, CSRFormatTag, CSRFormatVersion+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw2.Write([]byte("payload"))
+	aw2.Close()
+	if _, err := ReadBinaryCSR(bytes.NewReader(buf2.Bytes())); err == nil {
+		t.Fatal("future CSR version not rejected")
+	}
+}
+
+// FuzzReadBinaryCSR drives the CSR reader over arbitrary bytes: no panics,
+// no runaway allocation, and anything that loads must be structurally
+// valid enough to traverse.
+func FuzzReadBinaryCSR(f *testing.F) {
+	g := func() *CSR {
+		gg, _ := NewCSR(3, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false)
+		return gg
+	}()
+	var v1, v2 bytes.Buffer
+	WriteBinaryCSRV1(&v1, g)
+	WriteBinaryCSR(&v2, g)
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add(v2.Bytes()[:v2.Len()-7])
+	f.Add([]byte("GDSECSR1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := ReadBinaryCSR(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever loads must traverse without panicking.
+		for v := uint32(0); int(v) < loaded.NumVertices(); v++ {
+			for _, u := range loaded.Neighbors(v) {
+				if int(u) >= loaded.NumVertices() {
+					t.Fatalf("loaded CSR has out-of-range target %d", u)
+				}
+			}
+		}
+	})
+}

@@ -8,6 +8,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"graphdse/internal/artifact"
 )
 
 // Graph I/O: the edge-list text format GTGraph-style tools exchange
@@ -92,57 +94,134 @@ func ReadEdgeList(r io.Reader, n int, undirected bool) (*CSR, error) {
 
 var csrMagic = [8]byte{'G', 'D', 'S', 'E', 'C', 'S', 'R', '1'}
 
-// WriteBinaryCSR serializes the CSR structure (little-endian): magic, vertex
-// count, edge count, weighted flag, offsets, targets, and weights if any.
+// CSRFormatTag and CSRFormatVersion identify the v2 checksummed binary CSR
+// container.
+const (
+	CSRFormatTag     = "GRAPHCSR"
+	CSRFormatVersion = 2
+)
+
+// maxReasonableDim bounds the vertex/edge counts a reader will believe.
+const maxReasonableDim = 1 << 33
+
+// allocChunk bounds how many elements a reader allocates ahead of the data
+// actually present: a corrupt dimension prefix costs at most one chunk of
+// memory before the truncated body is noticed.
+const allocChunk = 1 << 20
+
+// WriteBinaryCSR serializes the CSR structure into the checksummed v2
+// container (little-endian body: vertex count, edge count, weighted flag,
+// offsets, targets, and weights if any). v1 files are still readable;
+// WriteBinaryCSRV1 still writes them.
 func WriteBinaryCSR(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	aw, err := artifact.NewWriter(bw, CSRFormatTag, CSRFormatVersion)
+	if err != nil {
+		return err
+	}
+	if err := writeCSRBody(aw, g); err != nil {
+		return err
+	}
+	if err := aw.Close(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteBinaryCSRV1 serializes the CSR structure in the legacy unchecksummed
+// v1 layout: magic then the same body.
+func WriteBinaryCSRV1(w io.Writer, g *CSR) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(csrMagic[:]); err != nil {
 		return err
 	}
+	if err := writeCSRBody(bw, g); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeCSRBody(w io.Writer, g *CSR) error {
 	hdr := make([]byte, 17)
 	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.NumVertices()))
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(g.NumEdges()))
 	if g.Weighted() {
 		hdr[16] = 1
 	}
-	if _, err := bw.Write(hdr); err != nil {
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
 	var b8 [8]byte
 	for _, o := range g.offsets {
 		binary.LittleEndian.PutUint64(b8[:], uint64(o))
-		if _, err := bw.Write(b8[:]); err != nil {
+		if _, err := w.Write(b8[:]); err != nil {
 			return err
 		}
 	}
 	var b4 [4]byte
 	for _, t := range g.targets {
 		binary.LittleEndian.PutUint32(b4[:], t)
-		if _, err := bw.Write(b4[:]); err != nil {
+		if _, err := w.Write(b4[:]); err != nil {
 			return err
 		}
 	}
 	if g.Weighted() {
 		for _, wt := range g.weights {
 			binary.LittleEndian.PutUint64(b8[:], uint64frombits(wt))
-			if _, err := bw.Write(b8[:]); err != nil {
+			if _, err := w.Write(b8[:]); err != nil {
 				return err
 			}
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// ReadBinaryCSR deserializes a CSR written by WriteBinaryCSR.
+// ReadBinaryCSR deserializes a CSR written by WriteBinaryCSR (checksummed v2
+// container) or WriteBinaryCSRV1 (legacy v1), auto-detected from the magic.
+// In the v2 path every byte is checksum-verified before it is decoded.
 func ReadBinaryCSR(r io.Reader) (*CSR, error) {
 	br := bufio.NewReader(r)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+	head, err := br.Peek(8)
+	if err != nil {
 		return nil, fmt.Errorf("graph: missing CSR magic: %w", err)
 	}
-	if magic != csrMagic {
-		return nil, fmt.Errorf("graph: bad CSR magic %q", magic[:])
+	switch {
+	case [8]byte(head) == csrMagic:
+		br.Discard(8)
+		return readCSRBody(br)
+	case [8]byte(head) == artifact.Magic:
+		ar, err := artifact.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: %w", err)
+		}
+		if ar.Format() != CSRFormatTag {
+			return nil, fmt.Errorf("graph: container holds %q, want %q", ar.Format(), CSRFormatTag)
+		}
+		if ar.Version() > CSRFormatVersion {
+			return nil, fmt.Errorf("graph: CSR format version %d newer than supported %d", ar.Version(), CSRFormatVersion)
+		}
+		body := bufio.NewReader(ar)
+		g, err := readCSRBody(body)
+		if err != nil {
+			return nil, err
+		}
+		// The container must end exactly where the body does: trailing
+		// verified bytes mean the header lied about the dimensions. Reading
+		// past the end also forces the sealed trailer to verify.
+		switch _, err := body.ReadByte(); err {
+		case io.EOF:
+		case nil:
+			return nil, fmt.Errorf("graph: trailing bytes after CSR body")
+		default:
+			return nil, fmt.Errorf("graph: %w", err)
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("graph: bad CSR magic %q", head)
 	}
+}
+
+func readCSRBody(br *bufio.Reader) (*CSR, error) {
 	hdr := make([]byte, 17)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return nil, fmt.Errorf("graph: truncated CSR header: %w", err)
@@ -150,38 +229,43 @@ func ReadBinaryCSR(r io.Reader) (*CSR, error) {
 	n := binary.LittleEndian.Uint64(hdr[0:8])
 	m := binary.LittleEndian.Uint64(hdr[8:16])
 	weighted := hdr[16] == 1
-	const maxReasonable = 1 << 33
-	if n == 0 || n > maxReasonable || m > maxReasonable {
+	if n == 0 || n > maxReasonableDim || m > maxReasonableDim {
 		return nil, fmt.Errorf("graph: implausible CSR dimensions n=%d m=%d", n, m)
 	}
-	g := &CSR{n: int(n), offsets: make([]int64, n+1), targets: make([]uint32, m)}
+	// Allocate in allocChunk steps rather than trusting n and m up front: a
+	// file whose header claims huge dimensions over a tiny body fails on the
+	// missing data, not by exhausting memory.
+	g := &CSR{n: int(n)}
 	var b8 [8]byte
-	for i := range g.offsets {
+	g.offsets = make([]int64, 0, minU64(n+1, allocChunk))
+	for i := uint64(0); i <= n; i++ {
 		if _, err := io.ReadFull(br, b8[:]); err != nil {
 			return nil, fmt.Errorf("graph: truncated offsets: %w", err)
 		}
-		g.offsets[i] = int64(binary.LittleEndian.Uint64(b8[:]))
+		g.offsets = append(g.offsets, int64(binary.LittleEndian.Uint64(b8[:])))
 	}
 	if g.offsets[n] != int64(m) {
 		return nil, fmt.Errorf("graph: offsets end %d != edge count %d", g.offsets[n], m)
 	}
 	var b4 [4]byte
-	for i := range g.targets {
+	g.targets = make([]uint32, 0, minU64(m, allocChunk))
+	for i := uint64(0); i < m; i++ {
 		if _, err := io.ReadFull(br, b4[:]); err != nil {
 			return nil, fmt.Errorf("graph: truncated targets: %w", err)
 		}
-		g.targets[i] = binary.LittleEndian.Uint32(b4[:])
-		if uint64(g.targets[i]) >= n {
-			return nil, fmt.Errorf("graph: target %d out of range", g.targets[i])
+		t := binary.LittleEndian.Uint32(b4[:])
+		if uint64(t) >= n {
+			return nil, fmt.Errorf("graph: target %d out of range", t)
 		}
+		g.targets = append(g.targets, t)
 	}
 	if weighted {
-		g.weights = make([]float64, m)
-		for i := range g.weights {
+		g.weights = make([]float64, 0, minU64(m, allocChunk))
+		for i := uint64(0); i < m; i++ {
 			if _, err := io.ReadFull(br, b8[:]); err != nil {
 				return nil, fmt.Errorf("graph: truncated weights: %w", err)
 			}
-			g.weights[i] = float64frombits(binary.LittleEndian.Uint64(b8[:]))
+			g.weights = append(g.weights, float64frombits(binary.LittleEndian.Uint64(b8[:])))
 		}
 	}
 	// Validate monotone offsets.
@@ -191,6 +275,13 @@ func ReadBinaryCSR(r io.Reader) (*CSR, error) {
 		}
 	}
 	return g, nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func uint64frombits(f float64) uint64 {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"graphdse/internal/artifact"
 )
 
 // Config files: NVMain drives its simulations from per-configuration files;
@@ -32,17 +34,12 @@ func LoadConfig(r io.Reader) (Config, error) {
 	return c, nil
 }
 
-// SaveConfigFile writes the configuration to path.
+// SaveConfigFile writes the configuration to path atomically: an interrupted
+// save leaves any existing file untouched.
 func SaveConfigFile(path string, c *Config) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := SaveConfig(f, c); err != nil {
-		return err
-	}
-	return f.Close()
+	return artifact.WriteFileAtomic(path, 0o644, func(w io.Writer) error {
+		return SaveConfig(w, c)
+	})
 }
 
 // LoadConfigFile reads a configuration from path.

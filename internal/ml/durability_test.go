@@ -1,0 +1,175 @@
+package ml
+
+import (
+	"bytes"
+
+	"strings"
+	"testing"
+
+	"graphdse/internal/artifact"
+)
+
+func fittedLinear(t *testing.T) *LinearRegression {
+	t.Helper()
+	m := &LinearRegression{}
+	X := [][]float64{{1, 2}, {2, 3}, {3, 5}, {4, 4}, {5, 7}}
+	y := []float64{3, 5, 8, 8, 12}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelV2RoundTripAndV1BackCompat(t *testing.T) {
+	m := fittedLinear(t)
+	var v2 bytes.Buffer
+	if err := SaveModel(&v2, m); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(v2.Bytes(), artifact.Magic[:]) {
+		t.Fatal("SaveModel did not emit the v2 container magic")
+	}
+	got, err := LoadModel(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Predict([]float64{3, 5}) != m.Predict([]float64{3, 5}) {
+		t.Fatal("v2 round trip changed predictions")
+	}
+
+	var v1 bytes.Buffer
+	if err := SaveModelV1(&v1, m); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Bytes()[0] != '{' {
+		t.Fatal("SaveModelV1 did not emit bare JSON")
+	}
+	got, err = LoadModel(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Predict([]float64{3, 5}) != m.Predict([]float64{3, 5}) {
+		t.Fatal("v1 back-compat load changed predictions")
+	}
+}
+
+// TestModelV2BitFlipMatrix flips every byte of a saved model: every flip
+// must be rejected by the container checksum — silently loading wrong
+// coefficients is the failure mode v2 exists to kill.
+func TestModelV2BitFlipMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, fittedLinear(t)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i := range data {
+		corrupted := append([]byte(nil), data...)
+		corrupted[i] ^= 0x01
+		if _, err := LoadModel(bytes.NewReader(corrupted)); err == nil {
+			t.Fatalf("bit flip at byte %d/%d went undetected", i, len(data))
+		}
+	}
+}
+
+func TestModelV2TruncationMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, fittedLinear(t)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := LoadModel(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation to %d/%d bytes went undetected", cut, len(data))
+		}
+	}
+}
+
+// TestModelStructuralValidation hand-crafts envelopes whose shapes violate
+// Predict's invariants: each must be rejected at load, not panic at use.
+func TestModelStructuralValidation(t *testing.T) {
+	cases := map[string]string{
+		"mlp weight shape": `{"type":"mlp","data":{"dims":[2,3,1],"weights":[[1,2,3],[1,2,3]],"biases":[[1,2,3],[1]]}}`,
+		"mlp bias shape":   `{"type":"mlp","data":{"dims":[2,3,1],"weights":[[1,2,3,4,5,6],[1,2,3]],"biases":[[1,2],[1]]}}`,
+		"mlp layer count":  `{"type":"mlp","data":{"dims":[2,3,1],"weights":[[1,2,3,4,5,6]],"biases":[[1,2,3]]}}`,
+		"knn x/y mismatch": `{"type":"knn","data":{"k":1,"x":[[1,2],[3,4]],"y":[1]}}`,
+		"knn ragged rows":  `{"type":"knn","data":{"k":1,"x":[[1,2],[3]],"y":[1,2]}}`,
+		"knn bad k":        `{"type":"knn","data":{"k":0,"x":[[1,2]],"y":[1]}}`,
+		"svr beta count":   `{"type":"svr","data":{"kernel":{"name":"rbf","gamma":1},"supportX":[[1,2],[3,4]],"beta":[0.5],"b":0}}`,
+		"tree feature":     `{"type":"tree","data":{"dims":2,"root":{"f":5,"t":1,"v":0,"n":2,"l":{"f":-1,"v":1,"n":1},"r":{"f":-1,"v":2,"n":1}}}}`,
+		"tree no child":    `{"type":"tree","data":{"dims":2,"root":{"f":0,"t":1,"v":0,"n":2,"l":{"f":-1,"v":1,"n":1}}}}`,
+		"tree no root":     `{"type":"tree","data":{"dims":2}}`,
+		"linear empty":     `{"type":"linear","data":{"coef":[],"intercept":0}}`,
+		"forest empty":     `{"type":"forest","data":{"trees":[],"dims":2}}`,
+	}
+	for name, payload := range cases {
+		if _, err := LoadModel(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: invalid model accepted", name)
+		} else if !strings.Contains(err.Error(), "invalid model") && !strings.Contains(err.Error(), "mlp dims") {
+			t.Errorf("%s: unexpected error: %v", name, err)
+		}
+	}
+}
+
+// FuzzLoadModel drives the model loader over arbitrary bytes: it must never
+// panic, and anything that loads must survive a Predict call with the
+// feature width the model itself reports.
+func FuzzLoadModel(f *testing.F) {
+	var v1, v2 bytes.Buffer
+	m := &LinearRegression{}
+	m.Fit([][]float64{{1, 2}, {2, 3}, {3, 5}}, []float64{3, 5, 8})
+	SaveModelV1(&v1, m)
+	SaveModel(&v2, m)
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add([]byte(`{"type":"mlp","data":{"dims":[1,1],"weights":[[1]],"biases":[[0]]}}`))
+	f.Add([]byte(`{"type":"knn","data":{"k":1,"x":[[1]],"y":[2]}}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		model, err := LoadModel(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		width := modelWidth(model)
+		if width <= 0 || width > 64 {
+			return
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("loaded model panicked on Predict: %v", r)
+				}
+			}()
+			_ = model.Predict(make([]float64, width))
+		}()
+	})
+}
+
+// modelWidth reports the feature width a loaded model expects, or 0 when it
+// cannot be determined.
+func modelWidth(m Regressor) int {
+	switch mm := m.(type) {
+	case *LinearRegression:
+		return len(mm.Coef)
+	case *Ridge:
+		return len(mm.Coef)
+	case *SVR:
+		if len(mm.SupportX) > 0 {
+			return len(mm.SupportX[0])
+		}
+	case *RegressionTree:
+		return mm.nDims
+	case *RandomForest:
+		return mm.nDims
+	case *GradientBoosting:
+		return mm.nDims
+	case *KNN:
+		if len(mm.x) > 0 {
+			return len(mm.x[0])
+		}
+	case *MLP:
+		if len(mm.dims) > 0 {
+			return mm.dims[0]
+		}
+	}
+	return 0
+}

@@ -1,14 +1,30 @@
 package ml
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"graphdse/internal/artifact"
 )
 
 // Model persistence: trained surrogates serialize to a JSON envelope
 // {"type": ..., "data": ...} so a DSE session's models can be saved and
 // queried later without retraining.
+//
+// v2 wraps the envelope in the artifact checksummed container, so a model
+// file damaged by bit rot is rejected with a checksum error instead of
+// loading silently-wrong coefficients. v1 files (bare JSON) remain
+// readable, and every load — either version — passes structural validation
+// before the model is handed to callers, so a tampered or hand-edited file
+// cannot produce a model that panics at Predict time.
+
+// ModelFormatTag and ModelFormatVersion identify the v2 model container.
+const (
+	ModelFormatTag     = "MLMODEL"
+	ModelFormatVersion = 2
+)
 
 type envelope struct {
 	Type string          `json:"type"`
@@ -73,9 +89,22 @@ type mlpDTO struct {
 	Biases  [][]float64 `json:"biases"`
 }
 
-// SaveModel serializes a fitted model. Supported: LinearRegression, Ridge,
-// SVR, RegressionTree, RandomForest, GradientBoosting, KNN, MLP.
+// SaveModel serializes a fitted model into the checksummed v2 container.
+// Supported: LinearRegression, Ridge, SVR, RegressionTree, RandomForest,
+// GradientBoosting, KNN, MLP.
 func SaveModel(w io.Writer, model Regressor) error {
+	aw, err := artifact.NewWriter(w, ModelFormatTag, ModelFormatVersion)
+	if err != nil {
+		return err
+	}
+	if err := SaveModelV1(aw, model); err != nil {
+		return err
+	}
+	return aw.Close()
+}
+
+// SaveModelV1 serializes a fitted model as the legacy bare JSON envelope.
+func SaveModelV1(w io.Writer, model Regressor) error {
 	var env envelope
 	var data interface{}
 	switch m := model.(type) {
@@ -147,8 +176,50 @@ func SaveModel(w io.Writer, model Regressor) error {
 	return enc.Encode(env)
 }
 
-// LoadModel deserializes a model saved by SaveModel.
+// LoadModel deserializes a model saved by SaveModel (checksummed v2
+// container) or SaveModelV1 (bare JSON), auto-detected. The decoded model
+// is structurally validated before it is returned.
 func LoadModel(r io.Reader) (Regressor, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(8)
+	if err == nil && [8]byte(head) == artifact.Magic {
+		ar, aerr := artifact.NewReader(br)
+		if aerr != nil {
+			return nil, fmt.Errorf("ml: %w", aerr)
+		}
+		if ar.Format() != ModelFormatTag {
+			return nil, fmt.Errorf("ml: container holds %q, want %q", ar.Format(), ModelFormatTag)
+		}
+		if ar.Version() > ModelFormatVersion {
+			return nil, fmt.Errorf("ml: model format version %d newer than supported %d", ar.Version(), ModelFormatVersion)
+		}
+		model, merr := loadModelJSON(ar)
+		if merr != nil {
+			return nil, merr
+		}
+		// The JSON decoder stops at the end of the envelope; drain the rest
+		// of the container so the sealed trailer is actually verified and
+		// damage anywhere in the file fails the load.
+		if _, err := io.Copy(io.Discard, ar); err != nil {
+			return nil, fmt.Errorf("ml: %w", err)
+		}
+		return model, nil
+	}
+	return loadModelJSON(br)
+}
+
+func loadModelJSON(r io.Reader) (Regressor, error) {
+	model, err := decodeModelJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateModel(model); err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+func decodeModelJSON(r io.Reader) (Regressor, error) {
 	var env envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return nil, fmt.Errorf("ml: parsing model: %w", err)
@@ -227,6 +298,118 @@ func LoadModel(r io.Reader) (Regressor, error) {
 	default:
 		return nil, fmt.Errorf("ml: unknown model type %q", env.Type)
 	}
+}
+
+// validateModel checks the structural invariants Predict relies on, so a
+// corrupt or hand-edited model file fails at load time with a clear error
+// rather than panicking mid-sweep.
+func validateModel(m Regressor) error {
+	bad := func(format string, args ...interface{}) error {
+		return fmt.Errorf("ml: invalid model: "+format, args...)
+	}
+	switch mm := m.(type) {
+	case *LinearRegression:
+		if len(mm.Coef) == 0 {
+			return bad("linear model with no coefficients")
+		}
+	case *Ridge:
+		if len(mm.Coef) == 0 {
+			return bad("ridge model with no coefficients")
+		}
+	case *SVR:
+		if len(mm.SupportX) != len(mm.Beta) {
+			return bad("svr has %d support vectors but %d betas", len(mm.SupportX), len(mm.Beta))
+		}
+		for i, sv := range mm.SupportX {
+			if len(sv) != len(mm.SupportX[0]) {
+				return bad("svr support vector %d has %d features, want %d", i, len(sv), len(mm.SupportX[0]))
+			}
+		}
+	case *RegressionTree:
+		return validateTree(mm)
+	case *RandomForest:
+		if len(mm.trees) == 0 {
+			return bad("forest with no trees")
+		}
+		for i, t := range mm.trees {
+			if t.nDims != mm.nDims {
+				return bad("forest tree %d expects %d features, forest %d", i, t.nDims, mm.nDims)
+			}
+			if err := validateTree(t); err != nil {
+				return err
+			}
+		}
+	case *GradientBoosting:
+		if len(mm.stages) == 0 {
+			return bad("gbt with no stages")
+		}
+		for i, t := range mm.stages {
+			if t.nDims != mm.nDims {
+				return bad("gbt stage %d expects %d features, model %d", i, t.nDims, mm.nDims)
+			}
+			if err := validateTree(t); err != nil {
+				return err
+			}
+		}
+	case *KNN:
+		if len(mm.x) == 0 || len(mm.x) != len(mm.y) {
+			return bad("knn has %d samples but %d targets", len(mm.x), len(mm.y))
+		}
+		for i, row := range mm.x {
+			if len(row) != len(mm.x[0]) {
+				return bad("knn sample %d has %d features, want %d", i, len(row), len(mm.x[0]))
+			}
+		}
+		if mm.K <= 0 {
+			return bad("knn k=%d", mm.K)
+		}
+	case *MLP:
+		d := mm.dims
+		if len(d) < 2 {
+			return bad("mlp dims %v", d)
+		}
+		if len(mm.weights) != len(d)-1 || len(mm.biases) != len(d)-1 {
+			return bad("mlp has %d weight and %d bias layers for %d dims", len(mm.weights), len(mm.biases), len(d))
+		}
+		for i := 0; i < len(d)-1; i++ {
+			if d[i] <= 0 || d[i+1] <= 0 {
+				return bad("mlp layer %d dims %d→%d", i, d[i], d[i+1])
+			}
+			if len(mm.weights[i]) != d[i]*d[i+1] {
+				return bad("mlp layer %d has %d weights, want %d×%d", i, len(mm.weights[i]), d[i], d[i+1])
+			}
+			if len(mm.biases[i]) != d[i+1] {
+				return bad("mlp layer %d has %d biases, want %d", i, len(mm.biases[i]), d[i+1])
+			}
+		}
+	}
+	return nil
+}
+
+func validateTree(t *RegressionTree) error {
+	if t.root == nil {
+		return fmt.Errorf("ml: invalid model: tree with no root")
+	}
+	if t.nDims <= 0 {
+		return fmt.Errorf("ml: invalid model: tree expects %d features", t.nDims)
+	}
+	return validateNode(t.root, t.nDims)
+}
+
+func validateNode(n *treeNode, dims int) error {
+	if n.feature < 0 {
+		return nil // leaf
+	}
+	if n.feature >= dims {
+		return fmt.Errorf("ml: invalid model: tree splits on feature %d of %d", n.feature, dims)
+	}
+	if n.left == nil || n.right == nil {
+		return fmt.Errorf("ml: invalid model: split node missing children")
+	}
+	if err := validateNode(n.left, dims); err != nil {
+		return err
+	}
+	return validateNode(n.right, dims)
 }
 
 func kernelToDTO(k Kernel) kernelDTO {

@@ -5,19 +5,98 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"graphdse/internal/artifact"
 )
 
-// Compressed binary trace format: an 8-byte magic header followed by
-// varint-encoded records exploiting trace structure — cycles are ascending
-// (delta-encoded) and addresses cluster around recent accesses
-// (zig-zag-delta encoded). Graph traces compress ~3-4× over the fixed
-// binary format.
+// Compressed binary trace format: varint-encoded records exploiting trace
+// structure — cycles are ascending (delta-encoded) and addresses cluster
+// around recent accesses (zig-zag-delta encoded). Graph traces compress
+// ~3-4× over the fixed binary format.
+//
+// v1 is a bare 8-byte magic, a total-count varint, and one long delta
+// stream; a single flipped bit silently rewrites every event after it,
+// because deltas accumulate. v2 frames the stream in the artifact container:
+// each block carries up to compressedBlockRecords events with the delta
+// state reset at the block start, so blocks verify and decode independently
+// — bit rot is caught by the block CRC and a torn file salvages to its valid
+// block prefix. Writers emit v2; readers accept both.
 
 var compressedMagic = [8]byte{'G', 'D', 'S', 'E', 'T', 'R', 'C', '2'}
 
-// WriteCompressed encodes events in the compressed trace format. Events
-// must have non-decreasing cycles (as produced by the system simulator).
+// CompressedFormatTag and CompressedFormatVersion identify the v2
+// delta-compressed trace container.
+const (
+	CompressedFormatTag     = "TRACECMP"
+	CompressedFormatVersion = 2
+)
+
+// compressedBlockRecords bounds events per v2 block; the delta state resets
+// at each block boundary so blocks decode independently.
+const compressedBlockRecords = 8192
+
+// maxV1Count caps the v1 total-count prefix a reader will believe outright.
+const maxV1Count = 1 << 34
+
+// encodeCompressedEvent appends one event's delta encoding to dst.
+func encodeCompressedEvent(dst []byte, e Event, prevCycle, prevAddr uint64) ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return dst, err
+	}
+	if e.Cycle < prevCycle {
+		return dst, fmt.Errorf("%w: cycle regression (%d < %d)", ErrFormat, e.Cycle, prevCycle)
+	}
+	var buf [3 * binary.MaxVarintLen64]byte
+	k := 0
+	// Cycle delta with the op bit folded into the low bit.
+	dc := (e.Cycle - prevCycle) << 1
+	if e.Op == Write {
+		dc |= 1
+	}
+	k += binary.PutUvarint(buf[k:], dc)
+	// Zig-zag address delta.
+	k += binary.PutVarint(buf[k:], int64(e.Addr)-int64(prevAddr))
+	buf[k] = e.Thread
+	k++
+	return append(dst, buf[:k]...), nil
+}
+
+// WriteCompressed encodes events in the checksummed v2 compressed trace
+// format. Events must have non-decreasing cycles (as produced by the system
+// simulator).
 func WriteCompressed(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	blocks, err := artifact.NewBlockWriter(bw, CompressedFormatTag, CompressedFormatVersion)
+	if err != nil {
+		return err
+	}
+	var block []byte
+	for start := 0; start < len(events); start += compressedBlockRecords {
+		end := start + compressedBlockRecords
+		if end > len(events) {
+			end = len(events)
+		}
+		block = block[:0]
+		var prevCycle, prevAddr uint64 // delta state resets per block
+		for i, e := range events[start:end] {
+			block, err = encodeCompressedEvent(block, e, prevCycle, prevAddr)
+			if err != nil {
+				return fmt.Errorf("event %d: %w", start+i, err)
+			}
+			prevCycle, prevAddr = e.Cycle, e.Addr
+		}
+		if err := blocks.WriteBlock(block, uint32(end-start)); err != nil {
+			return err
+		}
+	}
+	if err := blocks.Close(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteCompressedV1 encodes events in the legacy unchecksummed v1 format.
+func WriteCompressedV1(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(compressedMagic[:]); err != nil {
 		return err
@@ -27,68 +106,71 @@ func WriteCompressed(w io.Writer, events []Event) error {
 	if _, err := bw.Write(lenBuf[:n]); err != nil {
 		return err
 	}
-	var prevCycle uint64
-	var prevAddr uint64
-	var buf [3 * binary.MaxVarintLen64]byte
+	var prevCycle, prevAddr uint64
+	var block []byte
 	for i, e := range events {
-		if err := e.Validate(); err != nil {
+		var err error
+		block, err = encodeCompressedEvent(block[:0], e, prevCycle, prevAddr)
+		if err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		if _, err := bw.Write(block); err != nil {
 			return err
 		}
-		if e.Cycle < prevCycle {
-			return fmt.Errorf("%w: cycle regression at event %d (%d < %d)", ErrFormat, i, e.Cycle, prevCycle)
-		}
-		k := 0
-		// Cycle delta with the op bit folded into the low bit.
-		dc := (e.Cycle - prevCycle) << 1
-		if e.Op == Write {
-			dc |= 1
-		}
-		k += binary.PutUvarint(buf[k:], dc)
-		// Zig-zag address delta.
-		k += binary.PutVarint(buf[k:], int64(e.Addr)-int64(prevAddr))
-		buf[k] = e.Thread
-		k++
-		if _, err := bw.Write(buf[:k]); err != nil {
-			return err
-		}
-		prevCycle = e.Cycle
-		prevAddr = e.Addr
+		prevCycle, prevAddr = e.Cycle, e.Addr
 	}
 	return bw.Flush()
 }
 
-// ReadCompressed decodes a compressed trace stream.
+// ReadCompressed decodes a compressed trace stream, accepting both the
+// legacy v1 format and the checksummed v2 container. Any damage fails the
+// read; ReadCompressedSalvage recovers the valid prefix instead.
 func ReadCompressed(r io.Reader) ([]Event, error) {
+	events, _, err := readCompressed(r, false)
+	return events, err
+}
+
+// ReadCompressedSalvage reads as much of a compressed trace as is provably
+// intact: for v2 every returned event comes from a checksum-verified block
+// (decoded independently thanks to per-block delta state); for v1 the
+// prefix ends at the first undecodable varint. The error is non-nil only
+// when the header is unusable.
+func ReadCompressedSalvage(r io.Reader) ([]Event, *artifact.SalvageReport, error) {
+	return readCompressed(r, true)
+}
+
+func readCompressed(r io.Reader, salvage bool) ([]Event, *artifact.SalvageReport, error) {
 	br := bufio.NewReader(r)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
-	}
-	if magic != compressedMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, magic[:])
-	}
-	count, err := binary.ReadUvarint(br)
+	head, err := br.Peek(8)
 	if err != nil {
-		return nil, fmt.Errorf("%w: missing count: %v", ErrFormat, err)
+		return nil, nil, fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
 	}
-	const maxReasonable = 1 << 34
-	if count > maxReasonable {
-		return nil, fmt.Errorf("%w: implausible event count %d", ErrFormat, count)
+	switch {
+	case [8]byte(head) == compressedMagic:
+		return readCompressedV1(br, salvage)
+	case [8]byte(head) == artifact.Magic:
+		return readCompressedV2(br, salvage)
+	default:
+		return nil, nil, fmt.Errorf("%w: bad magic %q", ErrFormat, head)
 	}
-	events := make([]Event, 0, count)
+}
+
+// decodeCompressedBlock decodes records delta-encoded events from data,
+// appending to events. Returns the number decoded and the first error.
+func decodeCompressedBlock(events []Event, data *bufio.Reader, records uint64) ([]Event, uint64, error) {
 	var cycle, addr uint64
-	for i := uint64(0); i < count; i++ {
-		dc, err := binary.ReadUvarint(br)
+	for i := uint64(0); i < records; i++ {
+		dc, err := binary.ReadUvarint(data)
 		if err != nil {
-			return nil, fmt.Errorf("%w: truncated at event %d: %v", ErrFormat, i, err)
+			return events, i, fmt.Errorf("%w: truncated at event %d: %v", ErrFormat, i, err)
 		}
-		da, err := binary.ReadVarint(br)
+		da, err := binary.ReadVarint(data)
 		if err != nil {
-			return nil, fmt.Errorf("%w: truncated addr at event %d: %v", ErrFormat, i, err)
+			return events, i, fmt.Errorf("%w: truncated addr at event %d: %v", ErrFormat, i, err)
 		}
-		thread, err := br.ReadByte()
+		thread, err := data.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("%w: truncated thread at event %d: %v", ErrFormat, i, err)
+			return events, i, fmt.Errorf("%w: truncated thread at event %d: %v", ErrFormat, i, err)
 		}
 		op := Read
 		if dc&1 == 1 {
@@ -98,5 +180,131 @@ func ReadCompressed(r io.Reader) ([]Event, error) {
 		addr = uint64(int64(addr) + da)
 		events = append(events, Event{Cycle: cycle, Op: op, Addr: addr, Thread: thread})
 	}
-	return events, nil
+	return events, records, nil
+}
+
+func readCompressedV1(br *bufio.Reader, salvage bool) ([]Event, *artifact.SalvageReport, error) {
+	br.Discard(8)
+	rep := &artifact.SalvageReport{Format: CompressedFormatTag + "/v1", DroppedBytes: -1}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		err = fmt.Errorf("%w: missing count: %v", ErrFormat, err)
+		if salvage {
+			rep.Truncated, rep.Reason = true, err.Error()
+			return nil, rep, err
+		}
+		return nil, nil, err
+	}
+	if count > maxV1Count {
+		err := fmt.Errorf("%w: implausible event count %d", ErrFormat, count)
+		if salvage {
+			rep.Corrupt, rep.Reason = true, err.Error()
+			return nil, rep, err
+		}
+		return nil, nil, err
+	}
+	// Cap the up-front allocation: a corrupt count prefix must not OOM the
+	// process before the (tiny) body runs out. Growth past the cap is paid
+	// only by inputs that actually contain that many events.
+	capHint := count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	events := make([]Event, 0, capHint)
+	events, decoded, err := decodeCompressedBlock(events, br, count)
+	rep.RecordsKept = decoded
+	if err != nil {
+		if salvage {
+			rep.Truncated, rep.Reason = true, err.Error()
+			return events, rep, nil
+		}
+		return nil, nil, err
+	}
+	return events, rep, nil
+}
+
+func readCompressedV2(br *bufio.Reader, salvage bool) ([]Event, *artifact.SalvageReport, error) {
+	// fail returns the verified prefix in salvage mode, nothing otherwise.
+	fail := func(kept []Event, rep *artifact.SalvageReport, err error) ([]Event, *artifact.SalvageReport, error) {
+		if salvage {
+			return kept, rep, nil
+		}
+		return nil, rep, err
+	}
+	blocks, err := artifact.NewBlockReader(br)
+	if err != nil {
+		err = fmt.Errorf("%w: %w", ErrFormat, err)
+		rep := &artifact.SalvageReport{Format: CompressedFormatTag, DroppedBytes: -1, Corrupt: true, Reason: err.Error()}
+		return nil, rep, err
+	}
+	mkRep := func(err error) *artifact.SalvageReport {
+		rep := blocks.Report(err)
+		rep.Format = CompressedFormatTag
+		return rep
+	}
+	if blocks.Format() != CompressedFormatTag {
+		err := fmt.Errorf("%w: container holds %q, want %q", ErrFormat, blocks.Format(), CompressedFormatTag)
+		return nil, mkRep(err), err
+	}
+	if blocks.Version() > CompressedFormatVersion {
+		err := fmt.Errorf("%w: compressed format version %d newer than supported %d",
+			ErrFormat, blocks.Version(), CompressedFormatVersion)
+		return nil, mkRep(err), err
+	}
+	var events []Event
+	var kept uint64
+	for {
+		payload, records, err := blocks.Next()
+		if err == io.EOF {
+			rep := mkRep(nil)
+			rep.RecordsKept = kept
+			return events, rep, nil
+		}
+		if err != nil {
+			err = fmt.Errorf("%w: %w", ErrFormat, err)
+			rep := mkRep(err)
+			rep.RecordsKept = kept
+			return fail(events, rep, err)
+		}
+		if uint64(records) > uint64(len(payload)) {
+			// Each record is at least 3 bytes; a count beyond the payload
+			// length is structurally impossible.
+			err := fmt.Errorf("%w: block %d claims %d records in %d bytes",
+				ErrFormat, blocks.Blocks()-1, records, len(payload))
+			rep := mkRep(err)
+			rep.Corrupt, rep.RecordsKept = true, kept
+			return fail(events, rep, err)
+		}
+		blockReader := bufio.NewReader(newByteReader(payload))
+		var decoded uint64
+		events, decoded, err = decodeCompressedBlock(events, blockReader, uint64(records))
+		if err != nil || decoded != uint64(records) {
+			if err == nil {
+				err = fmt.Errorf("%w: block %d decoded %d of %d records", ErrFormat, blocks.Blocks()-1, decoded, records)
+			}
+			events = events[:kept] // drop the partially decoded block
+			rep := mkRep(err)
+			rep.Corrupt, rep.RecordsKept = true, kept
+			return fail(events, rep, err)
+		}
+		kept += decoded
+	}
+}
+
+// newByteReader wraps a byte slice as an io.Reader without the bytes.Reader
+// allocation dance in the hot path.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func newByteReader(data []byte) *byteReader { return &byteReader{data: data} }
+
+func (b *byteReader) Read(p []byte) (int, error) {
+	if b.pos >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.pos:])
+	b.pos += n
+	return n, nil
 }

@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+
+	"graphdse/internal/artifact"
 )
 
 // This file implements the trace conversion step of the workflow: extracting
@@ -23,22 +25,53 @@ import (
 type ConvertStats struct {
 	LinesIn   int64
 	EventsOut int64
+	BadLines  int64 // malformed lines dropped (permissive mode only)
 	Chunks    int
 	Workers   int
+}
+
+// ConvertOptions parameterizes a conversion pass. The zero value converts
+// strictly with automatic worker and chunk sizing.
+type ConvertOptions struct {
+	TicksPerCycle uint64
+	Workers       int
+	ChunkSize     int
+	Text          TextOptions
+}
+
+// checkBadLineBudget enforces the permissive-mode error budget over the
+// aggregated per-chunk counts.
+func (o *ConvertOptions) checkBadLineBudget(st *ConvertStats) error {
+	if !o.Text.Strict && o.Text.MaxBadLines > 0 && st.BadLines > o.Text.MaxBadLines {
+		return fmt.Errorf("%w: %d malformed lines, budget %d", ErrBadLineBudget, st.BadLines, o.Text.MaxBadLines)
+	}
+	return nil
 }
 
 // ConvertSequential converts a gem5-style stream to NVMain format one line
 // at a time — the baseline the paper's parallel script is compared against.
 func ConvertSequential(r io.Reader, w io.Writer, ticksPerCycle uint64) (ConvertStats, error) {
+	return ConvertSequentialOpts(r, w, ConvertOptions{TicksPerCycle: ticksPerCycle, Text: TextOptions{Strict: true}})
+}
+
+// ConvertSequentialOpts is ConvertSequential with explicit options.
+func ConvertSequentialOpts(r io.Reader, w io.Writer, opts ConvertOptions) (ConvertStats, error) {
 	var st ConvertStats
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	bw := bufio.NewWriter(w)
 	for sc.Scan() {
 		st.LinesIn++
-		e, ok, err := ParseGem5Line(sc.Text(), ticksPerCycle)
+		e, ok, err := ParseGem5Line(sc.Text(), opts.TicksPerCycle)
 		if err != nil {
-			return st, fmt.Errorf("line %d: %w", st.LinesIn, err)
+			if opts.Text.Strict {
+				return st, fmt.Errorf("line %d: %w", st.LinesIn, err)
+			}
+			st.BadLines++
+			if berr := opts.checkBadLineBudget(&st); berr != nil {
+				return st, fmt.Errorf("line %d: %w", st.LinesIn, berr)
+			}
+			continue
 		}
 		if !ok {
 			continue
@@ -62,7 +95,16 @@ func ConvertSequential(r io.Reader, w io.Writer, ticksPerCycle uint64) (ConvertS
 // is byte-identical to the sequential conversion. workers <= 0 uses
 // GOMAXPROCS; chunkSize <= 0 picks input/(8×workers) with a 64 KiB floor.
 func ConvertParallel(input []byte, w io.Writer, ticksPerCycle uint64, workers, chunkSize int) (ConvertStats, error) {
+	return ConvertParallelOpts(input, w, ConvertOptions{
+		TicksPerCycle: ticksPerCycle, Workers: workers, ChunkSize: chunkSize,
+		Text: TextOptions{Strict: true},
+	})
+}
+
+// ConvertParallelOpts is ConvertParallel with explicit options.
+func ConvertParallelOpts(input []byte, w io.Writer, opts ConvertOptions) (ConvertStats, error) {
 	var st ConvertStats
+	workers, chunkSize := opts.Workers, opts.ChunkSize
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -80,6 +122,7 @@ func ConvertParallel(input []byte, w io.Writer, ticksPerCycle uint64, workers, c
 		buf   bytes.Buffer
 		lines int64
 		evts  int64
+		bad   int64
 		err   error
 	}
 	results := make([]result, len(chunks))
@@ -92,7 +135,7 @@ func ConvertParallel(input []byte, w io.Writer, ticksPerCycle uint64, workers, c
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			res := &results[ci]
-			res.lines, res.evts, res.err = convertChunk(chunk, &res.buf, ticksPerCycle)
+			res.lines, res.evts, res.bad, res.err = convertChunk(chunk, &res.buf, opts.TicksPerCycle, opts.Text)
 		}(ci, chunk)
 	}
 	wg.Wait()
@@ -103,6 +146,10 @@ func ConvertParallel(input []byte, w io.Writer, ticksPerCycle uint64, workers, c
 		}
 		st.LinesIn += results[ci].lines
 		st.EventsOut += results[ci].evts
+		st.BadLines += results[ci].bad
+		if err := opts.checkBadLineBudget(&st); err != nil {
+			return st, err
+		}
 		if _, err := bw.Write(results[ci].buf.Bytes()); err != nil {
 			return st, err
 		}
@@ -120,7 +167,16 @@ func ConvertParallel(input []byte, w io.Writer, ticksPerCycle uint64, workers, c
 // ConvertSequential. workers <= 0 uses GOMAXPROCS; chunkSize <= 0 defaults
 // to 1 MiB.
 func ConvertStream(r io.Reader, w io.Writer, ticksPerCycle uint64, workers, chunkSize int) (ConvertStats, error) {
+	return ConvertStreamOpts(r, w, ConvertOptions{
+		TicksPerCycle: ticksPerCycle, Workers: workers, ChunkSize: chunkSize,
+		Text: TextOptions{Strict: true},
+	})
+}
+
+// ConvertStreamOpts is ConvertStream with explicit options.
+func ConvertStreamOpts(r io.Reader, w io.Writer, opts ConvertOptions) (ConvertStats, error) {
 	var st ConvertStats
+	workers, chunkSize := opts.Workers, opts.ChunkSize
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -133,6 +189,7 @@ func ConvertStream(r io.Reader, w io.Writer, ticksPerCycle uint64, workers, chun
 		buf   bytes.Buffer
 		lines int64
 		evts  int64
+		bad   int64
 		err   error
 	}
 	type job struct {
@@ -151,7 +208,7 @@ func ConvertStream(r io.Reader, w io.Writer, ticksPerCycle uint64, workers, chun
 			defer wg.Done()
 			for j := range jobs {
 				res := &result{}
-				res.lines, res.evts, res.err = convertChunk(j.data, &res.buf, ticksPerCycle)
+				res.lines, res.evts, res.bad, res.err = convertChunk(j.data, &res.buf, opts.TicksPerCycle, opts.Text)
 				j.done <- res
 			}
 		}()
@@ -208,6 +265,11 @@ func ConvertStream(r io.Reader, w io.Writer, ticksPerCycle uint64, workers, chun
 		st.Chunks++
 		st.LinesIn += res.lines
 		st.EventsOut += res.evts
+		st.BadLines += res.bad
+		if err := opts.checkBadLineBudget(&st); err != nil && convErr == nil {
+			convErr = err
+			continue
+		}
 		if _, err := bw.Write(res.buf.Bytes()); err != nil && convErr == nil {
 			convErr = err
 		}
@@ -228,32 +290,40 @@ func ConvertStream(r io.Reader, w io.Writer, ticksPerCycle uint64, workers, chun
 // chunkSize <= 0 is derived from the file size as before (size/(8×workers)
 // with a 64 KiB floor).
 func ConvertFileParallel(inPath, outPath string, ticksPerCycle uint64, workers, chunkSize int) (ConvertStats, error) {
+	return ConvertFileParallelOpts(inPath, outPath, ConvertOptions{
+		TicksPerCycle: ticksPerCycle, Workers: workers, ChunkSize: chunkSize,
+		Text: TextOptions{Strict: true},
+	})
+}
+
+// ConvertFileParallelOpts is ConvertFileParallel with explicit options. The
+// output file is written atomically: a failed or interrupted conversion
+// leaves any existing file at outPath untouched.
+func ConvertFileParallelOpts(inPath, outPath string, opts ConvertOptions) (ConvertStats, error) {
 	in, err := os.Open(inPath)
 	if err != nil {
 		return ConvertStats{}, err
 	}
 	defer in.Close()
-	if chunkSize <= 0 {
+	if opts.ChunkSize <= 0 {
 		if fi, err := in.Stat(); err == nil {
+			workers := opts.Workers
 			if workers <= 0 {
 				workers = runtime.GOMAXPROCS(0)
 			}
-			chunkSize = int(fi.Size()) / (8 * workers)
+			opts.ChunkSize = int(fi.Size()) / (8 * workers)
 		}
-		if chunkSize < 64*1024 {
-			chunkSize = 64 * 1024
+		if opts.ChunkSize < 64*1024 {
+			opts.ChunkSize = 64 * 1024
 		}
 	}
-	out, err := os.Create(outPath)
-	if err != nil {
-		return ConvertStats{}, err
-	}
-	defer out.Close()
-	st, err := ConvertStream(in, out, ticksPerCycle, workers, chunkSize)
-	if err != nil {
-		return st, err
-	}
-	return st, out.Close()
+	var st ConvertStats
+	err = artifact.WriteFileAtomic(outPath, 0o644, func(w io.Writer) error {
+		var cerr error
+		st, cerr = ConvertStreamOpts(in, w, opts)
+		return cerr
+	})
+	return st, err
 }
 
 // splitChunks slices input into ~chunkSize pieces ending on newline
@@ -278,8 +348,10 @@ func splitChunks(input []byte, chunkSize int) [][]byte {
 	return chunks
 }
 
-// convertChunk converts the lines of one chunk into buf.
-func convertChunk(chunk []byte, buf *bytes.Buffer, ticksPerCycle uint64) (lines, events int64, err error) {
+// convertChunk converts the lines of one chunk into buf. In permissive mode
+// malformed lines are dropped and counted; the budget is enforced by the
+// caller over the aggregated counts.
+func convertChunk(chunk []byte, buf *bytes.Buffer, ticksPerCycle uint64, text TextOptions) (lines, events, bad int64, err error) {
 	var numBuf [20]byte
 	for len(chunk) > 0 {
 		var line []byte
@@ -293,7 +365,11 @@ func convertChunk(chunk []byte, buf *bytes.Buffer, ticksPerCycle uint64) (lines,
 		lines++
 		e, ok, perr := ParseGem5Line(string(line), ticksPerCycle)
 		if perr != nil {
-			return lines, events, perr
+			if text.Strict {
+				return lines, events, bad, perr
+			}
+			bad++
+			continue
 		}
 		if !ok {
 			continue
@@ -308,7 +384,7 @@ func convertChunk(chunk []byte, buf *bytes.Buffer, ticksPerCycle uint64) (lines,
 		buf.WriteByte('\n')
 		events++
 	}
-	return lines, events, nil
+	return lines, events, bad, nil
 }
 
 // upperHex appends the uppercase hex form of v to dst (matching %X).

@@ -2,9 +2,78 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
+
+// fuzzTrace builds seed traces for the binary-reader fuzz targets.
+func fuzzTrace(n int) []Event {
+	events := make([]Event, n)
+	for i := range events {
+		op := Read
+		if i%2 == 0 {
+			op = Write
+		}
+		events[i] = Event{Cycle: uint64(i * 3), Op: op, Addr: uint64(0x1000 + i*64), Thread: uint8(i % 3)}
+	}
+	return events
+}
+
+// FuzzReadBinary drives both binary trace readers (strict and salvage) over
+// arbitrary bytes: no panics, no runaway allocation, errors classified as
+// ErrFormat, and salvage must return a prefix consistent with its report.
+func FuzzReadBinary(f *testing.F) {
+	var v1, v2 bytes.Buffer
+	WriteBinaryV1(&v1, fuzzTrace(20))
+	WriteBinary(&v2, fuzzTrace(20))
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add(v2.Bytes()[:v2.Len()-10]) // torn trailer
+	f.Add([]byte("GDSETRC1short"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil && !errors.Is(err, ErrFormat) {
+			t.Fatalf("unclassified error: %v", err)
+		}
+		events, rep, err := ReadBinarySalvage(bytes.NewReader(data))
+		if err != nil {
+			return // unusable header: nothing salvageable
+		}
+		if rep == nil {
+			t.Fatal("salvage returned nil report without error")
+		}
+		if uint64(len(events)) != rep.RecordsKept {
+			t.Fatalf("salvage report says %d records, returned %d", rep.RecordsKept, len(events))
+		}
+	})
+}
+
+// FuzzReadCompressed is FuzzReadBinary for the delta-compressed format.
+func FuzzReadCompressed(f *testing.F) {
+	var v1, v2 bytes.Buffer
+	WriteCompressedV1(&v1, fuzzTrace(30))
+	WriteCompressed(&v2, fuzzTrace(30))
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes()[:5])
+	f.Add(append(append([]byte{}, compressedMagic[:]...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := ReadCompressed(bytes.NewReader(data)); err != nil && !errors.Is(err, ErrFormat) {
+			t.Fatalf("unclassified error: %v", err)
+		}
+		events, rep, err := ReadCompressedSalvage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if rep == nil {
+			t.Fatal("salvage returned nil report without error")
+		}
+		if uint64(len(events)) != rep.RecordsKept {
+			t.Fatalf("salvage report says %d records, returned %d", rep.RecordsKept, len(events))
+		}
+	})
+}
 
 // FuzzParseNVMainLine checks that any line the NVMain parser accepts
 // round-trips through the writer format: parse → render → reparse must

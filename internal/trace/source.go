@@ -3,9 +3,11 @@ package trace
 import (
 	"bufio"
 	"container/heap"
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+
+	"graphdse/internal/artifact"
 )
 
 // This file is the streaming core of the trace pipeline. The paper's
@@ -130,21 +132,29 @@ func ForEach(src Source, fn func(Event) error) error {
 	}
 }
 
-// lineSource streams events from a line-oriented text format.
-type lineSource struct {
+// TextSource streams events from a line-oriented text format. In strict
+// mode (the default) the first malformed line fails the stream; in
+// permissive mode malformed lines are dropped and recorded against the
+// error budget, and Report says exactly what was skipped.
+type TextSource struct {
 	sc     *bufio.Scanner
 	parse  func(string) (Event, bool, error)
-	lineNo int64
+	opts   TextOptions
+	report TextReport
 	err    error
 }
 
-func newLineSource(r io.Reader, parse func(string) (Event, bool, error)) *lineSource {
+func newTextSource(r io.Reader, opts TextOptions, parse func(string) (Event, bool, error)) *TextSource {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	return &lineSource{sc: sc, parse: parse}
+	return &TextSource{sc: sc, parse: parse, opts: opts}
 }
 
-func (s *lineSource) Next(batch []Event) (int, error) {
+// Report returns the running parse accounting. It is complete once Next has
+// returned a terminal error (io.EOF or otherwise).
+func (s *TextSource) Report() *TextReport { return &s.report }
+
+func (s *TextSource) Next(batch []Event) (int, error) {
 	if s.err != nil {
 		return 0, s.err
 	}
@@ -158,15 +168,25 @@ func (s *lineSource) Next(batch []Event) (int, error) {
 			}
 			break
 		}
-		s.lineNo++
+		s.report.Lines++
 		e, ok, err := s.parse(s.sc.Text())
 		if err != nil {
-			s.err = fmt.Errorf("line %d: %w", s.lineNo, err)
-			break
+			if s.opts.Strict {
+				s.err = fmt.Errorf("line %d: %w", s.report.Lines, err)
+				break
+			}
+			s.report.addBadLine(s.report.Lines, s.sc.Text(), err)
+			if s.opts.MaxBadLines > 0 && s.report.BadLines > s.opts.MaxBadLines {
+				s.err = fmt.Errorf("line %d: %w (%d malformed lines, budget %d)",
+					s.report.Lines, ErrBadLineBudget, s.report.BadLines, s.opts.MaxBadLines)
+				break
+			}
+			continue
 		}
 		if !ok {
 			continue
 		}
+		s.report.Events++
 		batch[n] = e
 		n++
 	}
@@ -177,24 +197,51 @@ func (s *lineSource) Next(batch []Event) (int, error) {
 }
 
 // NewGem5Source streams memory events from a gem5-style text trace,
-// skipping non-memory lines, in constant memory.
+// skipping non-memory lines, in constant memory. Malformed lines fail the
+// stream; NewGem5SourceOpts selects permissive parsing.
 func NewGem5Source(r io.Reader, ticksPerCycle uint64) Source {
-	return newLineSource(r, func(line string) (Event, bool, error) {
+	return NewGem5SourceOpts(r, ticksPerCycle, TextOptions{Strict: true})
+}
+
+// NewGem5SourceOpts streams a gem5-style text trace under the given
+// strict/permissive options.
+func NewGem5SourceOpts(r io.Reader, ticksPerCycle uint64, opts TextOptions) *TextSource {
+	return newTextSource(r, opts, func(line string) (Event, bool, error) {
 		return ParseGem5Line(line, ticksPerCycle)
 	})
 }
 
 // NewNVMainSource streams events from an NVMain-format text trace in
-// constant memory.
+// constant memory. Malformed lines fail the stream; NewNVMainSourceOpts
+// selects permissive parsing.
 func NewNVMainSource(r io.Reader) Source {
-	return newLineSource(r, ParseNVMainLine)
+	return NewNVMainSourceOpts(r, TextOptions{Strict: true})
 }
 
-// BinarySource streams events from the binary trace format.
+// NewNVMainSourceOpts streams an NVMain-format text trace under the given
+// strict/permissive options.
+func NewNVMainSourceOpts(r io.Reader, opts TextOptions) *TextSource {
+	return newTextSource(r, opts, ParseNVMainLine)
+}
+
+// BinarySource streams events from the binary trace format, accepting both
+// the legacy v1 layout and the checksummed v2 container (auto-detected from
+// the magic on the first Next call). In the v2 path every event handed out
+// comes from a checksum-verified block.
 type BinarySource struct {
-	br     *bufio.Reader
-	header bool
-	err    error
+	br      *bufio.Reader
+	version binaryVersion
+	blocks  *artifact.BlockReader
+
+	// pending holds decoded events from the current v2 block.
+	pending []Event
+	pos     int
+
+	records   uint64 // events handed out so far
+	truncated bool   // terminal error was a torn read
+	corrupt   bool   // terminal error was detected damage
+	headerErr bool   // stream unusable from the start (bad magic)
+	err       error
 }
 
 // NewBinarySource returns a Source decoding the binary trace format from r.
@@ -203,23 +250,47 @@ func NewBinarySource(r io.Reader) *BinarySource {
 	return &BinarySource{br: bufio.NewReader(r)}
 }
 
-// Next implements Source.
-func (s *BinarySource) Next(batch []Event) (int, error) {
-	if s.err != nil {
-		return 0, s.err
+func (s *BinarySource) fail(truncated, corrupt bool, err error) error {
+	s.truncated, s.corrupt = truncated, corrupt
+	s.err = err
+	return err
+}
+
+func (s *BinarySource) start() error {
+	v, err := sniffBinary(s.br)
+	if err != nil {
+		s.headerErr = true
+		return s.fail(false, true, err)
 	}
-	if !s.header {
-		var magic [8]byte
-		if _, err := io.ReadFull(s.br, magic[:]); err != nil {
-			s.err = fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
-			return 0, s.err
+	s.version = v
+	if v == binaryV1 {
+		if _, err := io.ReadFull(s.br, make([]byte, 8)); err != nil {
+			s.headerErr = true
+			return s.fail(true, false, fmt.Errorf("%w: missing magic: %v", ErrFormat, err))
 		}
-		if magic != binaryMagic {
-			s.err = fmt.Errorf("%w: bad magic %q", ErrFormat, magic[:])
-			return 0, s.err
-		}
-		s.header = true
+		return nil
 	}
+	blocks, err := artifact.NewBlockReader(s.br)
+	if err != nil {
+		s.headerErr = true
+		return s.fail(errors.Is(err, artifact.ErrTruncated), errors.Is(err, artifact.ErrCorrupt),
+			fmt.Errorf("%w: %w", ErrFormat, err))
+	}
+	if blocks.Format() != BinaryFormatTag {
+		s.headerErr = true
+		return s.fail(false, true, fmt.Errorf("%w: container holds %q, want %q", ErrFormat, blocks.Format(), BinaryFormatTag))
+	}
+	if blocks.Version() > BinaryFormatVersion {
+		s.headerErr = true
+		return s.fail(false, true, fmt.Errorf("%w: trace format version %d newer than supported %d",
+			ErrFormat, blocks.Version(), BinaryFormatVersion))
+	}
+	s.blocks = blocks
+	return nil
+}
+
+// nextV1 serves records from the bare v1 stream.
+func (s *BinarySource) nextV1(batch []Event) (int, error) {
 	n := 0
 	var rec [binaryRecordSize]byte
 	for n < len(batch) {
@@ -229,26 +300,143 @@ func (s *BinarySource) Next(batch []Event) (int, error) {
 			break
 		}
 		if err != nil {
-			s.err = fmt.Errorf("%w: truncated record: %v", ErrFormat, err)
+			s.fail(true, false, fmt.Errorf("%w: truncated record %d: %v", ErrFormat, s.records, err))
 			break
 		}
-		e := Event{
-			Cycle:  binary.LittleEndian.Uint64(rec[0:8]),
-			Addr:   binary.LittleEndian.Uint64(rec[8:16]),
-			Op:     Op(rec[16]),
-			Thread: rec[17],
-		}
+		e := decodeBinaryRecord(rec[:])
 		if verr := e.Validate(); verr != nil {
-			s.err = verr
+			s.fail(false, true, fmt.Errorf("record %d: %w", s.records, verr))
 			break
 		}
 		batch[n] = e
 		n++
+		s.records++
 	}
 	if n > 0 {
 		return n, nil
 	}
 	return 0, s.err
+}
+
+// fillV2 decodes the next verified container block into pending.
+func (s *BinarySource) fillV2() error {
+	payload, records, err := s.blocks.Next()
+	if err == io.EOF {
+		return s.fail(false, false, io.EOF)
+	}
+	if err != nil {
+		return s.fail(errors.Is(err, artifact.ErrTruncated), errors.Is(err, artifact.ErrCorrupt),
+			fmt.Errorf("%w: %w", ErrFormat, err))
+	}
+	if len(payload)%binaryRecordSize != 0 || int(records)*binaryRecordSize != len(payload) {
+		return s.fail(false, true, fmt.Errorf("%w: block %d payload %d bytes does not hold %d records",
+			ErrFormat, s.blocks.Blocks()-1, len(payload), records))
+	}
+	if cap(s.pending) < int(records) {
+		s.pending = make([]Event, records)
+	}
+	s.pending = s.pending[:records]
+	for i := range s.pending {
+		e := decodeBinaryRecord(payload[i*binaryRecordSize:])
+		if verr := e.Validate(); verr != nil {
+			s.pending = s.pending[:0]
+			return s.fail(false, true, fmt.Errorf("block %d record %d: %w", s.blocks.Blocks()-1, i, verr))
+		}
+		s.pending[i] = e
+	}
+	s.pos = 0
+	return nil
+}
+
+// Next implements Source.
+func (s *BinarySource) Next(batch []Event) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	if s.version == binaryUnknown {
+		if err := s.start(); err != nil {
+			return 0, err
+		}
+	}
+	if s.version == binaryV1 {
+		return s.nextV1(batch)
+	}
+	n := 0
+	for n < len(batch) {
+		if s.pos >= len(s.pending) {
+			if err := s.fillV2(); err != nil {
+				break
+			}
+		}
+		c := copy(batch[n:], s.pending[s.pos:])
+		s.pos += c
+		n += c
+		s.records += uint64(c)
+	}
+	if n > 0 {
+		return n, nil
+	}
+	return 0, s.err
+}
+
+// salvageReport describes how far the source got and why it stopped, for
+// ReadBinarySalvage.
+func (s *BinarySource) salvageReport(err error) *artifact.SalvageReport {
+	rep := &artifact.SalvageReport{
+		Format:       BinaryFormatTag,
+		RecordsKept:  s.records,
+		DroppedBytes: -1,
+		Truncated:    s.truncated,
+		Corrupt:      s.corrupt,
+	}
+	if s.version == binaryV1 {
+		rep.Format = BinaryFormatTag + "/v1"
+		rep.BytesKept = 8 + int64(s.records)*binaryRecordSize
+	} else if s.blocks != nil {
+		rep.BlocksKept = s.blocks.Blocks()
+		rep.BytesKept = s.blocks.BytesVerified()
+	}
+	if err != nil && err != io.EOF {
+		rep.Reason = err.Error()
+		if !rep.Truncated && !rep.Corrupt {
+			rep.Corrupt = true
+		}
+	}
+	return rep
+}
+
+// SalvageSource adapts a BinarySource into permissive mode for streaming
+// consumers: a terminal corruption or truncation error after at least the
+// header was valid ends the stream like clean EOF, keeping the verified
+// prefix, and Report says what was lost. Bad magic and plain I/O errors
+// still fail — there is nothing to salvage from those.
+type SalvageSource struct {
+	src *BinarySource
+	rep *artifact.SalvageReport
+}
+
+// NewSalvageSource wraps src in prefix-salvaging mode.
+func NewSalvageSource(src *BinarySource) *SalvageSource {
+	return &SalvageSource{src: src}
+}
+
+// Report returns the salvage accounting, or nil while the stream is clean.
+func (s *SalvageSource) Report() *artifact.SalvageReport { return s.rep }
+
+// Next implements Source.
+func (s *SalvageSource) Next(batch []Event) (int, error) {
+	if s.rep != nil {
+		return 0, io.EOF
+	}
+	n, err := s.src.Next(batch)
+	if err != nil && err != io.EOF && !s.src.headerErr && (s.src.truncated || s.src.corrupt) {
+		s.rep = s.src.salvageReport(err)
+		if n > 0 {
+			return n, nil
+		}
+		return 0, io.EOF
+	}
+	return n, err
 }
 
 // NVMainSink streams events to w in NVMain text format.
@@ -313,30 +501,55 @@ func (s *Gem5Sink) Emit(events []Event) error {
 // Flush writes any buffered output to the underlying writer.
 func (s *Gem5Sink) Flush() error { return s.bw.Flush() }
 
-// BinarySink streams events to w in the binary trace format.
+// BinarySink streams events to w in the checksummed v2 binary trace format,
+// buffering records into container blocks of binaryBlockRecords events.
+// Flush seals the container (writing the trailer); a sealed sink accepts no
+// further events.
 type BinarySink struct {
-	bw     *bufio.Writer
-	header bool
+	bw      *bufio.Writer
+	blocks  *artifact.BlockWriter
+	buf     []byte
+	records uint32
+	sealed  bool
 }
 
 // NewBinarySink returns a Sink writing the binary trace format to w. The
-// magic header is written lazily, before the first record (or by Flush for
-// an empty trace).
+// container header is written lazily, before the first record (or by Flush
+// for an empty trace).
 func NewBinarySink(w io.Writer) *BinarySink {
 	return &BinarySink{bw: bufio.NewWriter(w)}
 }
 
 func (s *BinarySink) writeHeader() error {
-	if s.header {
+	if s.blocks != nil {
 		return nil
 	}
-	s.header = true
-	_, err := s.bw.Write(binaryMagic[:])
-	return err
+	blocks, err := artifact.NewBlockWriter(s.bw, BinaryFormatTag, BinaryFormatVersion)
+	if err != nil {
+		return err
+	}
+	s.blocks = blocks
+	s.buf = make([]byte, 0, binaryBlockRecords*binaryRecordSize)
+	return nil
+}
+
+func (s *BinarySink) flushBlock() error {
+	if s.records == 0 {
+		return nil
+	}
+	if err := s.blocks.WriteBlock(s.buf, s.records); err != nil {
+		return err
+	}
+	s.buf = s.buf[:0]
+	s.records = 0
+	return nil
 }
 
 // Emit implements Sink.
 func (s *BinarySink) Emit(events []Event) error {
+	if s.sealed {
+		return fmt.Errorf("%w: emit to sealed binary sink", ErrFormat)
+	}
 	if err := s.writeHeader(); err != nil {
 		return err
 	}
@@ -345,22 +558,34 @@ func (s *BinarySink) Emit(events []Event) error {
 		if err := e.Validate(); err != nil {
 			return err
 		}
-		binary.LittleEndian.PutUint64(rec[0:8], e.Cycle)
-		binary.LittleEndian.PutUint64(rec[8:16], e.Addr)
-		rec[16] = byte(e.Op)
-		rec[17] = e.Thread
-		if _, err := s.bw.Write(rec[:]); err != nil {
-			return err
+		encodeBinaryRecord(rec[:], e)
+		s.buf = append(s.buf, rec[:]...)
+		s.records++
+		if s.records == binaryBlockRecords {
+			if err := s.flushBlock(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// Flush writes the header (if still pending) and any buffered output.
+// Flush writes any buffered block, seals the container with its trailer,
+// and flushes the underlying writer. The sink cannot be written after.
 func (s *BinarySink) Flush() error {
+	if s.sealed {
+		return s.bw.Flush()
+	}
 	if err := s.writeHeader(); err != nil {
 		return err
 	}
+	if err := s.flushBlock(); err != nil {
+		return err
+	}
+	if err := s.blocks.Close(); err != nil {
+		return err
+	}
+	s.sealed = true
 	return s.bw.Flush()
 }
 

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -17,6 +18,64 @@ import (
 // NVMain text format (what the memory simulator replays):
 //
 //	<cycle> <R|W> 0x<ADDR> <thread>
+
+// ErrBadLineBudget is returned when a permissive text parse drops more
+// malformed lines than TextOptions.MaxBadLines allows.
+var ErrBadLineBudget = errors.New("trace: malformed-line budget exceeded")
+
+// TextOptions selects how text trace parsers treat malformed lines.
+//
+// Strict (the zero value is permissive; the package's plain constructors
+// default to strict) fails the parse on the first malformed line. Permissive
+// mode drops malformed lines, records each against the report, and fails
+// only once more than MaxBadLines lines have been dropped (0 means
+// unlimited).
+type TextOptions struct {
+	Strict      bool
+	MaxBadLines int64
+}
+
+// LineError records one malformed input line.
+type LineError struct {
+	Line int64  // 1-based line number
+	Text string // offending line, truncated for the report
+	Err  error
+}
+
+func (e LineError) String() string {
+	return fmt.Sprintf("line %d: %v (%q)", e.Line, e.Err, e.Text)
+}
+
+// maxLineErrorSample bounds how many malformed lines a TextReport retains
+// verbatim; the full count is always kept in BadLines.
+const maxLineErrorSample = 8
+
+// maxLineErrorText bounds how much of an offending line the sample quotes.
+const maxLineErrorText = 80
+
+// TextReport is the accounting a text parser keeps: how many lines it saw,
+// how many events they produced, and which lines were dropped as malformed
+// (permissive mode only; strict parsers fail before dropping anything).
+type TextReport struct {
+	Lines    int64
+	Events   int64
+	BadLines int64
+	Sample   []LineError // first maxLineErrorSample malformed lines
+}
+
+func (r *TextReport) addBadLine(line int64, text string, err error) {
+	r.BadLines++
+	if len(r.Sample) >= maxLineErrorSample {
+		return
+	}
+	if len(text) > maxLineErrorText {
+		text = text[:maxLineErrorText] + "…"
+	}
+	r.Sample = append(r.Sample, LineError{Line: line, Text: text, Err: err})
+}
+
+// Clean reports whether the parse dropped nothing.
+func (r *TextReport) Clean() bool { return r.BadLines == 0 }
 
 // WriteGem5 renders events in the gem5-style text format. ticksPerCycle
 // scales CPU cycles to simulator ticks (gem5 uses picoseconds; 500 ticks per
@@ -101,26 +160,12 @@ func ParseGem5Line(line string, ticksPerCycle uint64) (Event, bool, error) {
 	return Event{Cycle: tick / ticksPerCycle, Op: op, Addr: addr, Thread: uint8(thread)}, true, nil
 }
 
-// ReadGem5 parses a full gem5-style stream, skipping non-memory lines.
+// ReadGem5 parses a full gem5-style stream, skipping non-memory lines and
+// failing on the first malformed one. ReadGem5Opts selects permissive
+// parsing.
 func ReadGem5(r io.Reader, ticksPerCycle uint64) ([]Event, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	var events []Event
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		e, ok, err := ParseGem5Line(sc.Text(), ticksPerCycle)
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", lineNo, err)
-		}
-		if ok {
-			events = append(events, e)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return events, nil
+	events, _, err := ReadGem5Opts(r, ticksPerCycle, TextOptions{Strict: true})
+	return events, err
 }
 
 // WriteNVMain renders events in the NVMain trace format.
@@ -182,24 +227,32 @@ func ParseNVMainLine(line string) (Event, bool, error) {
 	return Event{Cycle: cycle, Op: Op(fields[1][0]), Addr: addr, Thread: uint8(thread)}, true, nil
 }
 
-// ReadNVMain parses a full NVMain-format stream.
+// ReadNVMain parses a full NVMain-format stream, failing on the first
+// malformed line. ReadNVMainOpts selects permissive parsing.
 func ReadNVMain(r io.Reader) ([]Event, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	var events []Event
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		e, ok, err := ParseNVMainLine(sc.Text())
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", lineNo, err)
-		}
-		if ok {
-			events = append(events, e)
-		}
+	events, _, err := ReadNVMainOpts(r, TextOptions{Strict: true})
+	return events, err
+}
+
+// ReadNVMainOpts parses an NVMain-format stream under the given
+// strict/permissive options, returning the parse accounting alongside the
+// events.
+func ReadNVMainOpts(r io.Reader, opts TextOptions) ([]Event, *TextReport, error) {
+	src := NewNVMainSourceOpts(r, opts)
+	events, err := Collect(src)
+	if err != nil {
+		return nil, src.Report(), err
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	return events, src.Report(), nil
+}
+
+// ReadGem5Opts parses a gem5-style stream under the given strict/permissive
+// options, returning the parse accounting alongside the events.
+func ReadGem5Opts(r io.Reader, ticksPerCycle uint64, opts TextOptions) ([]Event, *TextReport, error) {
+	src := NewGem5SourceOpts(r, ticksPerCycle, opts)
+	events, err := Collect(src)
+	if err != nil {
+		return nil, src.Report(), err
 	}
-	return events, nil
+	return events, src.Report(), nil
 }
