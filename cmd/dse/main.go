@@ -13,13 +13,34 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"graphdse/internal/artifact"
 	"graphdse/internal/dse"
+	"graphdse/internal/guard"
 )
+
+// parseBytes parses a byte size with an optional binary-unit suffix
+// (KiB/MiB/GiB, or bare bytes).
+func parseBytes(s string) (uint64, error) {
+	mult := uint64(1)
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	for suffix, m := range map[string]uint64{"KIB": 1 << 10, "MIB": 1 << 20, "GIB": 1 << 30} {
+		if strings.HasSuffix(upper, suffix) {
+			mult = m
+			upper = strings.TrimSuffix(upper, suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(upper), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("size %q: want e.g. 512MiB or 1073741824", s)
+	}
+	return n * mult, nil
+}
 
 func main() {
 	var (
@@ -46,6 +67,12 @@ func main() {
 		retries      = flag.Int("retries", 0, "retries for transient simulation faults")
 		minSurvivors = flag.Int("min-survivors", 0, "fail unless at least this many configurations survive the sweep")
 		faillog      = flag.Bool("faillog", false, "print the sweep failure log")
+
+		deadline     = flag.Duration("deadline", 0, "whole-pipeline wall-clock deadline (0 = none; expiry exits "+fmt.Sprint(artifact.ExitTimeout)+")")
+		stageTimeout = flag.Duration("stage-timeout", 0, "per-stage wall-clock deadline (0 = none)")
+		heartbeat    = flag.Duration("heartbeat", 0, "per-stage heartbeat watchdog: cancel a stage whose progress stalls this long (0 = off)")
+		memBudget    = flag.String("mem-budget", "", "heap soft budget, e.g. 512MiB: under pressure the sweep sheds workers instead of dying (empty = off)")
+		guardReport  = flag.Bool("guard-report", false, "print the supervision run report (per-stage outcomes) to stderr")
 	)
 	flag.Parse()
 	if !*figure2 && !*table1 && *figure3 == "" && !*recommend && !*pareto && !*importance && *csvPath == "" {
@@ -77,14 +104,42 @@ func main() {
 	opts.Sweep.Timeout = *timeout
 	opts.Sweep.Retries = *retries
 	opts.Sweep.MinSurvivors = *minSurvivors
+	opts.Guard = guard.PipelineOptions{
+		Deadline: *deadline,
+		Stage:    guard.StageOptions{Timeout: *stageTimeout, HeartbeatTimeout: *heartbeat},
+	}
+	if *memBudget != "" {
+		soft, err := parseBytes(*memBudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dse: -mem-budget:", err)
+			os.Exit(artifact.ExitUsage)
+		}
+		opts.Guard.Budget.HeapSoftBytes = soft
+	}
 
-	// Ctrl-C interrupts the sweep cleanly; with -checkpoint the completed
-	// records survive and -resume picks up where the run stopped.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or SIGTERM interrupts the sweep cleanly; with -checkpoint the
+	// completed records are flushed and -resume picks up where the run
+	// stopped. A second signal forces immediate exit for operators who
+	// cannot wait for the drain.
+	ctx, stop := guard.SignalContext(context.Background(), func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "dse: second signal (%v): forcing exit\n", sig)
+		os.Exit(artifact.ExitError)
+	})
 	defer stop()
 
 	start := time.Now()
 	res, err := dse.RunWorkflowContext(ctx, opts)
+	if res != nil && res.Supervision != nil {
+		if *guardReport {
+			guard.RenderReport(os.Stderr, res.Supervision)
+		} else {
+			// Downshifts always reach the run log: a silently degraded run
+			// would be indistinguishable from a full-parallelism one.
+			for _, d := range res.Supervision.Downshifts {
+				fmt.Fprintf(os.Stderr, "guard: %s\n", d)
+			}
+		}
+	}
 	if err != nil {
 		var sf *dse.SweepFailureError
 		if errors.As(err, &sf) {
@@ -92,7 +147,10 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, "dse:", err)
 		}
-		os.Exit(1)
+		if guard.ClassOf(err) == guard.Timeout {
+			os.Exit(artifact.ExitTimeout)
+		}
+		os.Exit(artifact.ExitError)
 	}
 	fmt.Fprintf(os.Stderr, "workflow completed in %v: %d trace events, %d/%d configurations survived (%d failed)\n",
 		time.Since(start).Round(time.Millisecond), res.TraceEvents, res.SurvivorCount, len(res.Records), len(res.FailureLog))

@@ -4,15 +4,33 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"graphdse/internal/artifact"
+	"graphdse/internal/guard"
 	"graphdse/internal/memsim"
 	"graphdse/internal/trace"
 )
+
+// beatingSource forwards a trace source while marking supervision progress
+// per delivered batch.
+type beatingSource struct {
+	src trace.Source
+	hb  *guard.Heartbeat
+}
+
+func (b beatingSource) Next(batch []trace.Event) (int, error) {
+	n, err := b.src.Next(batch)
+	if n > 0 {
+		b.hb.Beat()
+	}
+	return n, err
+}
 
 func main() {
 	var (
@@ -30,6 +48,7 @@ func main() {
 		sched    = flag.String("sched", "frfcfs", "scheduler: fcfs or frfcfs")
 		policy   = flag.String("policy", "open", "row policy: open or closed")
 		verbose  = flag.Bool("v", false, "print per-channel detail")
+		deadline = flag.Duration("deadline", 0, "wall-clock deadline for the replay (0 = none; expiry exits "+fmt.Sprint(artifact.ExitTimeout)+")")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -87,7 +106,22 @@ func main() {
 		cfg.Policy = memsim.ClosedPage
 	}
 
-	res, err := memsim.RunTraceSource(cfg, src)
+	var res *memsim.Result
+	if *deadline > 0 {
+		// Supervised replay: the deadline cancels the stage and the tool
+		// exits with the timeout code instead of running forever. The trace
+		// source doubles as the heartbeat, so progress is visible to the
+		// supervisor batch by batch.
+		err = guard.Run(context.Background(), "replay",
+			guard.StageOptions{Timeout: *deadline, Grace: 200 * time.Millisecond},
+			func(ctx context.Context, hb *guard.Heartbeat) error {
+				var rerr error
+				res, rerr = memsim.RunTraceSource(cfg, beatingSource{src, hb})
+				return rerr
+			})
+	} else {
+		res, err = memsim.RunTraceSource(cfg, src)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -116,12 +150,16 @@ func main() {
 }
 
 // fatal reports err and exits with the corrupt-input code when the error is
-// a detected format/integrity failure, the generic code otherwise.
+// a detected format/integrity failure, the timeout code when a deadline
+// stopped the replay, and the generic code otherwise.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "memsim:", err)
 	if errors.Is(err, artifact.ErrCorrupt) || errors.Is(err, artifact.ErrTruncated) ||
 		errors.Is(err, trace.ErrFormat) || errors.Is(err, trace.ErrBadLineBudget) {
 		os.Exit(artifact.ExitCorrupt)
+	}
+	if guard.ClassOf(err) == guard.Timeout {
+		os.Exit(artifact.ExitTimeout)
 	}
 	os.Exit(artifact.ExitError)
 }

@@ -38,13 +38,16 @@ var ErrTruncated = errors.New("artifact: truncated data")
 // Process exit codes shared by the cmd/* tools so scripts can distinguish
 // failure modes: ExitCorrupt means the input failed validation and nothing
 // was produced; ExitSalvaged means the tool completed using the valid prefix
-// of a damaged input and the output reflects losses.
+// of a damaged input and the output reflects losses; ExitTimeout means a
+// watchdog or deadline stopped the run (guard.Class Timeout) — with a
+// checkpoint configured the work completed so far is resumable.
 const (
 	ExitOK       = 0
 	ExitError    = 1
 	ExitUsage    = 2
 	ExitCorrupt  = 3
 	ExitSalvaged = 4
+	ExitTimeout  = 5
 )
 
 // SalvageReport describes how much of a damaged artifact a salvage reader

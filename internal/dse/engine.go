@@ -11,26 +11,24 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"graphdse/internal/guard"
 	"graphdse/internal/memsim"
 )
 
 // ErrTransient marks failures worth retrying (injected transient faults and
-// anything else classified as recoverable).
-var ErrTransient = errors.New("dse: transient fault")
+// anything else classified as recoverable). It aliases guard's canonical
+// sentinel so guard.ClassOf sees sweep failures and stage failures in one
+// taxonomy.
+var ErrTransient = guard.ErrTransient
 
 // PanicError wraps a panic recovered inside a supervised worker so the
 // crash of one design point becomes a structured record instead of killing
-// the whole sweep process.
-type PanicError struct {
-	Value any
-	Stack []byte
-}
-
-func (e *PanicError) Error() string {
-	return fmt.Sprintf("dse: simulation panic: %v", e.Value)
-}
+// the whole sweep process. It is guard's PanicError: sweep-level and
+// stage-level panics classify identically (guard.Fatal).
+type PanicError = guard.PanicError
 
 // defaultHangTimeout bounds injected hangs when the caller set no Timeout,
 // so a chaos run can never deadlock the sweep.
@@ -63,6 +61,9 @@ func sweepEngine(ctx context.Context, pt *memsim.PreparedTrace, points []DesignP
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Under memory pressure the governor trims the pool before it even
+	// starts; workers that do start can still retire mid-sweep (below).
+	workers = opts.Governor.Workers("sweep", workers)
 	inj := opts.injector()
 	if opts.Timeout <= 0 && inj.hasClass(FaultHang) {
 		opts.Timeout = defaultHangTimeout
@@ -92,28 +93,50 @@ func sweepEngine(ctx context.Context, pt *memsim.PreparedTrace, points []DesignP
 
 	records := make([]RunRecord, len(points))
 	jobs := make(chan int)
+	var done atomic.Int64
+	finish := func(i int, rec RunRecord) {
+		records[i] = rec
+		if opts.OnPoint != nil {
+			opts.OnPoint(int(done.Add(1)), len(points))
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
 				if testHookPointStart != nil {
 					testHookPointStart(points[i])
 				}
-				records[i] = runPoint(ctx, pt, points[i], opts, inj, ckpt)
+				finish(i, runPoint(ctx, pt, points[i], opts, inj, ckpt))
 				if testHookPointDone != nil {
 					testHookPointDone(points[i])
 				}
+				// Graceful degradation: when memory pressure lowers the
+				// permitted pool size, high-indexed workers retire before
+				// pulling another job. Worker 0 never retires (Limit floors
+				// at 1), so the sweep always drains.
+				if w > 0 && w >= opts.Governor.Limit(workers) {
+					return
+				}
 			}
-		}()
+		}(w)
 	}
+	lastLimit := workers
 feed:
 	for i := range points {
 		if rec, ok := resumed[points[i].ID()]; ok {
 			rec.Point = points[i]
-			records[i] = rec
+			finish(i, rec)
 			continue
+		}
+		if cur := opts.Governor.Limit(workers); cur < lastLimit {
+			opts.Governor.Record(guard.Downshift{
+				Stage: "sweep", Resource: "workers",
+				From: lastLimit, To: cur, Reason: opts.Governor.PressureReason(),
+			})
+			lastLimit = cur
 		}
 		select {
 		case jobs <- i:
@@ -242,6 +265,21 @@ func simulatePoint(ctx context.Context, pt *memsim.PreparedTrace, p DesignPoint,
 			return nil, fmt.Errorf("dse: %s: %w", p.ID(), verr)
 		}
 		return &poisoned, nil
+	case FaultInvariant:
+		// The subtlest corruption: the run completes, every metric is finite
+		// and positive (ValidateMetrics passes), but the bandwidth exceeds
+		// what the configured channel bus can physically carry. Only the
+		// invariant gate between stages catches it.
+		res, err := memsim.RunPreparedTrace(p.Config(opts.FootprintLines), pt)
+		if err != nil {
+			return nil, err
+		}
+		poisoned := *res
+		poisoned.AvgBandwidthPerBank = 2 * memsim.PeakBandwidthPerBankMBs(&poisoned.Config) * float64(poisoned.Config.Channels)
+		if verr := poisoned.ValidateMetrics(); verr != nil {
+			return nil, fmt.Errorf("dse: %s: %w", p.ID(), verr)
+		}
+		return &poisoned, nil
 	}
 	res, err := memsim.RunPreparedTrace(p.Config(opts.FootprintLines), pt)
 	if err != nil {
@@ -268,6 +306,8 @@ func classifyError(err error) FaultClass {
 		return FaultTransient
 	case errors.Is(err, memsim.ErrInvalidMetrics):
 		return FaultCorrupt
+	case errors.Is(err, memsim.ErrPhysicalInvariant):
+		return FaultInvariant
 	default:
 		return FaultNone
 	}

@@ -25,6 +25,10 @@ const (
 	// FaultCorrupt completes the simulation but poisons a metric with NaN,
 	// exercising the result-validation quarantine.
 	FaultCorrupt
+	// FaultInvariant completes the simulation with metrics that are finite
+	// (ValidateMetrics passes) yet physically impossible — bandwidth above
+	// the channel bus peak — exercising the inter-stage invariant gate.
+	FaultInvariant
 )
 
 // String names the class for logs, checkpoints, and failure summaries.
@@ -40,6 +44,8 @@ func (c FaultClass) String() string {
 		return "transient"
 	case FaultCorrupt:
 		return "corrupt"
+	case FaultInvariant:
+		return ReasonInvariant
 	default:
 		return fmt.Sprintf("FaultClass(%d)", int(c))
 	}
@@ -57,6 +63,8 @@ func parseFaultClass(s string) FaultClass {
 		return FaultTransient
 	case "corrupt":
 		return FaultCorrupt
+	case ReasonInvariant:
+		return FaultInvariant
 	default:
 		return FaultNone
 	}

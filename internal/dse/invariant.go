@@ -1,0 +1,120 @@
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"graphdse/internal/memsim"
+)
+
+// ReasonInvariant is the failure-log class name for records quarantined by
+// the physical-invariant gate (FaultInvariant.String() returns it).
+const ReasonInvariant = "invariant"
+
+// GateReport summarizes one pass of the inter-stage invariant gate.
+type GateReport struct {
+	// Checked counts surviving records the gate examined.
+	Checked int
+	// Quarantined counts records the gate failed: their metrics were finite
+	// but physically impossible, and they were converted into failure
+	// records (FaultInvariant) instead of flowing into the dataset.
+	Quarantined int
+	// MetamorphicChecks counts channel-scaling config pairs spot-checked.
+	MetamorphicChecks int
+	// Survivors is the record count still healthy after the gate.
+	Survivors int
+}
+
+// ApplyInvariantGate is the physical-invariant gate that runs between the
+// sweep and dataset-build stages. A simulation that crashes is easy to
+// discard; one that completes with impossible numbers silently poisons the
+// surrogate. The gate re-validates every surviving record against the
+// simulator's physical envelope (memsim.ValidatePhysical) and quarantines
+// violators in place: the record becomes Failed with class FaultInvariant,
+// entering the failure log alongside crashes and hangs rather than aborting
+// the workflow. traceEvents is the replayed trace length (0 skips the
+// op-count check).
+//
+// The gate then runs metamorphic spot-checks over the survivors' own
+// configurations — at fixed timing, more channels must never lower the
+// aggregate bandwidth ceiling — to catch a miscalibrated envelope rather
+// than a bad record; a violation there is returned as an error.
+//
+// Callers should re-check MinSurvivors afterwards via CheckSurvivors: the
+// gate can push a sweep that cleared the bar back under it.
+func ApplyInvariantGate(records []RunRecord, traceEvents int64) (*GateReport, error) {
+	rep := &GateReport{}
+	for i := range records {
+		r := &records[i]
+		if r.Failed || r.Result == nil {
+			continue
+		}
+		rep.Checked++
+		if err := r.Result.ValidatePhysical(traceEvents); err != nil {
+			r.Failed = true
+			r.Err = fmt.Errorf("dse: %s: %w", r.Point.ID(), err)
+			r.FaultClass = FaultInvariant
+			r.Result = nil
+			rep.Quarantined++
+			continue
+		}
+		rep.Survivors++
+	}
+	if err := metamorphicSpotChecks(records, rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// metamorphicSpotChecks groups surviving configurations that differ only in
+// channel count and verifies the gate's bandwidth envelope is monotone in
+// channels within each group.
+func metamorphicSpotChecks(records []RunRecord, rep *GateReport) error {
+	groups := map[string][]*memsim.Config{}
+	for i := range records {
+		r := &records[i]
+		if r.Failed || r.Result == nil {
+			continue
+		}
+		p := r.Point
+		// Everything identifying the point except its channel count.
+		key := fmt.Sprintf("%s|%.0f|%.0f|%d|%d|%.2f|%v",
+			p.Type, p.CPUFreqMHz, p.CtrlFreqMHz, p.TRAS, p.TRCD, p.DRAMFraction, p.HybridMode)
+		groups[key] = append(groups[key], &r.Result.Config)
+	}
+	for _, cfgs := range groups {
+		if len(cfgs) < 2 {
+			continue
+		}
+		sort.Slice(cfgs, func(i, j int) bool { return cfgs[i].Channels < cfgs[j].Channels })
+		for i := 1; i < len(cfgs); i++ {
+			if cfgs[i-1].Channels == cfgs[i].Channels {
+				continue
+			}
+			rep.MetamorphicChecks++
+			if err := memsim.MetamorphicPeakCheck(cfgs[i-1], cfgs[i]); err != nil {
+				return fmt.Errorf("dse: invariant gate self-check: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSurvivors re-applies the sweep's survivorship contract after a gate
+// pass: ErrAllFailed when nothing survived, a *SweepFailureError when fewer
+// than minSurvivors did, nil otherwise.
+func CheckSurvivors(records []RunRecord, minSurvivors int) error {
+	survivors := 0
+	for i := range records {
+		if !records[i].Failed {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		return ErrAllFailed
+	}
+	if minSurvivors > 0 && survivors < minSurvivors {
+		return newSweepFailureError(records, survivors, minSurvivors)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"graphdse/internal/guard"
 	"graphdse/internal/memsim"
 	"graphdse/internal/trace"
 )
@@ -80,6 +81,16 @@ type SweepOptions struct {
 	// resumed checkpoint was not pristine (skipped lines or a torn tail),
 	// so callers can log exactly what a damaged checkpoint cost.
 	OnCheckpointSalvage func(*CheckpointReport)
+	// Governor, when set, bounds the sweep's parallelism under memory
+	// pressure: the pool starts at Governor.Workers("sweep", Workers) and
+	// workers retire mid-sweep as pressure escalates. Nil disables
+	// governance.
+	Governor *guard.Governor
+	// OnPoint, when set, is called after each point reaches a terminal
+	// record (including adopted checkpoint records) with the completed and
+	// total counts. It is the sweep's progress heartbeat; callers must make
+	// it safe for concurrent use.
+	OnPoint func(done, total int)
 }
 
 // injector resolves the effective fault injector, folding the legacy

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"graphdse/internal/guard"
 	"graphdse/internal/memsim"
 	"graphdse/internal/ml"
 	"graphdse/internal/sysim"
@@ -97,6 +98,10 @@ type WorkflowOptions struct {
 	TestFrac  float64
 	SplitSeed int64
 	Models    []ModelSpec
+	// Guard supervises the run: per-stage watchdogs and deadlines, a
+	// whole-pipeline deadline, and a memory budget with graceful
+	// degradation. The zero value supervises panics only.
+	Guard guard.PipelineOptions
 }
 
 func (o *WorkflowOptions) fill() {
@@ -132,9 +137,14 @@ type WorkflowResult struct {
 	Figure2        []Figure2Row
 	Recommendation Recommendations
 	// FailureLog records every configuration the sweep lost (crash, hang,
-	// exhausted retries, corrupted metrics), mirroring the paper's ~42
-	// discarded NVMain runs.
+	// exhausted retries, corrupted metrics, impossible physics), mirroring
+	// the paper's ~42 discarded NVMain runs.
 	FailureLog []FailureRecord
+	// Gate reports the physical-invariant pass between sweep and dataset.
+	Gate *GateReport
+	// Supervision is the guard runtime's run report: per-stage outcomes,
+	// every degradation downshift, and the peak heap observed.
+	Supervision *guard.Report
 }
 
 // RunWorkflow executes the full pipeline of Figure 1: workload → system
@@ -144,59 +154,166 @@ func RunWorkflow(opts WorkflowOptions) (*WorkflowResult, error) {
 	return RunWorkflowContext(context.Background(), opts)
 }
 
-// RunWorkflowContext is RunWorkflow with cancellation: ctx aborts the sweep
-// (which, with a checkpoint configured, stays resumable). The workflow
-// degrades gracefully under sweep failures — it proceeds whenever the
-// survivor count clears opts.Sweep.MinSurvivors and otherwise returns the
-// sweep's structured *SweepFailureError.
+// The pipeline governor doubles as the trace converter's degradation hook.
+var _ trace.WorkerGovernor = (*guard.Governor)(nil)
+
+// beatingSource forwards a trace source while marking a heartbeat per
+// batch, so the trace-prep stage's watchdog sees decode progress.
+type beatingSource struct {
+	src trace.Source
+	hb  *guard.Heartbeat
+}
+
+func (b beatingSource) Next(batch []trace.Event) (int, error) {
+	n, err := b.src.Next(batch)
+	if n > 0 {
+		b.hb.Beat()
+	}
+	return n, err
+}
+
+// RunWorkflowContext is RunWorkflow hosted on the guard runtime: each Figure-1
+// stage (workload simulation, trace preparation, sweep, invariant gate,
+// dataset build, train/evaluate, recommend) runs supervised — heartbeat
+// watchdog, per-stage and whole-pipeline deadlines, panic capture — under
+// opts.Guard, with the pipeline's memory governor stepping sweep parallelism
+// down instead of dying. ctx aborts the sweep (which, with a checkpoint
+// configured, stays resumable).
+//
+// The workflow degrades gracefully under sweep failures — it proceeds
+// whenever the survivor count clears opts.Sweep.MinSurvivors after the
+// physical-invariant gate, and otherwise returns the structured
+// *SweepFailureError. On error the returned result is still non-nil and
+// carries the Supervision report (plus any records the sweep completed), so
+// callers can render what happened before the failure.
 func RunWorkflowContext(ctx context.Context, opts WorkflowOptions) (*WorkflowResult, error) {
 	opts.fill()
-	machine, _, err := sysim.PaperWorkloadTrace(opts.SysConfig, opts.Vertices, opts.EdgeFactor, opts.Seed, opts.Repeats)
+	p := guard.NewPipeline(opts.Guard)
+	ctx, stop := p.Start(ctx)
+	defer stop()
+	res := &WorkflowResult{}
+	err := runWorkflowStages(ctx, p, opts, res)
+	res.Supervision = p.Report()
 	if err != nil {
-		return nil, fmt.Errorf("system simulation: %w", err)
+		return res, err
 	}
+	return res, nil
+}
+
+// runWorkflowStages executes the supervised stage sequence, filling res as
+// stages complete.
+func runWorkflowStages(ctx context.Context, p *guard.Pipeline, opts WorkflowOptions, res *WorkflowResult) error {
+	var machine *sysim.Machine
+	if err := p.Run(ctx, "workload", func(ctx context.Context, hb *guard.Heartbeat) error {
+		var err error
+		machine, _, err = sysim.PaperWorkloadTraceContext(ctx, opts.SysConfig,
+			opts.Vertices, opts.EdgeFactor, opts.Seed, opts.Repeats, hb.Beat)
+		if err != nil {
+			return fmt.Errorf("system simulation: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
 	// Stream the recorded trace straight into the sweep-shared prepared
 	// form: one validation/decode pass for the entire pipeline, with no
 	// intermediate trace copy.
-	pt, err := memsim.PrepareSource(machine.TraceSource())
-	if err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
+	var pt *memsim.PreparedTrace
+	if err := p.Run(ctx, "trace-prep", func(ctx context.Context, hb *guard.Heartbeat) error {
+		var err error
+		pt, err = memsim.PrepareSource(beatingSource{machine.TraceSource(), hb})
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
+	res.TraceEvents = pt.Len()
+	res.TraceStats = pt.Stats()
+
 	sweepOpts := opts.Sweep
 	if sweepOpts.FootprintLines == 0 {
 		sweepOpts.FootprintLines = int(machine.Layout().Footprint()) / 64
 	}
+	if sweepOpts.Governor == nil {
+		sweepOpts.Governor = p.Governor()
+	}
 	points := EnumerateSpace(opts.Space)
-	records, err := SweepPreparedContext(ctx, pt, points, sweepOpts)
-	if err != nil {
-		return nil, fmt.Errorf("sweep: %w", err)
+	if err := p.Run(ctx, "sweep", func(ctx context.Context, hb *guard.Heartbeat) error {
+		inner := sweepOpts
+		userOnPoint := sweepOpts.OnPoint
+		inner.OnPoint = func(done, total int) {
+			hb.Beat()
+			if userOnPoint != nil {
+				userOnPoint(done, total)
+			}
+		}
+		var err error
+		res.Records, err = SweepPreparedContext(ctx, pt, points, inner)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
-	ds, err := BuildDataset(records)
-	if err != nil {
-		return nil, err
+
+	// Physical-invariant gate between sweep and dataset: quarantine
+	// finite-but-impossible results, then re-check the survivorship
+	// contract over what remains.
+	if err := p.Run(ctx, "invariant-gate", func(ctx context.Context, hb *guard.Heartbeat) error {
+		var err error
+		res.Gate, err = ApplyInvariantGate(res.Records, int64(res.TraceEvents))
+		if err != nil {
+			return err
+		}
+		hb.Beat()
+		res.FailureLog = BuildFailureLog(res.Records)
+		return CheckSurvivors(res.Records, sweepOpts.MinSurvivors)
+	}); err != nil {
+		return err
 	}
-	table1, fig3, err := TrainAndEvaluate(ds, opts.Models, opts.TestFrac, opts.SplitSeed)
-	if err != nil {
-		return nil, err
+
+	if err := p.Run(ctx, "dataset", func(ctx context.Context, hb *guard.Heartbeat) error {
+		var err error
+		res.Dataset, err = BuildDataset(res.Records)
+		if err != nil {
+			return err
+		}
+		res.SurvivorCount = res.Dataset.Len()
+		return nil
+	}); err != nil {
+		return err
 	}
-	fig2 := BuildFigure2(records)
-	return &WorkflowResult{
-		TraceEvents:    pt.Len(),
-		TraceStats:     pt.Stats(),
-		Records:        records,
-		SurvivorCount:  ds.Len(),
-		Dataset:        ds,
-		Table1:         table1,
-		Figure3:        fig3,
-		Figure2:        fig2,
-		Recommendation: Recommend(fig2, table1),
-		FailureLog:     BuildFailureLog(records),
-	}, nil
+
+	if err := p.Run(ctx, "train", func(ctx context.Context, hb *guard.Heartbeat) error {
+		var err error
+		res.Table1, res.Figure3, err = TrainAndEvaluateContext(ctx, res.Dataset,
+			opts.Models, opts.TestFrac, opts.SplitSeed, hb.Beat)
+		return err
+	}); err != nil {
+		return err
+	}
+
+	return p.Run(ctx, "recommend", func(ctx context.Context, hb *guard.Heartbeat) error {
+		res.Figure2 = BuildFigure2(res.Records)
+		res.Recommendation = Recommend(res.Figure2, res.Table1)
+		return nil
+	})
 }
 
 // TrainAndEvaluate fits every model on every metric (min-max scaled, 80/20
 // split per the paper) and returns Table I rows plus Figure 3 series.
 func TrainAndEvaluate(ds *Dataset, models []ModelSpec, testFrac float64, splitSeed int64) ([]ModelPerf, map[string]*Figure3Series, error) {
+	return TrainAndEvaluateContext(context.Background(), ds, models, testFrac, splitSeed, nil)
+}
+
+// TrainAndEvaluateContext is TrainAndEvaluate under supervision: ctx is
+// checked before every model×metric fit (the longest uninterruptible unit of
+// training work) and beat, when non-nil, marks a heartbeat after each fit.
+func TrainAndEvaluateContext(ctx context.Context, ds *Dataset, models []ModelSpec, testFrac float64, splitSeed int64, beat func()) ([]ModelPerf, map[string]*Figure3Series, error) {
 	if ds.Len() < 5 {
 		return nil, nil, fmt.Errorf("%w: %d rows", ErrNoData, ds.Len())
 	}
@@ -225,9 +342,15 @@ func TrainAndEvaluate(ds *Dataset, models []ModelSpec, testFrac float64, splitSe
 		}
 		series := &Figure3Series{Metric: metric, Truth: teY, Pred: map[string][]float64{}}
 		for _, spec := range models {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, fmt.Errorf("dse: training cancelled before %s on %s: %w", spec.Name, metric, context.Cause(ctx))
+			}
 			m := spec.New()
 			if err := m.Fit(trX, trY); err != nil {
 				return nil, nil, fmt.Errorf("%s on %s: %w", spec.Name, metric, err)
+			}
+			if beat != nil {
+				beat()
 			}
 			pred := ml.PredictBatch(m, teX)
 			series.Pred[spec.Name] = pred

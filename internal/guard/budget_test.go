@@ -1,0 +1,107 @@
+package guard
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGovernorNilIsInert(t *testing.T) {
+	var g *Governor
+	g.Start(context.Background())
+	g.Stop()
+	g.SignalPressure("x")
+	g.Record(Downshift{})
+	if g.Pressure() != 0 || g.Limit(8) != 8 || g.Workers("s", 8) != 8 {
+		t.Fatal("nil governor must not constrain")
+	}
+	if g.StreamingForced() || g.Downshifts() != nil || g.PeakHeapBytes() != 0 {
+		t.Fatal("nil governor must report nothing")
+	}
+}
+
+func TestGovernorPressureHalvesWorkers(t *testing.T) {
+	g := NewGovernor(Budget{})
+	if got := g.Workers("sweep", 8); got != 8 {
+		t.Fatalf("unpressured workers = %d", got)
+	}
+	g.SignalPressure("test pressure 1")
+	if got := g.Limit(8); got != 4 {
+		t.Fatalf("limit at pressure 1 = %d, want 4", got)
+	}
+	g.SignalPressure("test pressure 2")
+	if got := g.Workers("sweep", 8); got != 2 {
+		t.Fatalf("workers at pressure 2 = %d, want 2", got)
+	}
+	if !g.StreamingForced() {
+		t.Fatal("streaming must be forced under pressure")
+	}
+	// Never below one worker.
+	for i := 0; i < 10; i++ {
+		g.SignalPressure("more")
+	}
+	if got := g.Limit(8); got != 1 {
+		t.Fatalf("limit at max pressure = %d, want 1", got)
+	}
+	// Escalations and the worker downshift are both on the record.
+	ds := g.Downshifts()
+	var sawPressure, sawWorkers bool
+	for _, d := range ds {
+		if d.Resource == "pressure" {
+			sawPressure = true
+		}
+		if d.Stage == "sweep" && d.Resource == "workers" && d.From == 8 && d.To == 2 {
+			sawWorkers = true
+		}
+	}
+	if !sawPressure || !sawWorkers {
+		t.Fatalf("downshift record incomplete: %+v", ds)
+	}
+}
+
+func TestGovernorMaxPressureCaps(t *testing.T) {
+	g := NewGovernor(Budget{HeapSoftBytes: 1, MaxPressure: 2})
+	for i := 0; i < 5; i++ {
+		g.SignalPressure("cap test")
+	}
+	if got := g.Pressure(); got != 2 {
+		t.Fatalf("pressure = %d, want capped at 2", got)
+	}
+}
+
+func TestGovernorSamplesHeapBudget(t *testing.T) {
+	// A 1-byte soft limit: the very first sample must breach it.
+	g := NewGovernor(Budget{HeapSoftBytes: 1, SampleEvery: 2 * time.Millisecond, MaxPressure: 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g.Start(ctx)
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Pressure() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler never escalated: pressure = %d", g.Pressure())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	g.Stop()
+	if g.PeakHeapBytes() == 0 {
+		t.Fatal("peak heap not recorded")
+	}
+	ds := g.Downshifts()
+	if len(ds) < 3 {
+		t.Fatalf("escalations recorded = %d, want >= 3", len(ds))
+	}
+	if !strings.Contains(ds[0].Reason, "heap") || !strings.Contains(ds[0].Reason, "budget") {
+		t.Fatalf("escalation reason %q does not name the budget", ds[0].Reason)
+	}
+}
+
+func TestDownshiftString(t *testing.T) {
+	d := Downshift{Stage: "sweep", Resource: "workers", From: 8, To: 4, Reason: "heap 2.0MiB > budget 1.0MiB", Elapsed: 3 * time.Millisecond}
+	s := d.String()
+	for _, want := range []string{"sweep", "workers", "8 -> 4", "budget"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("downshift line %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package guard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// PipelineOptions configures a supervised pipeline run. The zero value
+// supervises panics only (no deadlines, no watchdogs, no budget).
+type PipelineOptions struct {
+	// Deadline bounds the whole pipeline's wall clock (0 = none). Expiry
+	// cancels every stage and classifies as Timeout.
+	Deadline time.Duration
+	// Stage supplies the default supervision for every stage.
+	Stage StageOptions
+	// Budget governs memory: under pressure, registered consumers step
+	// worker counts down instead of dying.
+	Budget Budget
+}
+
+// StageReport is one stage's outcome in the run report.
+type StageReport struct {
+	Name     string
+	Duration time.Duration
+	// Beats counts heartbeat progress marks the stage reported.
+	Beats int64
+	// Class is None on success.
+	Class Class
+	Err   string
+}
+
+// Report is the supervision record of one pipeline run: what each stage
+// did, every degradation the governor applied, and the peak heap observed.
+type Report struct {
+	Stages        []StageReport
+	Downshifts    []Downshift
+	PeakHeapBytes uint64
+	Elapsed       time.Duration
+}
+
+// Pipeline runs a sequence of supervised stages sharing one deadline, one
+// governor, and one report. Stages run from the caller's goroutine (Run
+// blocks); only the supervision machinery is concurrent.
+type Pipeline struct {
+	opts  PipelineOptions
+	gov   *Governor
+	start time.Time
+
+	mu     sync.Mutex
+	stages []StageReport
+}
+
+// NewPipeline builds a pipeline runtime; call Start to obtain the governed
+// context, then Run for each stage, then Report.
+func NewPipeline(opts PipelineOptions) *Pipeline {
+	return &Pipeline{opts: opts, gov: NewGovernor(opts.Budget), start: time.Now()}
+}
+
+// Start applies the pipeline deadline to ctx and launches the budget
+// sampler. The returned cancel must be called when the pipeline ends; it
+// also stops the sampler.
+func (p *Pipeline) Start(ctx context.Context) (context.Context, context.CancelFunc) {
+	var cancel context.CancelFunc = func() {}
+	if p.opts.Deadline > 0 {
+		ctx, cancel = context.WithTimeoutCause(ctx, p.opts.Deadline,
+			fmt.Errorf("%w: pipeline deadline %v exceeded", context.DeadlineExceeded, p.opts.Deadline))
+	}
+	p.gov.Start(ctx)
+	inner := cancel
+	return ctx, func() {
+		inner()
+		p.gov.Stop()
+	}
+}
+
+// Governor returns the pipeline's resource governor (never nil).
+func (p *Pipeline) Governor() *Governor { return p.gov }
+
+// Run executes one named stage under the pipeline's default supervision and
+// records its outcome in the report.
+func (p *Pipeline) Run(ctx context.Context, name string, fn StageFunc) error {
+	return p.RunStage(ctx, name, p.opts.Stage, fn)
+}
+
+// RunStage is Run with per-stage supervision overrides.
+func (p *Pipeline) RunStage(ctx context.Context, name string, opts StageOptions, fn StageFunc) error {
+	hb := &Heartbeat{}
+	hb.last.Store(time.Now().UnixNano())
+	start := time.Now()
+	err := run(ctx, name, opts, hb, fn)
+	rep := StageReport{
+		Name:     name,
+		Duration: time.Since(start),
+		Beats:    hb.Beats(),
+		Class:    ClassOf(err),
+	}
+	if err != nil {
+		rep.Err = err.Error()
+	}
+	p.mu.Lock()
+	p.stages = append(p.stages, rep)
+	p.mu.Unlock()
+	return err
+}
+
+// Report assembles the supervision record accumulated so far.
+func (p *Pipeline) Report() *Report {
+	p.mu.Lock()
+	stages := make([]StageReport, len(p.stages))
+	copy(stages, p.stages)
+	p.mu.Unlock()
+	return &Report{
+		Stages:        stages,
+		Downshifts:    p.gov.Downshifts(),
+		PeakHeapBytes: p.gov.PeakHeapBytes(),
+		Elapsed:       time.Since(p.start),
+	}
+}
+
+// RenderReport writes the run report in the log style the cmd tools emit:
+// one line per stage, then one line per downshift.
+func RenderReport(w io.Writer, r *Report) {
+	if r == nil {
+		return
+	}
+	for _, s := range r.Stages {
+		status := "ok"
+		if s.Class != None {
+			status = s.Class.String()
+		}
+		fmt.Fprintf(w, "guard: stage %-14s %-9s %8v  beats=%d", s.Name, status, s.Duration.Round(time.Millisecond), s.Beats)
+		if s.Err != "" {
+			fmt.Fprintf(w, "  %s", s.Err)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, d := range r.Downshifts {
+		fmt.Fprintf(w, "guard: %s\n", d)
+	}
+	if r.PeakHeapBytes > 0 {
+		fmt.Fprintf(w, "guard: peak heap %s\n", fmtBytes(r.PeakHeapBytes))
+	}
+}

@@ -1,0 +1,50 @@
+package guard
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled on the first SIGINT or SIGTERM,
+// so a checkpointed sweep can flush and exit cleanly; a second signal calls
+// force (for the cmd tools: immediate os.Exit), covering the operator who
+// really means it. The returned stop releases the signal handlers, restores
+// default delivery, and reaps the watcher goroutine.
+//
+// This is the shared signal discipline of cmd/dse and the subprocess tests
+// that assert kill -TERM + resume yields byte-identical reports.
+func SignalContext(parent context.Context, force func(os.Signal)) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancelCause(parent)
+	ch := make(chan os.Signal, 2)
+	stopped := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(stopped)
+			cancel(context.Canceled)
+		})
+	}
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-ch:
+			// First signal: cancel the pipeline and let checkpoints flush.
+			cancel(context.Canceled)
+		case <-stopped:
+			return
+		}
+		select {
+		case sig := <-ch:
+			// Second signal: the operator really means it.
+			if force != nil {
+				force(sig)
+			}
+		case <-stopped:
+		}
+	}()
+	return ctx, stop
+}

@@ -1,0 +1,48 @@
+package guard
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestSignalContextFirstSignalCancels(t *testing.T) {
+	forced := make(chan os.Signal, 1)
+	ctx, stop := SignalContext(context.Background(), func(s os.Signal) { forced <- s })
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM did not cancel the context")
+	}
+	select {
+	case s := <-forced:
+		t.Fatalf("force fired on the first signal: %v", s)
+	default:
+	}
+	// A second signal forces.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-forced:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second SIGTERM did not reach the force handler")
+	}
+}
+
+func TestSignalContextStopReleases(t *testing.T) {
+	ctx, stop := SignalContext(context.Background(), nil)
+	stop()
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("stop must cancel the context")
+	}
+	stop() // idempotent
+}

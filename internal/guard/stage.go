@@ -1,0 +1,178 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// Heartbeat is the progress API a supervised stage reports through. A stage
+// body calls Beat whenever it makes observable progress (a point simulated,
+// a batch streamed, a model fitted); the watchdog converts a silent
+// heartbeat into a structured timeout. Beat is safe for concurrent use.
+type Heartbeat struct {
+	last  atomic.Int64 // UnixNano of the most recent beat
+	beats atomic.Int64
+}
+
+// Beat records progress.
+func (h *Heartbeat) Beat() {
+	h.last.Store(time.Now().UnixNano())
+	h.beats.Add(1)
+}
+
+// Beats returns how many times Beat was called.
+func (h *Heartbeat) Beats() int64 { return h.beats.Load() }
+
+// sinceLast returns the time since the most recent beat.
+func (h *Heartbeat) sinceLast(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, h.last.Load()))
+}
+
+// DefaultGrace bounds how long Run waits, after cancelling a stage, for its
+// body to unwind before abandoning the goroutine.
+const DefaultGrace = 2 * time.Second
+
+// StageOptions supervises one stage. The zero value disables both timers:
+// the stage runs under panic capture and parent-context cancellation only.
+type StageOptions struct {
+	// Timeout is the absolute per-stage deadline (0 = none).
+	Timeout time.Duration
+	// HeartbeatTimeout cancels the stage when its heartbeat is silent for
+	// this long (0 = no watchdog). It must exceed the stage's longest gap
+	// between progress marks (e.g. one design-point simulation).
+	HeartbeatTimeout time.Duration
+	// Grace bounds how long to wait for the body to honor its cancellation
+	// before the goroutine is abandoned and the timeout returned anyway
+	// (default DefaultGrace).
+	Grace time.Duration
+}
+
+// StageFunc is a supervised stage body. It must honor ctx cancellation and
+// should call hb.Beat on every unit of progress.
+type StageFunc func(ctx context.Context, hb *Heartbeat) error
+
+// Run executes one stage supervised: the body runs in its own goroutine
+// with panic capture, racing a heartbeat watchdog and an absolute deadline.
+// On watchdog or deadline expiry the stage is cancelled via its context —
+// never the process — and the error comes back as *Error with Class
+// Timeout. Panics surface as *Error{Class: Fatal} wrapping *PanicError.
+// Parent-context cancellation classifies from the parent's cause (Canceled
+// for intent, Timeout for a pipeline deadline).
+func Run(ctx context.Context, name string, opts StageOptions, fn StageFunc) error {
+	hb := &Heartbeat{}
+	hb.last.Store(time.Now().UnixNano()) // starting counts as progress
+	return run(ctx, name, opts, hb, fn)
+}
+
+func run(ctx context.Context, name string, opts StageOptions, hb *Heartbeat, fn StageFunc) error {
+	sctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		done <- fn(sctx, hb)
+	}()
+
+	var watch <-chan time.Time
+	if opts.HeartbeatTimeout > 0 {
+		poll := opts.HeartbeatTimeout / 4
+		if poll < time.Millisecond {
+			poll = time.Millisecond
+		}
+		t := time.NewTicker(poll)
+		defer t.Stop()
+		watch = t.C
+	}
+	var deadline <-chan time.Time
+	start := time.Now()
+	if opts.Timeout > 0 {
+		t := time.NewTimer(opts.Timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	grace := opts.Grace
+	if grace <= 0 {
+		grace = DefaultGrace
+	}
+
+	// expired, once set, is the structured timeout the stage will report
+	// even if the body later unwinds with a plain cancellation error.
+	var expired error
+	var graceC <-chan time.Time
+	expire := func(cause error) {
+		if expired != nil {
+			return
+		}
+		expired = cause
+		cancel(cause)
+		t := time.NewTimer(grace)
+		// The timer leaks its channel if the body returns first; Stop via
+		// defer is not possible inside the loop, so keep it simple — the
+		// timer fires once and is collected.
+		graceC = t.C
+	}
+
+	for {
+		select {
+		case err := <-done:
+			return wrapStage(name, err, expired)
+		case now := <-watch:
+			if since := hb.sinceLast(now); since >= opts.HeartbeatTimeout {
+				expire(fmt.Errorf("%w: no progress for %v (heartbeat deadline %v, %d beats)",
+					ErrStalled, since.Round(time.Millisecond), opts.HeartbeatTimeout, hb.Beats()))
+			}
+		case <-deadline:
+			expire(fmt.Errorf("%w: stage deadline %v exceeded", context.DeadlineExceeded, opts.Timeout))
+		case <-ctx.Done():
+			// Parent cancelled: propagate the cause and give the body the
+			// same grace to unwind. A pipeline-deadline cause keeps its
+			// Timeout classification; operator intent stays Canceled.
+			cause := context.Cause(ctx)
+			if ClassOf(cause) == Timeout {
+				expire(cause)
+			} else if expired == nil {
+				cancel(cause)
+				t := time.NewTimer(grace)
+				graceC = t.C
+			}
+			ctx = context.Background() // don't re-enter this case
+		case <-graceC:
+			cause := expired
+			if cause == nil {
+				cause = context.Cause(sctx)
+			}
+			err := fmt.Errorf("%w after %v: %w", ErrAbandoned, time.Since(start).Round(time.Millisecond), cause)
+			return &Error{Stage: name, Class: ClassOf(err), Err: err}
+		}
+	}
+}
+
+// wrapStage folds the body's outcome and any watchdog expiry into the
+// stage's structured error.
+func wrapStage(name string, err, expired error) error {
+	if expired != nil {
+		// The watchdog fired: even if the body unwound cleanly afterwards,
+		// its output may be partial — report the structured timeout.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return &Error{Stage: name, Class: Timeout, Err: errors.Join(expired, err)}
+		}
+		return &Error{Stage: name, Class: Timeout, Err: expired}
+	}
+	if err == nil {
+		return nil
+	}
+	var ge *Error
+	if errors.As(err, &ge) {
+		return err // already classified by a nested stage
+	}
+	return &Error{Stage: name, Class: ClassOf(err), Err: err}
+}

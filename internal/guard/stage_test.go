@@ -1,0 +1,227 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"graphdse/internal/artifact"
+)
+
+func TestRunHealthyStage(t *testing.T) {
+	var ran bool
+	err := Run(context.Background(), "ok", StageOptions{HeartbeatTimeout: 200 * time.Millisecond}, func(ctx context.Context, hb *Heartbeat) error {
+		for i := 0; i < 5; i++ {
+			hb.Beat()
+		}
+		ran = true
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("healthy stage failed: %v", err)
+	}
+	if !ran {
+		t.Fatal("stage body never ran")
+	}
+}
+
+func TestWatchdogCancelsStalledStage(t *testing.T) {
+	start := time.Now()
+	bodySawCancel := make(chan error, 1)
+	err := Run(context.Background(), "stalled", StageOptions{HeartbeatTimeout: 60 * time.Millisecond, Grace: 5 * time.Second},
+		func(ctx context.Context, hb *Heartbeat) error {
+			// The PR-1 hang analogue: block until cancelled, never beat.
+			<-ctx.Done()
+			bodySawCancel <- context.Cause(ctx)
+			return ctx.Err()
+		})
+	if err == nil {
+		t.Fatal("stalled stage returned nil")
+	}
+	if got := ClassOf(err); got != Timeout {
+		t.Fatalf("class = %v, want Timeout (%v)", got, err)
+	}
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("error does not wrap ErrStalled: %v", err)
+	}
+	var ge *Error
+	if !errors.As(err, &ge) || ge.Stage != "stalled" {
+		t.Fatalf("error not stage-attributed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("watchdog took %v, want well under the grace period", elapsed)
+	}
+	select {
+	case cause := <-bodySawCancel:
+		if !errors.Is(cause, ErrStalled) {
+			t.Fatalf("stage ctx cause = %v, want ErrStalled", cause)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stage body never observed cancellation")
+	}
+	// The process (and subsequent stages) stays alive.
+	if err := Run(context.Background(), "after", StageOptions{}, func(ctx context.Context, hb *Heartbeat) error { return nil }); err != nil {
+		t.Fatalf("follow-up stage failed: %v", err)
+	}
+}
+
+func TestWatchdogSparedByHeartbeats(t *testing.T) {
+	err := Run(context.Background(), "beating", StageOptions{HeartbeatTimeout: 80 * time.Millisecond},
+		func(ctx context.Context, hb *Heartbeat) error {
+			for i := 0; i < 10; i++ {
+				time.Sleep(20 * time.Millisecond)
+				hb.Beat()
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("beating stage killed by watchdog: %v", err)
+	}
+}
+
+func TestStageDeadline(t *testing.T) {
+	err := Run(context.Background(), "slow", StageOptions{Timeout: 50 * time.Millisecond, Grace: 5 * time.Second},
+		func(ctx context.Context, hb *Heartbeat) error {
+			for ctx.Err() == nil {
+				hb.Beat() // heartbeats do not excuse the absolute deadline
+				time.Sleep(5 * time.Millisecond)
+			}
+			return ctx.Err()
+		})
+	if ClassOf(err) != Timeout {
+		t.Fatalf("class = %v, want Timeout (%v)", ClassOf(err), err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap DeadlineExceeded: %v", err)
+	}
+}
+
+func TestStagePanicCaptured(t *testing.T) {
+	err := Run(context.Background(), "crashy", StageOptions{}, func(ctx context.Context, hb *Heartbeat) error {
+		panic("injected crash")
+	})
+	if ClassOf(err) != Fatal {
+		t.Fatalf("class = %v, want Fatal", ClassOf(err))
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || fmt.Sprint(pe.Value) != "injected crash" {
+		t.Fatalf("panic not captured: %v", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not recorded")
+	}
+}
+
+func TestStageParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := Run(ctx, "cancelled", StageOptions{}, func(ctx context.Context, hb *Heartbeat) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if ClassOf(err) != Canceled {
+		t.Fatalf("class = %v, want Canceled (%v)", ClassOf(err), err)
+	}
+}
+
+func TestStageAbandonedAfterGrace(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release) // let the wedged goroutine exit at test end
+	start := time.Now()
+	err := Run(context.Background(), "wedged", StageOptions{HeartbeatTimeout: 40 * time.Millisecond, Grace: 60 * time.Millisecond},
+		func(ctx context.Context, hb *Heartbeat) error {
+			<-release // ignores ctx entirely — a truly wedged simulator
+			return nil
+		})
+	if ClassOf(err) != Timeout {
+		t.Fatalf("class = %v, want Timeout (%v)", ClassOf(err), err)
+	}
+	if !errors.Is(err, ErrAbandoned) {
+		t.Fatalf("error does not wrap ErrAbandoned: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("abandonment took %v", elapsed)
+	}
+}
+
+func TestPipelineDeadlineClassifiesTimeout(t *testing.T) {
+	p := NewPipeline(PipelineOptions{Deadline: 50 * time.Millisecond, Stage: StageOptions{Grace: 5 * time.Second}})
+	ctx, cancel := p.Start(context.Background())
+	defer cancel()
+	err := p.Run(ctx, "slow", func(ctx context.Context, hb *Heartbeat) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if ClassOf(err) != Timeout {
+		t.Fatalf("class = %v, want Timeout (%v)", ClassOf(err), err)
+	}
+	rep := p.Report()
+	if len(rep.Stages) != 1 || rep.Stages[0].Class != Timeout {
+		t.Fatalf("report = %+v", rep.Stages)
+	}
+}
+
+func TestPipelineReportAccumulates(t *testing.T) {
+	p := NewPipeline(PipelineOptions{})
+	ctx, cancel := p.Start(context.Background())
+	defer cancel()
+	if err := p.Run(ctx, "one", func(ctx context.Context, hb *Heartbeat) error { hb.Beat(); hb.Beat(); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("boom")
+	if err := p.Run(ctx, "two", func(ctx context.Context, hb *Heartbeat) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	rep := p.Report()
+	if len(rep.Stages) != 2 {
+		t.Fatalf("stages = %d", len(rep.Stages))
+	}
+	if rep.Stages[0].Beats != 2 || rep.Stages[0].Class != None {
+		t.Fatalf("stage one report = %+v", rep.Stages[0])
+	}
+	if rep.Stages[1].Class != Fatal {
+		t.Fatalf("stage two class = %v", rep.Stages[1].Class)
+	}
+}
+
+func TestClassOfTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, None},
+		{ErrTransient, Transient},
+		{fmt.Errorf("wrapped: %w", ErrTransient), Transient},
+		{context.DeadlineExceeded, Timeout},
+		{ErrStalled, Timeout},
+		{ErrAbandoned, Timeout},
+		{context.Canceled, Canceled},
+		{&PanicError{Value: "x"}, Fatal},
+		{artifact.ErrCorrupt, Corrupt},
+		{fmt.Errorf("trace: %w", artifact.ErrTruncated), Corrupt},
+		{errors.New("mystery"), Fatal},
+		{&Error{Stage: "s", Class: Corrupt, Err: errors.New("x")}, Corrupt},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.err); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	// Retryable is reserved for Transient alone.
+	for _, c := range []Class{None, Timeout, Corrupt, Fatal, Canceled} {
+		if c.Retryable() {
+			t.Errorf("%v.Retryable() = true", c)
+		}
+	}
+	if !Transient.Retryable() {
+		t.Error("Transient must be retryable")
+	}
+}

@@ -1,0 +1,137 @@
+package memsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the physical-invariant gate: checks that a simulation result
+// which is numerically finite is also physically possible. The NVMain runs
+// the paper discards do not only die or emit NaN — "Modeling and Simulating
+// Emerging Memory Technologies" catalogs simulators that complete and emit
+// garbage that is perfectly finite: bandwidth above what the channel bus
+// can carry, latencies below the device's own timing floor, zero power from
+// a device with static draw. ValidateMetrics (stats.go) catches the NaN/Inf
+// class; ValidatePhysical catches the plausible-looking-but-impossible
+// class before it poisons the surrogate training set.
+
+// ErrPhysicalInvariant marks a result whose metrics are finite but
+// physically impossible for the configuration that produced them.
+var ErrPhysicalInvariant = errors.New("memsim: physically impossible metrics")
+
+// invariantSlack absorbs float rounding in the invariant comparisons.
+const invariantSlack = 1e-9
+
+// PeakBandwidthPerBankMBs returns the per-bank bandwidth ceiling in MB/s
+// for a configuration: the channel data bus delivers at most one
+// LineBytes-sized burst every TBURST controller cycles, so
+//
+//	peak = CtrlFreqMHz · LineBytes / TBURST / (RanksPerChannel · BanksPerRank)
+//
+// For hybrids the faster tier's burst occupancy bounds the bus. The
+// configuration must be validated (Result.Config always is).
+func PeakBandwidthPerBankMBs(cfg *Config) float64 {
+	tb := cfg.Timing.TBURST
+	if cfg.Type == Hybrid && cfg.CacheTiming.TBURST > 0 && cfg.CacheTiming.TBURST < tb {
+		tb = cfg.CacheTiming.TBURST
+	}
+	if tb == 0 {
+		tb = 1
+	}
+	banksPerChannel := cfg.RanksPerChannel * cfg.BanksPerRank
+	if banksPerChannel <= 0 {
+		banksPerChannel = 1
+	}
+	lineBytes := cfg.LineBytes
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	// CtrlFreqMHz·1e6 cycles/s · bytes/cycle → bytes/s; /1e6 → MB/s.
+	return cfg.CtrlFreqMHz * float64(lineBytes) / float64(tb) / float64(banksPerChannel)
+}
+
+// MinDeviceLatencyCycles returns the smallest device latency any request
+// can experience under the configuration's timing: a row-buffer hit costs
+// TCAS + TBURST on the backing store, and a DRAM-cache hit forwards the
+// critical word after the cache's TCAS alone. Any reported average below
+// this floor is impossible.
+func MinDeviceLatencyCycles(cfg *Config) float64 {
+	if cfg.Type == Hybrid {
+		if cfg.HybridMode == HybridCache {
+			return float64(cfg.CacheTiming.TCAS)
+		}
+		// Flat hybrid: the faster tier bounds the floor.
+		dram := cfg.CacheTiming.TCAS + cfg.CacheTiming.TBURST
+		nvm := cfg.Timing.TCAS + cfg.Timing.TBURST
+		if dram < nvm {
+			return float64(dram)
+		}
+		return float64(nvm)
+	}
+	return float64(cfg.Timing.TCAS + cfg.Timing.TBURST)
+}
+
+// ValidatePhysical checks the result against the configuration's physical
+// envelope. traceEvents is the number of trace events replayed; pass 0 to
+// skip the operation-count consistency check (e.g. when the trace length is
+// unknown). It returns an error wrapping ErrPhysicalInvariant naming the
+// violated bound, or nil.
+//
+// The bounds:
+//   - power:     AvgPowerPerChannel > 0 (every device model has static draw)
+//   - bandwidth: AvgBandwidthPerBank ≤ PeakBandwidthPerBankMBs(cfg)
+//   - latency:   AvgLatency ≥ MinDeviceLatencyCycles(cfg) (when requests ran)
+//   - ops:       Channels · (AvgReads + AvgWrites) equals traceEvents for
+//     DRAM/NVM/flat-hybrid (every event is exactly one backend access) and
+//     stays within [0, 2·traceEvents] for cache hybrids (a miss costs at
+//     most a fill plus one writeback; hits are absorbed).
+func (r *Result) ValidatePhysical(traceEvents int64) error {
+	cfg := r.Config
+	if !(r.AvgPowerPerChannel > 0) {
+		return fmt.Errorf("%w: power %v W/channel, want > 0 (static draw)", ErrPhysicalInvariant, r.AvgPowerPerChannel)
+	}
+	peak := PeakBandwidthPerBankMBs(&cfg)
+	if r.AvgBandwidthPerBank > peak*(1+invariantSlack) {
+		return fmt.Errorf("%w: bandwidth %.3f MB/s/bank above channel peak %.3f (%d ch × %.0f MHz)",
+			ErrPhysicalInvariant, r.AvgBandwidthPerBank, peak, cfg.Channels, cfg.CtrlFreqMHz)
+	}
+	if r.AvgLatency > 0 || traceEvents > 0 {
+		if floor := MinDeviceLatencyCycles(&cfg); r.AvgLatency < floor*(1-invariantSlack) {
+			return fmt.Errorf("%w: avg latency %.3f cycles below device floor %.0f (tCAS+tBURST)",
+				ErrPhysicalInvariant, r.AvgLatency, floor)
+		}
+	}
+	if traceEvents > 0 {
+		ops := (r.AvgReadsPerChannel + r.AvgWritesPerChannel) * float64(cfg.Channels)
+		events := float64(traceEvents)
+		if cfg.Type == Hybrid && cfg.HybridMode == HybridCache {
+			if ops < 0 || ops > 2*events+0.5 {
+				return fmt.Errorf("%w: %d backend ops outside [0, 2×%d trace events]",
+					ErrPhysicalInvariant, int64(ops+0.5), traceEvents)
+			}
+		} else if diff := ops - events; diff > 0.5 || diff < -0.5 {
+			return fmt.Errorf("%w: %d backend ops != %d trace events",
+				ErrPhysicalInvariant, int64(ops+0.5), traceEvents)
+		}
+	}
+	return nil
+}
+
+// MetamorphicPeakCheck verifies the gate's own formula on one metamorphic
+// relation: at fixed timing, adding channels must never reduce the
+// aggregate bandwidth ceiling. It returns an error naming the violation, or
+// nil. base must have fewer channels than more; everything but the channel
+// count should match.
+func MetamorphicPeakCheck(base, more *Config) error {
+	if base.Channels >= more.Channels {
+		return fmt.Errorf("%w: metamorphic check needs increasing channels (%d >= %d)",
+			ErrPhysicalInvariant, base.Channels, more.Channels)
+	}
+	aggBase := PeakBandwidthPerBankMBs(base) * float64(base.TotalBanks())
+	aggMore := PeakBandwidthPerBankMBs(more) * float64(more.TotalBanks())
+	if aggMore < aggBase*(1-invariantSlack) {
+		return fmt.Errorf("%w: peak bandwidth fell from %.3f to %.3f MB/s when channels grew %d -> %d",
+			ErrPhysicalInvariant, aggBase, aggMore, base.Channels, more.Channels)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package sysim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -296,6 +297,14 @@ func TraceSSSP(m *Machine, g *graph.CSR, source uint32) (*WorkloadResult, error)
 // from additional roots, scaling the trace the way Graph500's 64-root
 // harness does.
 func PaperWorkloadTrace(cfg Config, numVertices, edgeFactor int, seed int64, repeats int) (*Machine, *WorkloadResult, error) {
+	return PaperWorkloadTraceContext(context.Background(), cfg, numVertices, edgeFactor, seed, repeats, nil)
+}
+
+// PaperWorkloadTraceContext is PaperWorkloadTrace under supervision: ctx is
+// checked between BFS roots (a multi-root Graph500 harness can be cancelled
+// at root granularity) and beat, when non-nil, is called after each root as
+// a progress heartbeat.
+func PaperWorkloadTraceContext(ctx context.Context, cfg Config, numVertices, edgeFactor int, seed int64, repeats int, beat func()) (*Machine, *WorkloadResult, error) {
 	if repeats <= 0 {
 		repeats = 1
 	}
@@ -313,9 +322,15 @@ func PaperWorkloadTrace(cfg Config, numVertices, edgeFactor int, seed int64, rep
 		root = 0
 	}
 	for r := 0; r < repeats; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("sysim: workload cancelled at root %d/%d: %w", r, repeats, err)
+		}
 		last, err = TraceBFS(m, g, (root+uint32(r*97))%uint32(numVertices), r == 0)
 		if err != nil {
 			return nil, nil, err
+		}
+		if beat != nil {
+			beat()
 		}
 	}
 	return m, last, nil

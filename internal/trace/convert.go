@@ -30,6 +30,18 @@ type ConvertStats struct {
 	Workers   int
 }
 
+// WorkerGovernor is the degradation hook a resource governor offers the
+// converter: a cap on worker counts and a verdict on whether the
+// constant-memory streaming path is mandatory. *guard.Governor satisfies it;
+// the interface keeps trace free of the dependency.
+type WorkerGovernor interface {
+	// Workers returns the permitted worker count for a named stage, possibly
+	// below requested, recording the downshift.
+	Workers(stage string, requested int) int
+	// StreamingForced reports whether materializing paths must be avoided.
+	StreamingForced() bool
+}
+
 // ConvertOptions parameterizes a conversion pass. The zero value converts
 // strictly with automatic worker and chunk sizing.
 type ConvertOptions struct {
@@ -37,6 +49,9 @@ type ConvertOptions struct {
 	Workers       int
 	ChunkSize     int
 	Text          TextOptions
+	// Governor, when set, caps conversion workers under memory pressure and
+	// reroutes ConvertParallelOpts through the streaming path.
+	Governor WorkerGovernor
 }
 
 // checkBadLineBudget enforces the permissive-mode error budget over the
@@ -101,12 +116,21 @@ func ConvertParallel(input []byte, w io.Writer, ticksPerCycle uint64, workers, c
 	})
 }
 
-// ConvertParallelOpts is ConvertParallel with explicit options.
+// ConvertParallelOpts is ConvertParallel with explicit options. Under a
+// governor reporting memory pressure it delegates to the streaming path,
+// which bounds in-flight chunks instead of buffering every chunk's output at
+// once.
 func ConvertParallelOpts(input []byte, w io.Writer, opts ConvertOptions) (ConvertStats, error) {
+	if opts.Governor != nil && opts.Governor.StreamingForced() {
+		return ConvertStreamOpts(bytes.NewReader(input), w, opts)
+	}
 	var st ConvertStats
 	workers, chunkSize := opts.Workers, opts.ChunkSize
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Governor != nil {
+		workers = opts.Governor.Workers("convert", workers)
 	}
 	if chunkSize <= 0 {
 		chunkSize = len(input) / (8 * workers)
@@ -179,6 +203,11 @@ func ConvertStreamOpts(r io.Reader, w io.Writer, opts ConvertOptions) (ConvertSt
 	workers, chunkSize := opts.Workers, opts.ChunkSize
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Governor != nil {
+		// Fewer workers also shrinks the in-flight chunk bound (2×workers),
+		// which is what actually caps the converter's peak memory.
+		workers = opts.Governor.Workers("convert", workers)
 	}
 	if chunkSize <= 0 {
 		chunkSize = 1 << 20

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutinesSettle fails the test if the goroutine count does not return
+// to the baseline within a short settle window. Worker pools that outlive
+// their conversion are exactly the kind of slow leak a long sweep cannot
+// afford.
+func waitGoroutinesSettle(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d alive, baseline %d\n%s", n, base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestConvertStreamNoGoroutineLeak(t *testing.T) {
+	input, _ := gem5Corpus(t, 400, 41)
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		var out bytes.Buffer
+		_, err := ConvertStreamOpts(bytes.NewReader(input), &out, ConvertOptions{
+			TicksPerCycle: 500, Workers: 4, ChunkSize: 128, Text: TextOptions{Strict: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitGoroutinesSettle(t, base)
+}
+
+// TestConvertStreamErrorPathNoGoroutineLeak drives the strict-mode failure
+// path: the writer must drain the remaining jobs so the reader and worker
+// goroutines exit even though conversion aborted.
+func TestConvertStreamErrorPathNoGoroutineLeak(t *testing.T) {
+	good, _ := gem5Corpus(t, 400, 42)
+	// A malformed memory line early in the stream fails strict conversion
+	// while later chunks are still in flight.
+	input := append([]byte("12: system.cpu.dcache: ReadReq addr=0xZZ size=8\n"), good...)
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		var out bytes.Buffer
+		_, err := ConvertStreamOpts(bytes.NewReader(input), &out, ConvertOptions{
+			TicksPerCycle: 500, Workers: 4, ChunkSize: 128, Text: TextOptions{Strict: true},
+		})
+		if err == nil {
+			t.Fatal("expected strict-mode parse error")
+		}
+	}
+	waitGoroutinesSettle(t, base)
+}
+
+func TestConvertParallelNoGoroutineLeak(t *testing.T) {
+	input, _ := gem5Corpus(t, 400, 43)
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		var out bytes.Buffer
+		if _, err := ConvertParallel(input, &out, 500, 4, 256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitGoroutinesSettle(t, base)
+}
