@@ -1,0 +1,91 @@
+// Command graphlint runs the pipeline's contract analyzers over the
+// module and reports violations as file:line:col diagnostics.
+//
+// Usage:
+//
+//	graphlint [-dir moduleroot] [-list] [patterns ...]
+//
+// Patterns follow the go tool's shape: "./..." (the default) walks the
+// whole module, "internal/trace/..." a subtree, "cmd/dse" one package.
+// Suppress an intentional violation with a mandatory-reason comment on or
+// directly above the offending line:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// Exit codes: 0 clean, 1 findings reported, 2 the tree failed to load or
+// type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"graphdse/internal/lint"
+)
+
+const (
+	exitClean     = 0
+	exitFindings  = 1
+	exitLoadError = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("graphlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "module root (default: nearest go.mod above the working directory)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: graphlint [-dir moduleroot] [-list] [patterns ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitLoadError
+	}
+	if *list {
+		for _, a := range lint.All {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return exitClean
+	}
+
+	root := *dir
+	if root == "" {
+		cwd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(stderr, "graphlint:", err)
+			return exitLoadError
+		}
+		root, err = lint.FindModuleRoot(cwd)
+		if err != nil {
+			fmt.Fprintln(stderr, "graphlint:", err)
+			return exitLoadError
+		}
+	}
+
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "graphlint:", err)
+		return exitLoadError
+	}
+	pkgs, err := loader.LoadAll(fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "graphlint:", err)
+		return exitLoadError
+	}
+
+	diags := lint.Run(pkgs, lint.All)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "graphlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return exitFindings
+	}
+	return exitClean
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module for driver tests. Raw
+// os.WriteFile is fine here: test files are outside the lint surface.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const gomod = "module tmpmod\n\ngo 1.22\n"
+
+// TestExitCodeContract pins graphlint's exit-code contract:
+// 0 clean, 1 findings, 2 load/type-check error.
+func TestExitCodeContract(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod":     gomod,
+			"lib/lib.go": "package lib\n\nfunc Add(a, b int) int { return a + b }\n",
+		})
+		var out, errb bytes.Buffer
+		if got := run([]string{"-dir", dir, "./..."}, &out, &errb); got != exitClean {
+			t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", got, exitClean, out.String(), errb.String())
+		}
+		if out.Len() != 0 {
+			t.Fatalf("clean run printed diagnostics:\n%s", out.String())
+		}
+	})
+
+	t.Run("findings", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": gomod,
+			"lib/lib.go": "package lib\n\nimport \"os\"\n\n" +
+				"func Save(p string, b []byte) error {\n\treturn os.WriteFile(p, b, 0o644)\n}\n",
+		})
+		var out, errb bytes.Buffer
+		if got := run([]string{"-dir", dir, "./..."}, &out, &errb); got != exitFindings {
+			t.Fatalf("exit = %d, want %d\nstderr:\n%s", got, exitFindings, errb.String())
+		}
+		diag := out.String()
+		if !strings.Contains(diag, "lib.go:6:") || !strings.Contains(diag, "(atomicwrite)") {
+			t.Fatalf("diagnostic missing file:line or analyzer name:\n%s", diag)
+		}
+	})
+
+	t.Run("suppressed finding is clean", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": gomod,
+			"lib/lib.go": "package lib\n\nimport \"os\"\n\n" +
+				"func Save(p string, b []byte) error {\n" +
+				"\t//lint:ignore atomicwrite exercised by the driver test\n" +
+				"\treturn os.WriteFile(p, b, 0o644)\n}\n",
+		})
+		var out, errb bytes.Buffer
+		if got := run([]string{"-dir", dir, "./..."}, &out, &errb); got != exitClean {
+			t.Fatalf("exit = %d, want %d\nstdout:\n%s", got, exitClean, out.String())
+		}
+	})
+
+	t.Run("syntax error", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod":     gomod,
+			"lib/lib.go": "package lib\n\nfunc Broken(\n",
+		})
+		var out, errb bytes.Buffer
+		if got := run([]string{"-dir", dir, "./..."}, &out, &errb); got != exitLoadError {
+			t.Fatalf("exit = %d, want %d", got, exitLoadError)
+		}
+		if errb.Len() == 0 {
+			t.Fatal("load error printed nothing to stderr")
+		}
+	})
+
+	t.Run("type error", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod":     gomod,
+			"lib/lib.go": "package lib\n\nfunc Bad() int { return undefinedName }\n",
+		})
+		var out, errb bytes.Buffer
+		if got := run([]string{"-dir", dir, "./..."}, &out, &errb); got != exitLoadError {
+			t.Fatalf("exit = %d, want %d", got, exitLoadError)
+		}
+	})
+
+	t.Run("missing module", func(t *testing.T) {
+		var out, errb bytes.Buffer
+		if got := run([]string{"-dir", t.TempDir(), "./..."}, &out, &errb); got != exitLoadError {
+			t.Fatalf("exit = %d, want %d", got, exitLoadError)
+		}
+	})
+}
+
+func TestListFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-list"}, &out, &errb); got != exitClean {
+		t.Fatalf("exit = %d, want %d", got, exitClean)
+	}
+	for _, name := range []string{"atomicwrite", "errtaxonomy", "ctxpropagate", "allocbound", "leakygoroutine"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}

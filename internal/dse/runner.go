@@ -146,6 +146,7 @@ func (e *SweepFailureError) Error() string {
 // across all points; callers sweeping the same trace repeatedly (or holding
 // it only as a stream) should use SweepPrepared directly.
 func Sweep(events []trace.Event, points []DesignPoint, opts SweepOptions) ([]RunRecord, error) {
+	//lint:ignore ctxpropagate documented top-level wrapper: the no-ctx convenience API mints the root context for SweepContext
 	return SweepContext(context.Background(), events, points, opts)
 }
 
@@ -169,6 +170,7 @@ func SweepContext(ctx context.Context, events []trace.Event, points []DesignPoin
 // replay-many path. The PreparedTrace is shared read-only by all workers, so
 // per-point cost is address mapping and queueing only.
 func SweepPrepared(pt *memsim.PreparedTrace, points []DesignPoint, opts SweepOptions) ([]RunRecord, error) {
+	//lint:ignore ctxpropagate documented top-level wrapper: the no-ctx convenience API mints the root context for SweepPreparedContext
 	return SweepPreparedContext(context.Background(), pt, points, opts)
 }
 

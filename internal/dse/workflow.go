@@ -151,6 +151,7 @@ type WorkflowResult struct {
 // simulation → trace → memory-simulation sweep → dataset → surrogate
 // training and evaluation → recommendations.
 func RunWorkflow(opts WorkflowOptions) (*WorkflowResult, error) {
+	//lint:ignore ctxpropagate documented top-level wrapper: the no-ctx convenience API mints the root context for RunWorkflowContext
 	return RunWorkflowContext(context.Background(), opts)
 }
 
@@ -307,6 +308,7 @@ func runWorkflowStages(ctx context.Context, p *guard.Pipeline, opts WorkflowOpti
 // TrainAndEvaluate fits every model on every metric (min-max scaled, 80/20
 // split per the paper) and returns Table I rows plus Figure 3 series.
 func TrainAndEvaluate(ds *Dataset, models []ModelSpec, testFrac float64, splitSeed int64) ([]ModelPerf, map[string]*Figure3Series, error) {
+	//lint:ignore ctxpropagate documented top-level wrapper: the no-ctx convenience API mints the root context for TrainAndEvaluateContext
 	return TrainAndEvaluateContext(context.Background(), ds, models, testFrac, splitSeed, nil)
 }
 

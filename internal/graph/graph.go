@@ -170,7 +170,9 @@ func (g *CSR) HasEdge(u, v uint32) bool {
 
 // Transpose returns the reverse graph (every stored edge u→v becomes v→u),
 // used to run pull-style directed analytics. Weights are carried along.
-func (g *CSR) Transpose() *CSR {
+// The error is non-nil only if the receiver's invariants are broken (a
+// vertex id out of range), which a CSR built through NewCSR cannot exhibit.
+func (g *CSR) Transpose() (*CSR, error) {
 	edges := make([]Edge, 0, g.NumEdges())
 	for v := uint32(0); int(v) < g.n; v++ {
 		wts := g.NeighborWeights(v)
@@ -184,10 +186,9 @@ func (g *CSR) Transpose() *CSR {
 	}
 	t, err := NewCSR(g.n, edges, false)
 	if err != nil {
-		// Cannot happen: the inputs came from a valid CSR.
-		panic(err)
+		return nil, fmt.Errorf("graph: transpose: %w", err)
 	}
-	return t
+	return t, nil
 }
 
 // InDegrees returns the in-degree of every vertex (over stored directed

@@ -136,7 +136,10 @@ func TestTranspose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := g.Transpose()
+	tr, err := g.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tr.NumEdges() != g.NumEdges() {
 		t.Fatalf("edge count changed: %d vs %d", tr.NumEdges(), g.NumEdges())
 	}
@@ -147,7 +150,10 @@ func TestTranspose(t *testing.T) {
 		t.Fatal("forward edge survived transpose")
 	}
 	// Double transpose restores the original adjacency.
-	tt := tr.Transpose()
+	tt, err := tr.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for v := uint32(0); int(v) < g.NumVertices(); v++ {
 		a, b := g.Neighbors(v), tt.Neighbors(v)
 		if len(a) != len(b) {
@@ -166,7 +172,10 @@ func TestTransposeWeighted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := g.Transpose()
+	tr, err := g.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !tr.Weighted() || tr.NeighborWeights(1)[0] != 2.5 {
 		t.Fatal("weights lost in transpose")
 	}

@@ -144,6 +144,7 @@ func run(ctx context.Context, name string, opts StageOptions, hb *Heartbeat, fn 
 				t := time.NewTimer(grace)
 				graceC = t.C
 			}
+			//lint:ignore ctxpropagate the parent ctx already fired; swapping in Background keeps the select from re-entering this case while the grace timer drains
 			ctx = context.Background() // don't re-enter this case
 		case <-graceC:
 			cause := expired

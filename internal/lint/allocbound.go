@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocBound enforces the PR 3 allocation-bomb contract: a make() whose
+// length or capacity derives from a decoded, untrusted integer (varint
+// counts, fixed-width header fields, parsed ASCII numbers) must be
+// dominated by a plausibility-cap check, so a corrupt 8-byte prefix can
+// never OOM the process before the tiny body runs out.
+//
+// The analysis is intraprocedural and syntactic in spirit:
+//
+//   - a variable is tainted when assigned (directly or transitively) from
+//     binary.ReadUvarint/ReadVarint/Read, a binary.ByteOrder Uint16/32/64
+//     decode, or strconv.Atoi/ParseInt/ParseUint/ParseFloat;
+//   - a make() len/cap argument mentioning a tainted variable is a finding
+//     unless an earlier if-statement in the same function compares that
+//     variable with a relational operator (the cap check), or the argument
+//     is passed through a min()-shaped clamp (builtin min or a function
+//     whose name starts with "min").
+//
+// The heuristic is deliberately conservative in what it accepts: equality
+// tests and err != nil checks do not count as caps.
+var AllocBound = &Analyzer{
+	Name: "allocbound",
+	Doc:  "make() sized by a decoded integer must be dominated by a plausibility-cap check",
+	Run:  runAllocBound,
+}
+
+func runAllocBound(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkAllocsIn(pass, n.Body)
+				}
+				return false // literals inside are walked by checkAllocsIn
+			case *ast.FuncLit:
+				checkAllocsIn(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkAllocsIn analyzes one function body. Nested function literals are
+// analyzed as part of the enclosing body: they close over the same
+// variables, and a cap check in the parent dominates the literal too.
+func checkAllocsIn(pass *Pass, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+	checked := make(map[types.Object]token.Pos) // earliest relational check
+
+	// Pass 1, in source order: propagate taint through assignments and
+	// record relational comparisons that act as plausibility caps.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			taintAssign(pass, tainted, n.Lhs, n.Rhs)
+		case *ast.ValueSpec:
+			var lhs []ast.Expr
+			for _, name := range n.Names {
+				lhs = append(lhs, name)
+			}
+			taintAssign(pass, tainted, lhs, n.Values)
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				for _, side := range [...]ast.Expr{n.X, n.Y} {
+					for obj := range referencedObjects(pass, side) {
+						if tainted[obj] {
+							if _, ok := checked[obj]; !ok {
+								checked[obj] = n.Pos()
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: audit every make() len/cap argument.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if _, ok := pass.ObjectOf(id).(*types.Builtin); !ok {
+			return true
+		}
+		for _, arg := range call.Args[1:] { // args[0] is the type
+			auditMakeArg(pass, tainted, checked, call, arg)
+		}
+		return true
+	})
+}
+
+// taintAssign marks each LHS integer variable tainted when the matching
+// RHS is a decode call or mentions an already-tainted variable.
+func taintAssign(pass *Pass, tainted map[types.Object]bool, lhs, rhs []ast.Expr) {
+	if len(rhs) == 0 {
+		return
+	}
+	dirty := func(e ast.Expr) bool {
+		if isDecodeCall(pass, e) {
+			return true
+		}
+		for obj := range referencedObjects(pass, e) {
+			if tainted[obj] {
+				return true
+			}
+		}
+		return false
+	}
+	mark := func(l ast.Expr) {
+		id, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil || !isIntegerVar(obj) {
+			return
+		}
+		tainted[obj] = true
+	}
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// n, err := binary.ReadUvarint(br): every integer LHS is tainted.
+		if dirty(rhs[0]) {
+			for _, l := range lhs {
+				mark(l)
+			}
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i < len(rhs) && dirty(rhs[i]) {
+			mark(l)
+		}
+	}
+}
+
+func isIntegerVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	b, ok := v.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isDecodeCall reports whether e contains a call that produces an
+// attacker-controlled integer.
+func isDecodeCall(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(pass, call, "encoding/binary",
+			"ReadUvarint", "ReadVarint", "Read", "Uint16", "Uint32", "Uint64", "Varint", "Uvarint") ||
+			isPkgFunc(pass, call, "strconv", "Atoi", "ParseInt", "ParseUint", "ParseFloat") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// referencedObjects collects every variable object mentioned in e.
+func referencedObjects(pass *Pass, e ast.Expr) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.ObjectOf(id); obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// auditMakeArg reports a finding when arg mentions a tainted variable with
+// no dominating cap check and no min()-clamp around the taint.
+func auditMakeArg(pass *Pass, tainted map[types.Object]bool, checked map[types.Object]token.Pos, call *ast.CallExpr, arg ast.Expr) {
+	if isMinClamped(pass, arg) {
+		return
+	}
+	for obj := range referencedObjects(pass, arg) {
+		if !tainted[obj] {
+			continue
+		}
+		if pos, ok := checked[obj]; ok && pos < call.Pos() {
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"make() sized by decoded value %s with no plausibility-cap check before the allocation", obj.Name())
+		return
+	}
+}
+
+// isMinClamped reports whether arg is (or is wrapped in) a min-style clamp:
+// the builtin min, or any function whose name begins with "min" (minU64 and
+// friends in internal/graph).
+func isMinClamped(pass *Pass, arg ast.Expr) bool {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch pass.ObjectOf(fn).(type) {
+		case *types.Builtin:
+			return fn.Name == "min"
+		case *types.Func:
+			return strings.HasPrefix(strings.ToLower(fn.Name), "min")
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.ObjectOf(fn.Sel).(*types.Func); ok {
+			return strings.HasPrefix(strings.ToLower(obj.Name()), "min")
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AtomicWrite enforces the PR 3 persistence contract: all file writes go
+// through internal/artifact's atomic writers (temp + fsync + rename +
+// dir-fsync), so a crash can never leave a half-written artifact behind.
+// Raw os.WriteFile / os.Create / os.Rename are therefore forbidden
+// everywhere except inside internal/artifact itself, which implements the
+// primitive.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "persistence must go through internal/artifact's atomic writers, not raw os.WriteFile/os.Create/os.Rename",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/artifact") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range [...]string{"WriteFile", "Create", "Rename"} {
+				if isPkgFunc(pass, call, "os", name) {
+					pass.Reportf(call.Pos(),
+						"raw os.%s bypasses the atomic persistence layer; use internal/artifact (WriteFileAtomic/AtomicFile)", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrTaxonomy enforces the guard.Class error-taxonomy contract: sentinel
+// errors (package-level `var ErrX = ...` values) flow through wrapped
+// chains, so they must be tested with errors.Is, never `==`/`!=`, and a
+// fmt.Errorf that carries an error must wrap it with %w so the sentinel
+// stays visible to errors.Is further up the stack.
+//
+// Comparisons against nil and against sentinels not named Err* (io.EOF's
+// documented non-wrapped contract) are allowed. An Errorf that already
+// wraps one error with %w may annotate a second cause with %v — that is
+// the established "%w: detail: %v" boundary idiom.
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "sentinel Err* values must be matched with errors.Is, and boundary fmt.Errorf must wrap with %w",
+	Run:  runErrTaxonomy,
+}
+
+func runErrTaxonomy(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range [...]ast.Expr{n.X, n.Y} {
+					if name, ok := sentinelName(pass, side); ok {
+						pass.Reportf(n.Pos(),
+							"sentinel comparison %s %s defeats wrapped error chains; use errors.Is", n.Op, name)
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorType(pass.TypeOf(n.Tag)) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := sentinelName(pass, e); ok {
+							pass.Reportf(e.Pos(),
+								"switch case on sentinel %s compares with ==; use errors.Is", name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// sentinelName reports whether e denotes a package-level error variable
+// named Err*, the shape of every sentinel in the tree (guard.ErrStalled,
+// trace.ErrFormat, artifact.ErrCorrupt, ml.ErrNotFitted, ...).
+func sentinelName(pass *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok || !strings.HasPrefix(v.Name(), "Err") {
+		return "", false
+	}
+	// Package-level: parent scope is the package scope.
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that receive an error argument
+// but whose constant format string contains no %w verb.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(pass, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: nothing to verify statically
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(pass.TypeOf(arg)) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats an error without %%w; wrap it so errors.Is still sees the sentinel")
+			return
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakyGoroutine enforces the goroutine-lifetime contract from the
+// supervised-runtime work: a `go func` literal must be tied to something
+// that bounds its life — a context, a done/quit channel, a WaitGroup — or
+// it can outlive its caller and leak (the class the goroutine-leak tests
+// in internal/trace and internal/dse guard against dynamically; this
+// analyzer guards it statically).
+//
+// A literal counts as tied when its body (or deferred calls within it)
+// performs any channel operation (send, receive, close, range over a
+// channel, select), references a context.Context value, or calls
+// sync.WaitGroup Add/Done/Wait. Named-function goroutines (`go worker()`)
+// are not flagged: the contract is about anonymous fire-and-forget
+// literals, where the leak class actually occurs.
+var LeakyGoroutine = &Analyzer{
+	Name: "leakygoroutine",
+	Doc:  "go func literals must be tied to a ctx, done channel, or WaitGroup",
+	Run:  runLeakyGoroutine,
+}
+
+func runLeakyGoroutine(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !goroutineIsTied(pass, lit) {
+				pass.Reportf(gs.Pos(),
+					"goroutine is not tied to a context, done channel, or WaitGroup and can outlive its caller")
+			}
+			return true
+		})
+	}
+}
+
+func goroutineIsTied(pass *Pass, lit *ast.FuncLit) bool {
+	tied := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			tied = true
+		case *ast.UnaryExpr:
+			tied = tied || n.Op == token.ARROW
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					tied = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin && id.Name == "close" {
+					tied = true
+				}
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if obj, ok := pass.ObjectOf(sel.Sel).(*types.Func); ok && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "sync" {
+					switch obj.Name() {
+					case "Add", "Done", "Wait":
+						tied = true
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.ObjectOf(n); obj != nil && isContextType(obj.Type()) {
+				tied = true
+			}
+		}
+		return !tied
+	})
+	return tied
+}

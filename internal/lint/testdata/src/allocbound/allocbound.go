@@ -1,0 +1,74 @@
+// Package allocbound is the graphlint corpus for the allocbound analyzer:
+// a make() sized by a decoded integer needs a plausibility-cap check
+// between the decode and the allocation.
+package allocbound
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"strconv"
+)
+
+var errTooBig = errors.New("implausible count")
+
+const maxRecords = 1 << 20
+
+func badUvarint(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil // want `no plausibility-cap check`
+}
+
+func badHeader(hdr []byte) []uint32 {
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	return make([]uint32, n) // want `no plausibility-cap check`
+}
+
+func badPropagate(s string) ([]int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return nil, err
+	}
+	m := n * 8
+	return make([]int, m), nil // want `no plausibility-cap check`
+}
+
+func okChecked(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxRecords {
+		return nil, errTooBig
+	}
+	return make([]byte, n), nil
+}
+
+func okClampAssign(hdr []byte) []uint32 {
+	n := binary.LittleEndian.Uint64(hdr[0:8])
+	capHint := n
+	if capHint > maxRecords {
+		capHint = maxRecords
+	}
+	return make([]uint32, 0, capHint)
+}
+
+func okMinClamp(br *bufio.Reader) []byte {
+	n, _ := binary.ReadUvarint(br)
+	return make([]byte, 0, min(n, maxRecords))
+}
+
+func okUntainted(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	copy(out, vals)
+	return out
+}
+
+func suppressedAlloc(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint16(hdr)
+	//lint:ignore allocbound corpus: a uint16 length is bounded by 65535 entries
+	return make([]byte, n)
+}

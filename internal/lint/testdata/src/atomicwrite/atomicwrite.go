@@ -1,0 +1,30 @@
+// Package atomicwrite is the graphlint corpus for the atomicwrite
+// analyzer: raw persistence calls outside internal/artifact are findings.
+package atomicwrite
+
+import "os"
+
+func badWrite(p string, b []byte) error {
+	return os.WriteFile(p, b, 0o644) // want `raw os\.WriteFile bypasses`
+}
+
+func badCreate(p string) error {
+	f, err := os.Create(p) // want `raw os\.Create bypasses`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func badRename(a, b string) error {
+	return os.Rename(a, b) // want `raw os\.Rename bypasses`
+}
+
+func okRead(p string) ([]byte, error) {
+	return os.ReadFile(p)
+}
+
+func suppressed(p string, b []byte) error {
+	//lint:ignore atomicwrite corpus: demonstrates a justified, reasoned suppression
+	return os.WriteFile(p, b, 0o644)
+}

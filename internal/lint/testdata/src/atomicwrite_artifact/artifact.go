@@ -1,0 +1,14 @@
+// Package artifact is the negative corpus for atomicwrite: the test loads
+// it under an import path ending in internal/artifact, where the raw
+// primitives are the implementation of the atomic layer itself.
+package artifact
+
+import "os"
+
+func writeRaw(p string, b []byte) error {
+	return os.WriteFile(p, b, 0o644)
+}
+
+func renameRaw(a, b string) error {
+	return os.Rename(a, b)
+}

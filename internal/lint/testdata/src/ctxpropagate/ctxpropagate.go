@@ -1,0 +1,36 @@
+// Package ctxpropagate is the graphlint corpus for the ctxpropagate
+// analyzer: library code threads the caller's context instead of minting
+// context.Background/TODO.
+package ctxpropagate
+
+import "context"
+
+func badDiscard(ctx context.Context) error {
+	return work(context.Background()) // want `thread it instead`
+}
+
+func badTODO(ctx context.Context) error {
+	return work(context.TODO()) // want `thread it instead`
+}
+
+func badNested(ctx context.Context) func() error {
+	return func() error {
+		return work(context.Background()) // want `thread it instead`
+	}
+}
+
+func badLibraryRoot() error {
+	return work(context.Background()) // want `library code must accept a context`
+}
+
+func okThread(ctx context.Context) error { return work(ctx) }
+
+func suppressedWrapper() error {
+	//lint:ignore ctxpropagate corpus: documented top-level wrapper mints the root context
+	return work(context.Background())
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,11 @@
+// Package main is the negative corpus for ctxpropagate: binaries mint the
+// root context at their entry point.
+package main
+
+import "context"
+
+func main() {
+	_ = run(context.Background())
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,51 @@
+// Package errtaxonomy is the graphlint corpus for the errtaxonomy
+// analyzer: sentinel Err* values must be matched with errors.Is, and a
+// boundary fmt.Errorf carrying an error must wrap with %w.
+package errtaxonomy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrBudget = errors.New("budget exceeded")
+
+func badEq(err error) bool {
+	return err == ErrBudget // want `sentinel comparison == ErrBudget`
+}
+
+func badNe(err error) bool {
+	return err != ErrBudget // want `sentinel comparison != ErrBudget`
+}
+
+func badSwitch(err error) int {
+	switch err {
+	case ErrBudget: // want `switch case on sentinel ErrBudget`
+		return 1
+	}
+	return 0
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want `without %w`
+}
+
+func okIs(err error) bool { return errors.Is(err, ErrBudget) }
+
+func okNil(err error) bool { return err == nil }
+
+// io.EOF is documented to arrive unwrapped from Readers; == is its contract.
+func okEOF(err error) bool { return err == io.EOF }
+
+func okWrap(err error) error { return fmt.Errorf("load failed: %w", err) }
+
+// The established boundary idiom: wrap the sentinel, annotate the cause.
+func okAnnotate(err error) error {
+	return fmt.Errorf("%w: decode: %v", ErrBudget, err)
+}
+
+func suppressedEq(err error) bool {
+	//lint:ignore errtaxonomy corpus: identity comparison is intentional here
+	return err == ErrBudget
+}

@@ -1,0 +1,83 @@
+// Package leakygoroutine is the graphlint corpus for the leakygoroutine
+// analyzer: a go func literal must be tied to a context, a done channel,
+// or a WaitGroup.
+package leakygoroutine
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func badFireAndForget() {
+	go func() { // want `not tied to a context`
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+func badNoTie(msgs []string) {
+	go func() { // want `not tied to a context`
+		total := 0
+		for _, m := range msgs {
+			total += len(m)
+		}
+		_ = total
+	}()
+}
+
+func okCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func okWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func okDoneChannel(done <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+}
+
+func okWorkChannel(work chan int) {
+	go func() {
+		for range work {
+		}
+	}()
+}
+
+func okResultChannel(out chan<- int) {
+	go func() {
+		out <- 42
+	}()
+}
+
+// Named-function goroutines are outside the literal contract.
+func okNamed() {
+	go tick()
+}
+
+func tick() {}
+
+func suppressedGoroutine() {
+	//lint:ignore leakygoroutine corpus: process-lifetime monitor by design
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}

@@ -1,0 +1,16 @@
+// Package suppressbad exercises malformed //lint:ignore directives: a
+// missing reason or an unknown analyzer is itself a finding, and the
+// broken directive suppresses nothing.
+package suppressbad
+
+import "os"
+
+func missingReason(p string, b []byte) error {
+	//lint:ignore atomicwrite
+	return os.WriteFile(p, b, 0o644)
+}
+
+func unknownAnalyzer(p string, b []byte) error {
+	//lint:ignore nosuchanalyzer the analyzer name is not real
+	return os.WriteFile(p, b, 0o644)
+}

@@ -297,6 +297,7 @@ func TraceSSSP(m *Machine, g *graph.CSR, source uint32) (*WorkloadResult, error)
 // from additional roots, scaling the trace the way Graph500's 64-root
 // harness does.
 func PaperWorkloadTrace(cfg Config, numVertices, edgeFactor int, seed int64, repeats int) (*Machine, *WorkloadResult, error) {
+	//lint:ignore ctxpropagate documented top-level wrapper: the no-ctx convenience API mints the root context for PaperWorkloadTraceContext
 	return PaperWorkloadTraceContext(context.Background(), cfg, numVertices, edgeFactor, seed, repeats, nil)
 }
 

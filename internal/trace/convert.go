@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -267,7 +268,7 @@ func ConvertStreamOpts(r io.Reader, w io.Writer, opts ConvertOptions) (ConvertSt
 						return
 					}
 				}
-			} else if err != io.ErrUnexpectedEOF && err != io.EOF {
+			} else if !errors.Is(err, io.ErrUnexpectedEOF) && err != io.EOF {
 				readErr = err
 				return
 			}
