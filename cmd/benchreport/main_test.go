@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: graphdse
+BenchmarkFigure2Sweep-8   	       1	105103041 ns/op
+BenchmarkTraceConvertParallel-8    	       3	  41234567 ns/op	  87.65 MB/s	 1024 B/op	      12 allocs/op
+BenchmarkTable1Training-16         	       2	  52000000 ns/op	  2048 B/op	       3 allocs/op
+PASS
+ok  	graphdse	12.345s
+`
+
+func TestParse(t *testing.T) {
+	entries, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(entries))
+	}
+	// Sorted by name, GOMAXPROCS suffix stripped.
+	wantNames := []string{"BenchmarkFigure2Sweep", "BenchmarkTable1Training", "BenchmarkTraceConvertParallel"}
+	for i, w := range wantNames {
+		if entries[i].Name != w {
+			t.Fatalf("entry %d name %q, want %q", i, entries[i].Name, w)
+		}
+	}
+	conv := entries[2]
+	if conv.Iterations != 3 || conv.NsPerOp != 41234567 || conv.MBPerSec != 87.65 ||
+		conv.BytesPerOp != 1024 || conv.AllocsPerOp != 12 {
+		t.Fatalf("convert entry: %+v", conv)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":           "BenchmarkX",
+		"BenchmarkX/sub-case-16": "BenchmarkX/sub-case",
+		"BenchmarkPlain":         "BenchmarkPlain",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDiffNames(t *testing.T) {
+	missing, extra := diffNames([]string{"A", "B", "C"}, []string{"B", "C", "D"})
+	if len(missing) != 1 || missing[0] != "A" {
+		t.Fatalf("missing = %v", missing)
+	}
+	if len(extra) != 1 || extra[0] != "D" {
+		t.Fatalf("extra = %v", extra)
+	}
+}

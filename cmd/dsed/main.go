@@ -1,0 +1,118 @@
+// Command dsed is the crash-safe design-space-exploration daemon: an
+// HTTP/JSON service that accepts sweep jobs, shards their design points
+// across a supervised worker fleet, and survives kill -9 at any instant —
+// the durable job queue and per-job checkpoints mean a restart resumes every
+// interrupted job from its last completed point, with no duplicates and no
+// lost jobs.
+//
+// Exit codes follow the artifact contract: 0 for a clean SIGTERM drain,
+// artifact.ExitForced (6) when a second signal pre-empts the drain,
+// artifact.ExitUsage (2) for flag errors, artifact.ExitError (1) otherwise.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphdse/internal/artifact"
+	"graphdse/internal/dsed"
+	"graphdse/internal/guard"
+)
+
+// parseBytes parses a byte size with an optional binary-unit suffix
+// (KiB/MiB/GiB, or bare bytes).
+func parseBytes(s string) (uint64, error) {
+	mult := uint64(1)
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	for suffix, m := range map[string]uint64{"KIB": 1 << 10, "MIB": 1 << 20, "GIB": 1 << 30} {
+		if strings.HasSuffix(upper, suffix) {
+			mult = m
+			upper = strings.TrimSuffix(upper, suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(upper), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("size %q: want e.g. 512MiB or 1073741824", s)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile     = flag.String("addr-file", "", "write the bound listen address to this file once serving (for :0 handshakes)")
+		dir          = flag.String("dir", "dsed-spool", "spool directory for durable job records, checkpoints, and results")
+		jobWorkers   = flag.Int("job-workers", 2, "concurrent jobs")
+		sweepWorkers = flag.Int("sweep-workers", 4, "sweep workers per job")
+		maxQueued    = flag.Int("max-queued", 64, "admission control: queued jobs beyond this are rejected with 429")
+		tenantCap    = flag.Int("tenant-cap", 8, "admission control: max in-flight jobs per tenant")
+		cacheEntries = flag.Int("cache-entries", 4, "decoded traces held in the content-addressed cache")
+		memBudget    = flag.String("mem-budget", "", "heap soft budget, e.g. 512MiB: under pressure the fleet sheds workers (empty = off)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown window for in-flight checkpointing")
+		quiet        = flag.Bool("quiet", false, "suppress operational logging")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "dsed: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(artifact.ExitUsage)
+	}
+
+	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	opts := dsed.Options{
+		Addr: *addr,
+		Dir:  *dir,
+		Queue: dsed.QueueOptions{
+			MaxQueued: *maxQueued,
+			TenantCap: *tenantCap,
+		},
+		Scheduler: dsed.SchedulerOptions{
+			JobWorkers:   *jobWorkers,
+			SweepWorkers: *sweepWorkers,
+		},
+		CacheEntries: *cacheEntries,
+		DrainTimeout: *drainTimeout,
+		AddrFile:     *addrFile,
+		Logf:         logf,
+	}
+	if *memBudget != "" {
+		bytes, err := parseBytes(*memBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsed: -mem-budget: %v\n", err)
+			os.Exit(artifact.ExitUsage)
+		}
+		opts.HeapSoftBytes = bytes
+	}
+
+	d, err := dsed.New(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsed: %v\n", err)
+		os.Exit(artifact.ExitError)
+	}
+
+	// First SIGINT/SIGTERM starts the graceful drain (stop intake,
+	// checkpoint in-flight jobs, exit 0). A second signal means the operator
+	// will not wait: exit ExitForced immediately — durable state is already
+	// checkpointed up to the first signal, and a restart resumes from it.
+	ctx, stop := guard.SignalContext(context.Background(), func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "dsed: second signal (%v): forcing exit; durable state will be recovered on restart\n", sig)
+		os.Exit(artifact.ExitForced)
+	})
+	defer stop()
+
+	if err := d.Run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dsed: %v\n", err)
+		os.Exit(artifact.ExitError)
+	}
+}

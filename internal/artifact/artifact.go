@@ -40,7 +40,10 @@ var ErrTruncated = errors.New("artifact: truncated data")
 // was produced; ExitSalvaged means the tool completed using the valid prefix
 // of a damaged input and the output reflects losses; ExitTimeout means a
 // watchdog or deadline stopped the run (guard.Class Timeout) — with a
-// checkpoint configured the work completed so far is resumable.
+// checkpoint configured the work completed so far is resumable; ExitForced
+// means a second SIGINT/SIGTERM pre-empted a graceful drain (the operator
+// really meant it) — durable state was checkpointed up to the moment of the
+// first signal, and a restart resumes from it.
 const (
 	ExitOK       = 0
 	ExitError    = 1
@@ -48,6 +51,7 @@ const (
 	ExitCorrupt  = 3
 	ExitSalvaged = 4
 	ExitTimeout  = 5
+	ExitForced   = 6
 )
 
 // SalvageReport describes how much of a damaged artifact a salvage reader

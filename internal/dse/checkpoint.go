@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"sync"
 
 	"graphdse/internal/memsim"
@@ -55,6 +56,25 @@ func EncodeRecord(r RunRecord) ([]byte, error) {
 		cr.Result = &res
 	}
 	return json.Marshal(cr)
+}
+
+// CanonicalRecords renders terminal records in their canonical checkpoint
+// encoding, sorted by point ID. Because EncodeRecord is deterministic and
+// records adopted from a checkpoint round-trip through the same encoding,
+// the canonical form of a resumed sweep is byte-identical to that of an
+// uninterrupted one — the property the daemon's crash-recovery contract
+// (and its subprocess tests) is built on.
+func CanonicalRecords(records []RunRecord) ([]json.RawMessage, error) {
+	out := make([]json.RawMessage, 0, len(records))
+	for _, r := range records {
+		line, err := EncodeRecord(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, json.RawMessage(line))
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i], out[j]) < 0 })
+	return out, nil
 }
 
 // decodeRecord parses one checkpoint line back into a RunRecord. byID maps

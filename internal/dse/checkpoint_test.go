@@ -204,3 +204,85 @@ func TestCheckpointKillResumeByteIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckpointTornTailFromConcurrentWriter models a resume racing another
+// writer's in-progress append: the final JSONL line is a prefix of a valid
+// record with no newline. Salvage must adopt every complete line, flag and
+// skip the torn tail in BOTH permissive and strict modes (a torn tail is
+// normal operation under concurrency, not corruption), and once the writer
+// finishes the line a reload must adopt the now-complete record.
+func TestCheckpointTornTailFromConcurrentWriter(t *testing.T) {
+	events := smallTrace(t)
+	points := EnumerateSpace(tinySpace())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.ckpt")
+
+	ref, err := Sweep(events, points, SweepOptions{CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalSurvivors(t, ref)
+
+	// Split the final line mid-record: head stays on disk, tail is what the
+	// concurrent writer has not flushed yet.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	last := lines[len(lines)-1]
+	head := strings.Join(lines[:len(lines)-1], "\n") + "\n" + last[:len(last)/2]
+	tail := last[len(last)/2:] + "\n"
+	if err := os.WriteFile(path, []byte(head), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, strict := range []bool{false, true} {
+		loaded, rep, err := LoadCheckpointReport(path, points, strict)
+		if err != nil {
+			t.Fatalf("strict=%v: torn tail must not fail the load: %v", strict, err)
+		}
+		if !rep.TornTail || rep.Skipped != 1 || int(rep.Loaded) != len(points)-1 {
+			t.Fatalf("strict=%v: report %+v, want torn tail + 1 skip + %d loaded", strict, rep, len(points)-1)
+		}
+		if len(loaded) != len(points)-1 {
+			t.Fatalf("strict=%v: adopted %d records, want %d", strict, len(loaded), len(points)-1)
+		}
+	}
+
+	// Resume while the tail is still torn: exactly the one unfinished point
+	// re-runs, and the result matches the uninterrupted sweep byte for byte.
+	var reran atomic.Int64
+	testHookPointStart = func(DesignPoint) { reran.Add(1) }
+	resumed, err := Sweep(events, points, SweepOptions{CheckpointPath: path, Resume: true})
+	testHookPointStart = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reran.Load() != 1 {
+		t.Fatalf("torn-tail resume re-ran %d points, want 1", reran.Load())
+	}
+	got := canonicalSurvivors(t, resumed)
+	if len(got) != len(want) {
+		t.Fatalf("resumed survivors = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs after torn-tail resume:\n%s\n%s", i, got[i], want[i])
+		}
+	}
+
+	// The writer finishes its append (rebuilding the pre-resume torn state
+	// first — the resume above rewrote the tail itself): the completed final
+	// line must now load cleanly.
+	if err := os.WriteFile(path, []byte(head+tail), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, rep, err := LoadCheckpointReport(path, points, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || len(loaded) != len(points) {
+		t.Fatalf("completed tail: report %+v, loaded %d, want clean full load", rep, len(loaded))
+	}
+}

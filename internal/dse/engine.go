@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"math/rand"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -313,9 +314,18 @@ func classifyError(err error) FaultClass {
 	}
 }
 
-// sleepBackoff waits base·2^(attempt−1) plus deterministic jitter, capped at
-// maxBackoff, returning false if the context was cancelled first.
-func sleepBackoff(ctx context.Context, base time.Duration, attempt int, p DesignPoint) bool {
+// backoffSalt decorrelates retry schedules across processes. The jitter hash
+// in backoffDelay is deterministic per (point, attempt), which keeps retries
+// reproducible within a run — but a fleet of sweep processes restarted
+// together after a shared crash would compute identical schedules and retry
+// in lockstep against shared resources (the daemon's trace cache above all).
+// Each process therefore mixes a random per-process salt into the hash.
+var backoffSalt = rand.Uint64()
+
+// backoffDelay computes base·2^(attempt−1) plus jitter in [0, d/2], capped
+// at maxBackoff. The jitter is a hash of (process salt, point, attempt):
+// stable within a process, different across processes.
+func backoffDelay(base time.Duration, attempt int, p DesignPoint) time.Duration {
 	if base <= 0 {
 		base = 20 * time.Millisecond
 	}
@@ -323,14 +333,18 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int, p Design
 	if d > maxBackoff || d <= 0 {
 		d = maxBackoff
 	}
-	// Deterministic jitter in [0, d/2] keeps retries reproducible while
-	// decorrelating simultaneous retry storms across points.
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d", p.ID(), attempt)
+	fmt.Fprintf(h, "%d|%s|%d", backoffSalt, p.ID(), attempt)
 	if half := int64(d / 2); half > 0 {
 		d += time.Duration(h.Sum64() % uint64(half+1))
 	}
-	t := time.NewTimer(d)
+	return d
+}
+
+// sleepBackoff waits out backoffDelay, returning false if the context was
+// cancelled first.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int, p DesignPoint) bool {
+	t := time.NewTimer(backoffDelay(base, attempt, p))
 	defer t.Stop()
 	select {
 	case <-t.C:

@@ -346,3 +346,40 @@ func TestRenderFailureLog(t *testing.T) {
 		}
 	}
 }
+
+// TestBackoffDelayJitterBounds: the retry delay is base·2^(attempt−1) plus
+// jitter in [0, d/2], capped at maxBackoff — never less than the exponential
+// floor (which would thrash) and never more than 1.5× (which would stall).
+func TestBackoffDelayJitterBounds(t *testing.T) {
+	p := EnumerateSpace(tinySpace())[0]
+	for attempt := 1; attempt <= 8; attempt++ {
+		base := 10 * time.Millisecond
+		floor := base << uint(attempt-1)
+		if floor > maxBackoff {
+			floor = maxBackoff
+		}
+		d := backoffDelay(base, attempt, p)
+		if d < floor || d > floor+floor/2 {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, floor, floor+floor/2)
+		}
+		// Deterministic within a process: retries are reproducible.
+		if again := backoffDelay(base, attempt, p); again != d {
+			t.Fatalf("attempt %d: delay not stable within process (%v vs %v)", attempt, d, again)
+		}
+	}
+	// Distinct points de-correlate: across the space, at least two points
+	// must disagree on their attempt-3 delay (all-equal would mean the
+	// jitter hash is inert and the fleet retries in lockstep).
+	points := EnumerateSpace(tinySpace())
+	first := backoffDelay(10*time.Millisecond, 3, points[0])
+	varied := false
+	for _, q := range points[1:] {
+		if backoffDelay(10*time.Millisecond, 3, q) != first {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("jitter identical across every design point")
+	}
+}

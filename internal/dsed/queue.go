@@ -1,0 +1,479 @@
+package dsed
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Admission-control sentinels. The HTTP layer maps them onto status codes
+// (429 + Retry-After for saturation, 503 for draining); everything else
+// treats them through errors.Is.
+var (
+	// ErrSaturated reports a full queue: the daemon sheds load instead of
+	// accepting unbounded work.
+	ErrSaturated = errors.New("dsed: job queue saturated")
+	// ErrTenantBusy reports a tenant at its in-flight cap.
+	ErrTenantBusy = errors.New("dsed: tenant at in-flight cap")
+	// ErrDraining reports a daemon that has stopped intake for shutdown.
+	ErrDraining = errors.New("dsed: daemon draining")
+	// ErrSpecConflict reports a re-submission whose ID exists with a
+	// different spec — an idempotency-key collision, never silently merged.
+	ErrSpecConflict = errors.New("dsed: job id exists with a different spec")
+	// ErrUnknownJob reports an ID the spool has never seen.
+	ErrUnknownJob = errors.New("dsed: unknown job")
+	// ErrNotCancellable reports a cancel of an already-terminal job.
+	ErrNotCancellable = errors.New("dsed: job already terminal")
+)
+
+// Spool layout under the queue directory.
+const (
+	jobsDir    = "jobs"
+	ckptDir    = "ckpt"
+	resultsDir = "results"
+)
+
+// RecoveryReport accounts for what a queue recovery found, so an operator
+// can see exactly what a crash cost (nothing, if the invariants hold).
+type RecoveryReport struct {
+	// Terminal counts jobs already in an end state.
+	Terminal int
+	// Requeued counts queued jobs put back on the run queue.
+	Requeued int
+	// Resumed counts jobs found running (the daemon died under them) and
+	// re-enqueued to resume from their checkpoint.
+	Resumed int
+	// Adopted counts jobs found running whose complete result file already
+	// existed: the crash landed between result commit and record update,
+	// and recovery finalizes them as done without re-running anything.
+	Adopted int
+	// Corrupt counts spool records that failed their checksum; the damaged
+	// files are set aside with a .corrupt suffix and the jobs reported
+	// lost rather than silently re-animated.
+	Corrupt int
+	// CorruptFiles names the set-aside records.
+	CorruptFiles []string
+}
+
+// String renders the report as one log line.
+func (r *RecoveryReport) String() string {
+	return fmt.Sprintf("recovery: %d terminal, %d requeued, %d resumed from checkpoint, %d adopted from result, %d corrupt",
+		r.Terminal, r.Requeued, r.Resumed, r.Adopted, r.Corrupt)
+}
+
+// QueueOptions bounds the queue. Zero values disable nothing by accident:
+// fill() applies conservative defaults.
+type QueueOptions struct {
+	// MaxQueued bounds jobs waiting to run (default 64).
+	MaxQueued int
+	// TenantCap bounds one tenant's queued+running jobs (default 8).
+	TenantCap int
+}
+
+func (o *QueueOptions) fill() {
+	if o.MaxQueued <= 0 {
+		o.MaxQueued = 64
+	}
+	if o.TenantCap <= 0 {
+		o.TenantCap = 8
+	}
+}
+
+// Queue is the durable job queue: an in-memory index over a spool of
+// checksummed, atomically-written job records. Every state transition is
+// persisted before it becomes visible, so the in-memory view can always be
+// rebuilt from disk — Open does exactly that.
+type Queue struct {
+	dir  string
+	opts QueueOptions
+
+	mu       sync.Mutex
+	jobs     map[string]*JobRecord
+	pending  []string // FIFO of queued job IDs
+	draining bool
+	seq      uint64
+	notify   chan struct{} // closed+replaced when pending grows
+	recovery *RecoveryReport
+}
+
+// OpenQueue opens (creating if needed) the spool at dir and recovers its
+// state: terminal jobs are indexed, queued jobs re-enter the run queue in
+// submission order, and jobs left running by a crash are either adopted (a
+// complete result exists) or re-enqueued to resume from their checkpoint.
+func OpenQueue(dir string, opts QueueOptions) (*Queue, error) {
+	opts.fill()
+	for _, sub := range []string{jobsDir, ckptDir, resultsDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("dsed: spool: %w", err)
+		}
+	}
+	q := &Queue{
+		dir:    dir,
+		opts:   opts,
+		jobs:   map[string]*JobRecord{},
+		notify: make(chan struct{}),
+	}
+	if err := q.recover(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Dir returns the spool root.
+func (q *Queue) Dir() string { return q.dir }
+
+// jobPath/ckptPath/resultPath name a job's spool files. IDs are validated
+// at admission (safeID), so they cannot traverse outside the spool.
+func (q *Queue) jobPath(id string) string    { return filepath.Join(q.dir, jobsDir, id+".json") }
+func (q *Queue) ckptPath(id string) string   { return filepath.Join(q.dir, ckptDir, id+".jsonl") }
+func (q *Queue) resultPath(id string) string { return filepath.Join(q.dir, resultsDir, id+".json") }
+
+// recover rebuilds the in-memory index from the spool.
+func (q *Queue) recover() error {
+	rep := &RecoveryReport{}
+	entries, err := os.ReadDir(filepath.Join(q.dir, jobsDir))
+	if err != nil {
+		return fmt.Errorf("dsed: recover: %w", err)
+	}
+	var requeue []*JobRecord
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		path := filepath.Join(q.dir, jobsDir, name)
+		rec, rerr := readJobRecord(path)
+		if rerr != nil {
+			// A record that fails its checksum is set aside, not deleted:
+			// the operator decides. The job counts as lost here — the one
+			// failure mode atomic writes cannot absorb is rot while the
+			// daemon was down.
+			rep.Corrupt++
+			aside := path + ".corrupt"
+			//lint:ignore atomicwrite setting a corrupt spool record aside is forensic renaming of damaged input, not artifact persistence
+			if mvErr := os.Rename(path, aside); mvErr == nil {
+				rep.CorruptFiles = append(rep.CorruptFiles, aside)
+			}
+			continue
+		}
+		if rec.SubmitSeq >= q.seq {
+			q.seq = rec.SubmitSeq + 1
+		}
+		switch {
+		case rec.State.Terminal():
+			rep.Terminal++
+		case rec.State == StateRunning:
+			// The daemon died mid-job. If its complete result already
+			// committed, the crash landed in the tiny window between result
+			// write and record update: adopt it. Otherwise resume from the
+			// checkpoint.
+			if q.resultComplete(rec.Spec.ID) {
+				rec.State = StateDone
+				rec.Error = ""
+				if werr := writeJobRecord(path, rec); werr != nil {
+					return fmt.Errorf("dsed: recover adopt %s: %w", rec.Spec.ID, werr)
+				}
+				rep.Adopted++
+			} else {
+				rec.State = StateQueued
+				if werr := writeJobRecord(path, rec); werr != nil {
+					return fmt.Errorf("dsed: recover requeue %s: %w", rec.Spec.ID, werr)
+				}
+				requeue = append(requeue, rec)
+				rep.Resumed++
+			}
+		default: // queued
+			requeue = append(requeue, rec)
+			rep.Requeued++
+		}
+		q.jobs[rec.Spec.ID] = rec
+	}
+	sort.Slice(requeue, func(i, j int) bool { return requeue[i].SubmitSeq < requeue[j].SubmitSeq })
+	for _, rec := range requeue {
+		q.pending = append(q.pending, rec.Spec.ID)
+	}
+	q.recovery = rep
+	return nil
+}
+
+// resultComplete reports whether a structurally-valid result file exists
+// for the job.
+func (q *Queue) resultComplete(id string) bool {
+	data, err := os.ReadFile(q.resultPath(id))
+	if err != nil {
+		return false
+	}
+	var res JobResult
+	return json.Unmarshal(data, &res) == nil && res.ID == id && res.Sealed
+}
+
+// Recovery returns the report of the Open-time recovery pass.
+func (q *Queue) Recovery() *RecoveryReport { return q.recovery }
+
+// SetDraining flips intake: once draining, Submit refuses with ErrDraining.
+func (q *Queue) SetDraining(on bool) {
+	q.mu.Lock()
+	q.draining = on
+	q.mu.Unlock()
+}
+
+// newID mints a random job ID.
+func newID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return "job-" + hex.EncodeToString(b[:]), nil
+}
+
+// safeID constrains client-supplied IDs to a filename-safe alphabet so a
+// job ID can never escape the spool directory.
+func safeID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return !strings.HasPrefix(id, ".")
+}
+
+// Submit admits one job: validates the spec, applies admission control
+// (queue depth, tenant cap, draining), persists the record atomically, and
+// only then makes it runnable. existing is true when the same (ID, spec)
+// was already known — the idempotent path.
+func (q *Queue) Submit(spec JobSpec) (rec JobRecord, existing bool, err error) {
+	if err := spec.Validate(); err != nil {
+		return JobRecord{}, false, err
+	}
+	if spec.ID == "" {
+		id, iderr := newID()
+		if iderr != nil {
+			return JobRecord{}, false, fmt.Errorf("dsed: mint job id: %w", iderr)
+		}
+		spec.ID = id
+	}
+	if !safeID(spec.ID) {
+		return JobRecord{}, false, fmt.Errorf("%w: id %q (want [A-Za-z0-9._-], len<=128)", ErrBadSpec, spec.ID)
+	}
+	digest, err := spec.Digest()
+	if err != nil {
+		return JobRecord{}, false, err
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if prior, ok := q.jobs[spec.ID]; ok {
+		if prior.SpecDigest == digest {
+			return *prior, true, nil
+		}
+		return JobRecord{}, false, fmt.Errorf("%w: %s", ErrSpecConflict, spec.ID)
+	}
+	if q.draining {
+		return JobRecord{}, false, ErrDraining
+	}
+	if len(q.pending) >= q.opts.MaxQueued {
+		return JobRecord{}, false, fmt.Errorf("%w: %d jobs queued (max %d)", ErrSaturated, len(q.pending), q.opts.MaxQueued)
+	}
+	if n := q.inFlightLocked(spec.tenant()); n >= q.opts.TenantCap {
+		return JobRecord{}, false, fmt.Errorf("%w: tenant %q has %d in flight (cap %d)", ErrTenantBusy, spec.tenant(), n, q.opts.TenantCap)
+	}
+
+	newRec := &JobRecord{
+		Spec:       spec,
+		State:      StateQueued,
+		SpecDigest: digest,
+		SubmitSeq:  q.seq,
+	}
+	q.seq++
+	// Durability before visibility: the record reaches disk before the job
+	// can run or be reported. A crash right here leaves a queued record
+	// that recovery re-enqueues — the job is never lost.
+	if err := writeJobRecord(q.jobPath(spec.ID), newRec); err != nil {
+		return JobRecord{}, false, fmt.Errorf("dsed: persist job %s: %w", spec.ID, err)
+	}
+	q.jobs[spec.ID] = newRec
+	q.pending = append(q.pending, spec.ID)
+	close(q.notify)
+	q.notify = make(chan struct{})
+	return *newRec, false, nil
+}
+
+// inFlightLocked counts a tenant's queued+running jobs. Caller holds q.mu.
+func (q *Queue) inFlightLocked(tenant string) int {
+	n := 0
+	for _, rec := range q.jobs {
+		if rec.Spec.tenant() == tenant && !rec.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Next blocks until a queued job is available (or ctx ends), transitions it
+// to running, persists the transition, and returns a copy.
+func (q *Queue) Next(ctx context.Context) (JobRecord, error) {
+	for {
+		q.mu.Lock()
+		if len(q.pending) > 0 {
+			id := q.pending[0]
+			q.pending = q.pending[1:]
+			rec := q.jobs[id]
+			rec.State = StateRunning
+			rec.Attempt++
+			// Best-effort persistence: if this write fails the job still
+			// runs — a crash would recover it as queued and resume from
+			// the checkpoint, costing duplicate scheduling, never
+			// duplicate completed points.
+			_ = writeJobRecord(q.jobPath(id), rec)
+			out := *rec
+			q.mu.Unlock()
+			return out, nil
+		}
+		wake := q.notify
+		q.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return JobRecord{}, ctx.Err()
+		case <-wake:
+		}
+	}
+}
+
+// Progress updates a running job's coarse counters in memory (the per-job
+// checkpoint is the durable fine-grained progress).
+func (q *Queue) Progress(id string, done, total int) {
+	q.mu.Lock()
+	if rec, ok := q.jobs[id]; ok && rec.State == StateRunning {
+		rec.Done, rec.Total = done, total
+	}
+	q.mu.Unlock()
+}
+
+// Finalize moves a job to a terminal state and persists it. For StateDone
+// the caller must have committed the result file first — recovery depends
+// on that ordering.
+func (q *Queue) Finalize(id string, state JobState, errMsg string, survivors, quarantined int) error {
+	if !state.Terminal() {
+		return fmt.Errorf("dsed: finalize %s to non-terminal state %q", id, state)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	rec.State = state
+	rec.Error = errMsg
+	rec.Survivors = survivors
+	rec.Quarantined = quarantined
+	if err := writeJobRecord(q.jobPath(id), rec); err != nil {
+		return fmt.Errorf("dsed: persist finalize %s: %w", id, err)
+	}
+	return nil
+}
+
+// Requeue returns a running job to the queued state without counting the
+// attempt against it — the drain path for jobs interrupted by shutdown, so
+// the next daemon resumes them from their checkpoint.
+func (q *Queue) Requeue(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if rec.State != StateRunning {
+		return nil
+	}
+	rec.State = StateQueued
+	if err := writeJobRecord(q.jobPath(id), rec); err != nil {
+		return fmt.Errorf("dsed: persist requeue %s: %w", id, err)
+	}
+	q.pending = append(q.pending, id)
+	close(q.notify)
+	q.notify = make(chan struct{})
+	return nil
+}
+
+// CancelQueued cancels a job that has not started; running jobs are
+// cancelled through the scheduler (which owns their contexts). It reports
+// whether the job was queued (and is now cancelled), running (caller must
+// cancel the context), or terminal (error).
+func (q *Queue) CancelQueued(id string) (wasRunning bool, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec, ok := q.jobs[id]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	switch rec.State {
+	case StateRunning:
+		return true, nil
+	case StateQueued:
+		for i, pid := range q.pending {
+			if pid == id {
+				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				break
+			}
+		}
+		rec.State = StateCancelled
+		if werr := writeJobRecord(q.jobPath(id), rec); werr != nil {
+			return false, fmt.Errorf("dsed: persist cancel %s: %w", id, werr)
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("%w: %s is %s", ErrNotCancellable, id, rec.State)
+	}
+}
+
+// Get returns a copy of one job record.
+func (q *Queue) Get(id string) (JobRecord, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec, ok := q.jobs[id]
+	if !ok {
+		return JobRecord{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return *rec, nil
+}
+
+// List returns copies of every job record, ordered by submission.
+func (q *Queue) List() []JobRecord {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]JobRecord, 0, len(q.jobs))
+	for _, rec := range q.jobs {
+		out = append(out, *rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SubmitSeq < out[j].SubmitSeq })
+	return out
+}
+
+// Depth returns the current queued and running counts.
+func (q *Queue) Depth() (queued, running int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, rec := range q.jobs {
+		switch rec.State {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+	}
+	return queued, running
+}

@@ -1,0 +1,170 @@
+package dsed
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"graphdse/internal/memsim"
+)
+
+// TraceCache is a content-addressed cache of decoded PreparedTraces with
+// single-flight loading: when N concurrent jobs reference the same
+// 91.5M-line trace, exactly one decodes it and the rest wait for that
+// result. Entries carry the trace's fingerprint (CRC32-Castagnoli over the
+// decoded arrays); every hit re-verifies it, and a mismatch — in-memory
+// corruption of a structure shared by every job on the box — evicts the
+// entry and re-decodes from the source of truth instead of failing the job.
+type TraceCache struct {
+	mu         sync.Mutex
+	entries    map[string]*cacheEntry
+	maxEntries int
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	corruptions atomic.Int64
+}
+
+// cacheEntry is one in-flight or completed decode. ready is closed when pt
+// and err are final; gen orders entries for LRU eviction.
+type cacheEntry struct {
+	ready chan struct{}
+	pt    *memsim.PreparedTrace
+	crc   uint32
+	err   error
+	gen   uint64
+}
+
+var cacheGen atomic.Uint64
+
+// NewTraceCache builds a cache bounded at maxEntries decoded traces
+// (default 4). Eviction is LRU; evicting an entry in use is safe — the
+// PreparedTrace is immutable and stays alive for its current holders.
+func NewTraceCache(maxEntries int) *TraceCache {
+	if maxEntries <= 0 {
+		maxEntries = 4
+	}
+	return &TraceCache{entries: map[string]*cacheEntry{}, maxEntries: maxEntries}
+}
+
+// CacheStats is the cache's observability snapshot.
+type CacheStats struct {
+	Entries     int   `json:"entries"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Corruptions int64 `json:"corruptions"`
+}
+
+// Stats snapshots the counters.
+func (c *TraceCache) Stats() CacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{
+		Entries:     n,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Corruptions: c.corruptions.Load(),
+	}
+}
+
+// Get returns the prepared trace for key, loading it via load on a miss.
+// Concurrent Gets for one key share a single load; a load error is
+// delivered to every waiter and then forgotten, so the next Get retries. A
+// fingerprint mismatch on a hit counts as corruption: the entry is dropped
+// and the trace re-decoded (at most once per call chain — a loader that
+// produces mismatching fingerprints twice in a row surfaces as corruption
+// having been "fixed" by the second decode, which is indistinguishable from
+// a fresh load).
+func (c *TraceCache) Get(ctx context.Context, key string, load func(context.Context) (*memsim.PreparedTrace, error)) (*memsim.PreparedTrace, error) {
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			e = &cacheEntry{ready: make(chan struct{}), gen: cacheGen.Add(1)}
+			c.entries[key] = e
+			c.evictLocked(key)
+			c.mu.Unlock()
+			c.misses.Add(1)
+
+			pt, err := load(ctx)
+			if err == nil && pt != nil {
+				e.pt, e.crc = pt, pt.Fingerprint()
+			} else if err == nil {
+				err = fmt.Errorf("dsed: trace loader for %q returned nil trace", key)
+			}
+			e.err = err
+			close(e.ready)
+			if err != nil {
+				// Errors are not cached: drop the entry so a transient
+				// failure (file briefly missing, ctx cancelled) does not
+				// poison the key forever.
+				c.mu.Lock()
+				if cur := c.entries[key]; cur == e {
+					delete(c.entries, key)
+				}
+				c.mu.Unlock()
+				return nil, err
+			}
+			return pt, nil
+		}
+		e.gen = cacheGen.Add(1)
+		c.mu.Unlock()
+
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err != nil {
+			// The flight we joined failed; loop to retry with our own load
+			// (the failed entry was already removed by its owner).
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		if got := e.pt.Fingerprint(); got != e.crc {
+			// The decoded arrays no longer match the checksum taken at
+			// decode time: memory corruption. Serving this trace would
+			// silently poison every design point of every job using it, so
+			// evict and re-decode.
+			c.corruptions.Add(1)
+			c.mu.Lock()
+			if cur := c.entries[key]; cur == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+			continue
+		}
+		c.hits.Add(1)
+		return e.pt, nil
+	}
+}
+
+// evictLocked drops least-recently-used completed entries beyond the
+// capacity. In-flight loads are never evicted. Caller holds c.mu.
+func (c *TraceCache) evictLocked(keep string) {
+	for len(c.entries) > c.maxEntries {
+		var victim string
+		var oldest uint64 = ^uint64(0)
+		for k, e := range c.entries {
+			if k == keep {
+				continue
+			}
+			select {
+			case <-e.ready:
+			default:
+				continue // in flight
+			}
+			if e.gen < oldest {
+				oldest, victim = e.gen, k
+			}
+		}
+		if victim == "" {
+			return
+		}
+		delete(c.entries, victim)
+	}
+}

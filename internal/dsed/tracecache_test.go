@@ -1,0 +1,154 @@
+package dsed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"graphdse/internal/memsim"
+	"graphdse/internal/trace"
+)
+
+// tinyTrace builds a small real PreparedTrace.
+func tinyTrace(t *testing.T) *memsim.PreparedTrace {
+	t.Helper()
+	events := []trace.Event{
+		{Cycle: 1, Addr: 0x40, Op: trace.Read},
+		{Cycle: 2, Addr: 0x80, Op: trace.Write},
+		{Cycle: 3, Addr: 0xc0, Op: trace.Read},
+	}
+	pt, err := memsim.Prepare(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+// TestTraceCacheSingleFlight: N concurrent Gets for one key run the loader
+// exactly once.
+func TestTraceCacheSingleFlight(t *testing.T) {
+	c := NewTraceCache(4)
+	pt := tinyTrace(t)
+	var loads atomic.Int64
+	gate := make(chan struct{})
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := c.Get(context.Background(), "k", func(context.Context) (*memsim.PreparedTrace, error) {
+				loads.Add(1)
+				<-gate // hold every waiter in the same flight
+				return pt, nil
+			})
+			errs[i] = err
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("loader ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestTraceCacheErrorNotCached: a failed load is delivered to its waiters
+// and then forgotten — the next Get retries.
+func TestTraceCacheErrorNotCached(t *testing.T) {
+	c := NewTraceCache(4)
+	boom := errors.New("transient decode failure")
+	if _, err := c.Get(context.Background(), "k", func(context.Context) (*memsim.PreparedTrace, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want loader error", err)
+	}
+	pt := tinyTrace(t)
+	got, err := c.Get(context.Background(), "k", func(context.Context) (*memsim.PreparedTrace, error) {
+		return pt, nil
+	})
+	if err != nil || got != pt {
+		t.Fatalf("retry after error: pt=%v err=%v", got, err)
+	}
+}
+
+// TestTraceCacheCorruptionFallsBackToRedecode: a hit whose fingerprint no
+// longer matches must evict the entry and re-decode instead of serving the
+// poisoned trace (or failing the job).
+func TestTraceCacheCorruptionFallsBackToRedecode(t *testing.T) {
+	c := NewTraceCache(4)
+	pt := tinyTrace(t)
+	if _, err := c.Get(context.Background(), "k", func(context.Context) (*memsim.PreparedTrace, error) {
+		return pt, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate in-memory corruption: the stored checksum no longer matches
+	// the decoded arrays.
+	c.mu.Lock()
+	c.entries["k"].crc ^= 0xdeadbeef
+	c.mu.Unlock()
+
+	var reloads atomic.Int64
+	got, err := c.Get(context.Background(), "k", func(context.Context) (*memsim.PreparedTrace, error) {
+		reloads.Add(1)
+		return tinyTrace(t), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloads.Load() != 1 {
+		t.Fatalf("corrupt hit did not re-decode (reloads=%d)", reloads.Load())
+	}
+	if got.Fingerprint() != pt.Fingerprint() {
+		t.Fatal("re-decoded trace differs from original")
+	}
+	if st := c.Stats(); st.Corruptions != 1 {
+		t.Fatalf("corruption counter: %+v", st)
+	}
+	// The replacement entry is healthy: the next Get is a plain hit.
+	var extra atomic.Int64
+	if _, err := c.Get(context.Background(), "k", func(context.Context) (*memsim.PreparedTrace, error) {
+		extra.Add(1)
+		return nil, errors.New("must not load")
+	}); err != nil || extra.Load() != 0 {
+		t.Fatalf("post-recovery hit reloaded: err=%v loads=%d", err, extra.Load())
+	}
+}
+
+// TestTraceCacheEviction: the cache holds at most maxEntries completed
+// decodes, evicting least-recently-used first.
+func TestTraceCacheEviction(t *testing.T) {
+	c := NewTraceCache(2)
+	pt := tinyTrace(t)
+	load := func(context.Context) (*memsim.PreparedTrace, error) { return pt, nil }
+	for i := 0; i < 5; i++ {
+		if _, err := c.Get(context.Background(), fmt.Sprintf("k%d", i), load); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Entries > 2 {
+		t.Fatalf("cache grew past its bound: %+v", st)
+	}
+	// Most-recent key k4 must still be resident.
+	var loads atomic.Int64
+	if _, err := c.Get(context.Background(), "k4", func(context.Context) (*memsim.PreparedTrace, error) {
+		loads.Add(1)
+		return pt, nil
+	}); err != nil || loads.Load() != 0 {
+		t.Fatalf("LRU evicted the most recent entry: err=%v loads=%d", err, loads.Load())
+	}
+}

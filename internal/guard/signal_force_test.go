@@ -1,0 +1,88 @@
+package guard
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"syscall"
+	"testing"
+	"time"
+
+	"graphdse/internal/artifact"
+)
+
+// forceHelperEnv gates the subprocess re-exec of
+// TestSignalContextSecondSignalForceExits.
+const forceHelperEnv = "GRAPHDSE_GUARD_FORCE_HELPER"
+
+// forceHelperBody simulates a daemon whose drain is too slow for the
+// operator: the first signal cancels the context and starts a long "drain";
+// the second must pre-empt it through the force handler with the documented
+// exit code. Never returns.
+func forceHelperBody() {
+	ctx, stop := SignalContext(context.Background(), func(os.Signal) {
+		os.Exit(artifact.ExitForced)
+	})
+	defer stop()
+	fmt.Println("ready")
+	<-ctx.Done()
+	fmt.Println("draining")
+	// A drain that would outlive the test: only the force path ends us.
+	time.Sleep(time.Minute)
+	os.Exit(0)
+}
+
+// TestSignalContextSecondSignalForceExits is the process-level contract
+// behind cmd/dse and cmd/dsed: first SIGTERM drains, second SIGTERM exits
+// immediately with artifact.ExitForced.
+func TestSignalContextSecondSignalForceExits(t *testing.T) {
+	if os.Getenv(forceHelperEnv) != "" {
+		forceHelperBody() // never returns
+	}
+	if testing.Short() {
+		t.Skip("subprocess signal test skipped in -short")
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestSignalContextSecondSignalForceExits$")
+	cmd.Env = append(os.Environ(), forceHelperEnv+"=1")
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(out)
+	waitLine := func(want string) {
+		t.Helper()
+		for sc.Scan() {
+			if sc.Text() == want {
+				return
+			}
+		}
+		t.Fatalf("helper exited before printing %q", want)
+	}
+	waitLine("ready")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The helper acknowledges the cancel before we escalate, so the two
+	// signals cannot coalesce.
+	waitLine("draining")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	werr := cmd.Wait()
+	ee, ok := werr.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("helper exit: %v, want exit code %d", werr, artifact.ExitForced)
+	}
+	if code := ee.ExitCode(); code != artifact.ExitForced {
+		t.Fatalf("second signal exited %d, want artifact.ExitForced (%d)", code, artifact.ExitForced)
+	}
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HTTPCtx enforces the daemon-hardening contract from the cmd/dsed work.
+// Two shapes are flagged:
+//
+//   - HTTP handler code — any function receiving an *http.Request — that
+//     mints context.Background()/context.TODO() instead of using
+//     r.Context(). The request context is what cancels in-flight work when
+//     the client disconnects or the server drains; a fresh root context
+//     severs that chain and leaks the handler past the connection.
+//   - An http.Server composite literal that leaves both read timeouts
+//     (ReadTimeout and ReadHeaderTimeout) or WriteTimeout unset, and the
+//     package-level http.ListenAndServe helpers, which cannot set either. A
+//     server accepting network input without deadlines lets one stalled
+//     peer pin a connection and its goroutine forever — the opposite of the
+//     bounded-resource discipline the daemon is built on.
+var HTTPCtx = &Analyzer{
+	Name: "httpctx",
+	Doc:  "handlers use r.Context(), and every http.Server sets read and write timeouts",
+	Run:  runHTTPCtx,
+}
+
+func runHTTPCtx(pass *Pass) {
+	for _, f := range pass.Files {
+		// stack mirrors the enclosing functions with "does any of them
+		// receive an *http.Request", the marker of handler code.
+		var stack []ast.Node
+		var inHandler []bool
+		isFunc := func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				return true
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if isFunc(top) {
+					inHandler = inHandler[:len(inHandler)-1]
+				}
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				inHandler = append(inHandler, tailOr(inHandler) || fieldListTakesRequest(pass, n.Type.Params))
+			case *ast.FuncLit:
+				inHandler = append(inHandler, tailOr(inHandler) || fieldListTakesRequest(pass, n.Type.Params))
+			case *ast.CompositeLit:
+				checkServerLiteral(pass, n)
+			case *ast.CallExpr:
+				if tailOr(inHandler) && isPkgFunc(pass, n, "context", "Background", "TODO") {
+					pass.Reportf(n.Pos(),
+						"handler code must use r.Context(), not a fresh root context: the request context is what cancels work on disconnect and drain")
+				}
+				if isPkgFunc(pass, n, "net/http", "ListenAndServe", "ListenAndServeTLS") {
+					pass.Reportf(n.Pos(),
+						"http.ListenAndServe uses a Server with no timeouts; build an http.Server with ReadTimeout/ReadHeaderTimeout and WriteTimeout set")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkServerLiteral flags an http.Server composite literal missing its
+// read or write deadlines.
+func checkServerLiteral(pass *Pass, cl *ast.CompositeLit) {
+	if !isHTTPServerType(pass.TypeOf(cl)) {
+		return
+	}
+	var hasRead, hasWrite, positional bool
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			// A positional http.Server literal fills every field; the zero
+			// values it spells out are visible at the call site, so leave
+			// it to review rather than guess field indices here.
+			positional = true
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "ReadTimeout", "ReadHeaderTimeout":
+			hasRead = true
+		case "WriteTimeout":
+			hasWrite = true
+		}
+	}
+	if positional {
+		return
+	}
+	if !hasRead {
+		pass.Reportf(cl.Pos(),
+			"http.Server must set ReadTimeout or ReadHeaderTimeout: without one, a stalled peer pins its connection forever")
+	}
+	if !hasWrite {
+		pass.Reportf(cl.Pos(),
+			"http.Server must set WriteTimeout: without it, a slow-reading peer pins its connection forever")
+	}
+}
+
+// fieldListTakesRequest reports whether any parameter is an *http.Request.
+func fieldListTakesRequest(pass *Pass, params *ast.FieldList) bool {
+	if params == nil {
+		return false
+	}
+	for _, p := range params.List {
+		ptr, ok := pass.TypeOf(p.Type).(*types.Pointer)
+		if !ok {
+			continue
+		}
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isHTTPServerType reports whether t is net/http.Server.
+func isHTTPServerType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Server"
+}

@@ -75,6 +75,7 @@ var All = []*Analyzer{
 	CtxPropagate,
 	AllocBound,
 	LeakyGoroutine,
+	HTTPCtx,
 }
 
 // Run executes every analyzer over every package and returns the surviving

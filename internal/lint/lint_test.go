@@ -130,6 +130,7 @@ func TestCorpus(t *testing.T) {
 		{"ctxpropagate_main", "corpus/ctxpropagate_main", lint.CtxPropagate},
 		{"allocbound", "corpus/allocbound", lint.AllocBound},
 		{"leakygoroutine", "corpus/leakygoroutine", lint.LeakyGoroutine},
+		{"httpctx", "corpus/httpctx", lint.HTTPCtx},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) { runCorpus(t, c.dir, c.path, c.analyzer) })

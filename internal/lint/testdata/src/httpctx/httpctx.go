@@ -1,0 +1,88 @@
+// Package httpctx is the graphlint corpus for the httpctx analyzer:
+// handlers use r.Context(), and every http.Server sets read and write
+// timeouts.
+package httpctx
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	work(context.Background()) // want `handler code must use r.Context`
+}
+
+func badHandlerTODO(w http.ResponseWriter, r *http.Request) {
+	work(context.TODO()) // want `handler code must use r.Context`
+}
+
+func badNestedInHandler(w http.ResponseWriter, r *http.Request) {
+	go func() {
+		work(context.Background()) // want `handler code must use r.Context`
+	}()
+}
+
+func okHandler(w http.ResponseWriter, r *http.Request) {
+	work(r.Context())
+}
+
+func okHandlerDerived(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	work(ctx)
+}
+
+// Not handler code: no *http.Request in scope, so httpctx leaves this to
+// the ctxpropagate analyzer.
+func notAHandler() {
+	work(context.Background())
+}
+
+func suppressedHandler(w http.ResponseWriter, r *http.Request) {
+	//lint:ignore httpctx corpus: audit logger documented to outlive the request
+	work(context.Background())
+}
+
+func badServerNoTimeouts() *http.Server {
+	return &http.Server{ // want `must set ReadTimeout or ReadHeaderTimeout` `must set WriteTimeout`
+		Addr: ":8080",
+	}
+}
+
+func badServerReadOnly() *http.Server {
+	return &http.Server{ // want `must set WriteTimeout`
+		Addr:        ":8080",
+		ReadTimeout: 5 * time.Second,
+	}
+}
+
+func badServerWriteOnly() *http.Server {
+	return &http.Server{ // want `must set ReadTimeout or ReadHeaderTimeout`
+		Addr:         ":8080",
+		WriteTimeout: 5 * time.Second,
+	}
+}
+
+func okServer() *http.Server {
+	return &http.Server{
+		Addr:              ":8080",
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+}
+
+func okServerValue() http.Server {
+	return http.Server{
+		ReadTimeout:  5 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+}
+
+func badDefaultServer() error {
+	return http.ListenAndServe(":8080", nil) // want `no timeouts`
+}
+
+func work(ctx context.Context) {
+	<-ctx.Done()
+}

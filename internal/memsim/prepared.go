@@ -1,6 +1,8 @@
 package memsim
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"io"
 
 	"graphdse/internal/trace"
@@ -74,6 +76,30 @@ func (p *PreparedTrace) append(events []trace.Event) error {
 
 // Len returns the number of events in the prepared trace.
 func (p *PreparedTrace) Len() int { return len(p.cycles) }
+
+// preparedCRCTable is CRC32-Castagnoli, matching the artifact container's
+// checksum choice.
+var preparedCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Fingerprint returns a CRC32-Castagnoli checksum over the decoded event
+// arrays. A prepared trace is immutable, so its fingerprint is fixed at
+// preparation time; long-lived holders (the daemon's content-addressed trace
+// cache) recompute it on access to detect in-memory corruption of an entry
+// shared by many concurrent jobs and re-decode instead of serving poison.
+func (p *PreparedTrace) Fingerprint() uint32 {
+	h := crc32.New(preparedCRCTable)
+	var buf [17]byte
+	for i := range p.cycles {
+		binary.LittleEndian.PutUint64(buf[0:8], p.cycles[i])
+		binary.LittleEndian.PutUint64(buf[8:16], p.addrs[i])
+		buf[16] = 0
+		if p.writes[i] {
+			buf[16] = 1
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum32()
+}
 
 // Stats returns the aggregate trace statistics gathered during preparation.
 func (p *PreparedTrace) Stats() trace.Stats { return p.stats }
