@@ -7,10 +7,13 @@
 //
 //	go test -run='^$' -bench=. -benchmem -benchtime=1x ./... | benchreport -out BENCH_baseline.json
 //	benchreport -check BENCH_baseline.json < bench.txt
+//	benchreport -out BENCH_pr7.json -baseline BENCH_before.json < bench.txt
 //
 // With -check, benchreport exits non-zero if the benchmark NAMES in the
 // input differ from the baseline's — timings are machine-dependent and are
-// never compared.
+// never compared. With -baseline, the written report embeds the prior
+// report's ns/op and allocs/op per entry plus a speedup ratio, producing a
+// self-contained before/after snapshot for the repo's perf trajectory.
 package main
 
 import (
@@ -29,7 +32,10 @@ import (
 	"graphdse/internal/artifact"
 )
 
-// Entry is one benchmark result.
+// Entry is one benchmark result. The baseline_* fields appear only in
+// reports written with -baseline: they snapshot the prior run the report
+// was measured against, making a perf-trajectory document (BENCH_pr7.json
+// and successors) self-contained.
 type Entry struct {
 	Name        string  `json:"name"`
 	Iterations  int64   `json:"iterations"`
@@ -37,13 +43,20 @@ type Entry struct {
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op,omitempty"`
+	// SpeedupVsBaseline is baseline_ns_per_op / ns_per_op (>1 is faster).
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
 // Report is the whole document.
 type Report struct {
-	Schema    int     `json:"schema"`
-	GoVersion string  `json:"go_version"`
-	Entries   []Entry `json:"entries"`
+	Schema    int    `json:"schema"`
+	GoVersion string `json:"go_version"`
+	// Baseline names the report annotated into the baseline_* fields.
+	Baseline string  `json:"baseline,omitempty"`
+	Entries  []Entry `json:"entries"`
 }
 
 // benchLine matches one result line, e.g.
@@ -111,7 +124,27 @@ func names(entries []Entry) []string {
 	return out
 }
 
-func run(in io.Reader, outPath, checkPath string) error {
+// annotate folds a baseline report's timings into entries sharing a name,
+// so the written report carries its own before/after comparison.
+func annotate(entries []Entry, base *Report) {
+	prior := make(map[string]Entry, len(base.Entries))
+	for _, e := range base.Entries {
+		prior[e.Name] = e
+	}
+	for i := range entries {
+		b, ok := prior[entries[i].Name]
+		if !ok {
+			continue
+		}
+		entries[i].BaselineNsPerOp = b.NsPerOp
+		entries[i].BaselineAllocsPerOp = b.AllocsPerOp
+		if entries[i].NsPerOp > 0 && b.NsPerOp > 0 {
+			entries[i].SpeedupVsBaseline = b.NsPerOp / entries[i].NsPerOp
+		}
+	}
+}
+
+func run(in io.Reader, outPath, checkPath, baselinePath string) error {
 	entries, err := parse(in)
 	if err != nil {
 		return err
@@ -138,6 +171,18 @@ func run(in io.Reader, outPath, checkPath string) error {
 		return nil
 	}
 	rep := Report{Schema: 1, GoVersion: runtime.Version(), Entries: entries}
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("baseline %s: %w", baselinePath, err)
+		}
+		annotate(rep.Entries, &base)
+		rep.Baseline = baselinePath
+	}
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -180,8 +225,9 @@ func diffNames(want, got []string) (missing, extra []string) {
 func main() {
 	out := flag.String("out", "-", "write the JSON report here (- for stdout)")
 	check := flag.String("check", "", "instead of writing, compare the input's benchmark names against this baseline")
+	baseline := flag.String("baseline", "", "annotate the written report with before/after deltas against this prior report")
 	flag.Parse()
-	if err := run(os.Stdin, *out, *check); err != nil {
+	if err := run(os.Stdin, *out, *check, *baseline); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
 	}

@@ -59,3 +59,29 @@ func TestDiffNames(t *testing.T) {
 		t.Fatalf("extra = %v", extra)
 	}
 }
+
+func TestAnnotateBaseline(t *testing.T) {
+	entries, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &Report{Entries: []Entry{
+		{Name: "BenchmarkFigure2Sweep", NsPerOp: 210206082, AllocsPerOp: 7},
+		{Name: "BenchmarkGone", NsPerOp: 99},
+	}}
+	annotate(entries, base)
+	sweep := entries[0]
+	if sweep.Name != "BenchmarkFigure2Sweep" {
+		t.Fatalf("unexpected order: %+v", entries)
+	}
+	if sweep.BaselineNsPerOp != 210206082 || sweep.BaselineAllocsPerOp != 7 {
+		t.Fatalf("baseline fields not folded in: %+v", sweep)
+	}
+	if sweep.SpeedupVsBaseline < 1.99 || sweep.SpeedupVsBaseline > 2.01 {
+		t.Fatalf("speedup = %v, want ~2.0", sweep.SpeedupVsBaseline)
+	}
+	// Entries without a baseline counterpart stay unannotated.
+	if entries[1].BaselineNsPerOp != 0 || entries[1].SpeedupVsBaseline != 0 {
+		t.Fatalf("unmatched entry annotated: %+v", entries[1])
+	}
+}

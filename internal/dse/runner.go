@@ -167,8 +167,10 @@ func SweepContext(ctx context.Context, events []trace.Event, points []DesignPoin
 }
 
 // SweepPrepared sweeps an already-prepared trace — the decode-once,
-// replay-many path. The PreparedTrace is shared read-only by all workers, so
-// per-point cost is address mapping and queueing only.
+// replay-many path. The PreparedTrace is shared read-only by all workers,
+// and its geometry-keyed partition cache means the trace is routed to
+// channels once per mapping geometry (not once per point): per-point
+// steady-state cost is channel simulation over pooled engine state.
 func SweepPrepared(pt *memsim.PreparedTrace, points []DesignPoint, opts SweepOptions) ([]RunRecord, error) {
 	//lint:ignore ctxpropagate documented top-level wrapper: the no-ctx convenience API mints the root context for SweepPreparedContext
 	return SweepPreparedContext(context.Background(), pt, points, opts)

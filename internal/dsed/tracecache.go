@@ -48,24 +48,50 @@ func NewTraceCache(maxEntries int) *TraceCache {
 	return &TraceCache{entries: map[string]*cacheEntry{}, maxEntries: maxEntries}
 }
 
-// CacheStats is the cache's observability snapshot.
+// CacheStats is the cache's observability snapshot. The partition counters
+// aggregate the geometry-keyed partition caches living inside the cached
+// PreparedTraces: partition hits are sweep points that skipped address
+// mapping entirely because a concurrent (or earlier) job already routed the
+// trace for that geometry.
 type CacheStats struct {
-	Entries     int   `json:"entries"`
-	Hits        int64 `json:"hits"`
-	Misses      int64 `json:"misses"`
-	Corruptions int64 `json:"corruptions"`
+	Entries          int   `json:"entries"`
+	Hits             int64 `json:"hits"`
+	Misses           int64 `json:"misses"`
+	Corruptions      int64 `json:"corruptions"`
+	PartitionEntries int   `json:"partition_entries"`
+	PartitionHits    int64 `json:"partition_hits"`
+	PartitionMisses  int64 `json:"partition_misses"`
 }
 
 // Stats snapshots the counters.
 func (c *TraceCache) Stats() CacheStats {
 	c.mu.Lock()
 	n := len(c.entries)
+	var pEntries int
+	var pHits, pMisses int64
+	for _, e := range c.entries {
+		select {
+		case <-e.ready:
+		default:
+			continue // still decoding; no partitions yet
+		}
+		if e.pt == nil {
+			continue
+		}
+		ps := e.pt.PartitionCacheStats()
+		pEntries += ps.Entries
+		pHits += int64(ps.Hits)
+		pMisses += int64(ps.Misses)
+	}
 	c.mu.Unlock()
 	return CacheStats{
-		Entries:     n,
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Corruptions: c.corruptions.Load(),
+		Entries:          n,
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Corruptions:      c.corruptions.Load(),
+		PartitionEntries: pEntries,
+		PartitionHits:    pHits,
+		PartitionMisses:  pMisses,
 	}
 }
 

@@ -152,3 +152,47 @@ func TestTraceCacheEviction(t *testing.T) {
 		t.Fatalf("LRU evicted the most recent entry: err=%v loads=%d", err, loads.Load())
 	}
 }
+
+// TestTraceCachePartitionSharing: concurrent jobs drawing one trace from the
+// cache share its geometry-keyed partition cache — replays against configs
+// of equal mapping geometry partition the trace once across all jobs, and
+// the daemon's cache stats surface that reuse.
+func TestTraceCachePartitionSharing(t *testing.T) {
+	c := NewTraceCache(4)
+	pt := tinyTrace(t)
+	load := func(context.Context) (*memsim.PreparedTrace, error) { return pt, nil }
+
+	const jobs = 6
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := c.Get(context.Background(), "shared", load)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Half the jobs sweep a 2-channel config, half a 4-channel one.
+			cfg := memsim.NewDRAMConfig(2+2*(i%2), 2000, 400)
+			_, errs[i] = memsim.RunPreparedTrace(cfg, got)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.PartitionEntries != 2 {
+		t.Fatalf("partition entries = %d, want 2 (one per geometry): %+v", st.PartitionEntries, st)
+	}
+	if st.PartitionMisses != 2 {
+		t.Fatalf("partition builds = %d, want 2 across %d jobs: %+v", st.PartitionMisses, jobs, st)
+	}
+	if st.PartitionHits != jobs-2 {
+		t.Fatalf("partition hits = %d, want %d: %+v", st.PartitionHits, jobs-2, st)
+	}
+}

@@ -1,6 +1,7 @@
 package memsim
 
 import (
+	"strconv"
 	"testing"
 
 	"graphdse/internal/trace"
@@ -26,6 +27,50 @@ func syntheticTraceB(n int, seed int64) []trace.Event {
 		events = append(events, trace.Event{Cycle: cycle, Op: op, Addr: addr})
 	}
 	return events
+}
+
+// benchConfigs is the per-type configuration set shared by the replay
+// benchmarks; every entry uses the same mapping geometry, so the prepared
+// trace's partition cache serves all four from one partitioning pass.
+func benchConfigs() (names []string, cases map[string]Config) {
+	flat := NewHybridConfig(2, 2000, 666, 67, 0.25)
+	flat.HybridMode = HybridFlat
+	return []string{"DRAM", "NVM", "HybridCache", "HybridFlat"}, map[string]Config{
+		"DRAM":        NewDRAMConfig(2, 2000, 666),
+		"NVM":         NewNVMConfig(2, 2000, 666, 67),
+		"HybridCache": NewHybridConfig(2, 2000, 666, 67, 0.25),
+		"HybridFlat":  flat,
+	}
+}
+
+// BenchmarkRunPrepared is the sweep hot path: one prepared trace replayed
+// repeatedly against a fixed configuration — exactly what each design point
+// of a sweep costs after Prepare. This is the PR 7 acceptance benchmark
+// (≥2× over the pre-refactor engine, fewer allocs/op).
+func BenchmarkRunPrepared(b *testing.B) {
+	events := benchTrace(b, 100000)
+	pt, err := Prepare(events)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names, cases := benchConfigs()
+	for _, name := range names {
+		cfg := cases[name]
+		b.Run(name, func(b *testing.B) {
+			sim, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(events)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunPrepared(pt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkReplayByType(b *testing.B) {
@@ -55,7 +100,7 @@ func BenchmarkReplayByChannels(b *testing.B) {
 	events := benchTrace(b, 100000)
 	for _, ch := range []int{1, 2, 4, 8} {
 		cfg := NewDRAMConfig(ch, 2000, 666)
-		b.Run(itoaB(ch)+"ch", func(b *testing.B) {
+		b.Run(strconv.Itoa(ch)+"ch", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := RunTrace(cfg, events); err != nil {
 					b.Fatal(err)
@@ -77,9 +122,88 @@ func BenchmarkAddressMap(b *testing.B) {
 	}
 }
 
-func itoaB(n int) string {
-	if n >= 10 {
-		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+// The phase benchmarks below split a replay into its three sequential
+// stages so regressions localize: routing the trace to channels
+// (partition), simulating the channels (replay), and folding channel
+// statistics into a Result (assemble).
+
+// BenchmarkPartitionPhase measures first-time trace partitioning — the cost
+// a sweep pays once per mapping geometry. Serial pins the single-threaded
+// mapper loop; Build exercises buildPartition's chunk-parallel path when
+// GOMAXPROCS permits (identical output, concatenated in chunk order).
+func BenchmarkPartitionPhase(b *testing.B) {
+	events := benchTrace(b, 500000)
+	pt, err := Prepare(events)
+	if err != nil {
+		b.Fatal(err)
 	}
-	return string(rune('0' + n))
+	cfg := NewDRAMConfig(2, 2000, 666)
+	if err := cfg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	m := NewAddressMapper(&cfg)
+	b.Run("Serial", func(b *testing.B) {
+		b.SetBytes(int64(pt.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buildPartitionSerial(m, pt.cycles, pt.addrs, pt.writes)
+		}
+	})
+	b.Run("Build", func(b *testing.B) {
+		b.SetBytes(int64(pt.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buildPartition(m, pt.cycles, pt.addrs, pt.writes)
+		}
+	})
+}
+
+// BenchmarkReplayPhase measures pure channel simulation: the partition is
+// already cached (one warm-up replay populates it), so each iteration is the
+// steady-state per-design-point cost of a sweep.
+func BenchmarkReplayPhase(b *testing.B) {
+	events := benchTrace(b, 100000)
+	pt, err := Prepare(events)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := New(NewDRAMConfig(2, 2000, 666))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sim.RunPrepared(pt); err != nil { // warm the partition cache
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(events)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunPrepared(pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssemblePhase measures result assembly alone: folding per-channel
+// statistics into the aggregate Result the sweeps consume.
+func BenchmarkAssemblePhase(b *testing.B) {
+	events := benchTrace(b, 100000)
+	pt, err := Prepare(events)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := New(NewDRAMConfig(4, 2000, 666))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.RunPrepared(pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hitRates := make([]float64, len(res.Channels))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.assemble(res.Channels, hitRates)
+	}
 }

@@ -2,12 +2,14 @@ package memsim
 
 // dramCache is the set-associative DRAM cache fronting the NVM backing
 // store in hybrid mode (NVMain's DRAM-cache hybrid organization). Tags are
-// tracked exactly; data motion is modeled through the timing engine.
+// tracked exactly; data motion is modeled through the timing engine. The
+// ways of set s occupy lines[s*ways : (s+1)*ways] — one flat allocation so
+// a pooled engine can reuse the backing array across runs.
 type dramCache struct {
 	ways    int
 	sets    int
-	tags    [][]cacheLine
-	tick    uint64 // LRU clock
+	lines   []cacheLine // set-major: sets × ways
+	tick    uint64      // LRU clock
 	hits    uint64
 	misses  uint64
 	evicted uint64
@@ -21,15 +23,37 @@ type cacheLine struct {
 }
 
 func newDRAMCache(lines, ways int) *dramCache {
+	c := &dramCache{}
+	c.init(lines, ways)
+	return c
+}
+
+// init (re)shapes the cache for a geometry, reusing the backing array when
+// it is large enough, and resets all state.
+func (c *dramCache) init(lines, ways int) {
 	sets := lines / ways
 	if sets < 1 {
 		sets = 1
 	}
-	c := &dramCache{ways: ways, sets: sets, tags: make([][]cacheLine, sets)}
-	for i := range c.tags {
-		c.tags[i] = make([]cacheLine, ways)
+	c.ways = ways
+	c.sets = sets
+	n := sets * ways
+	if cap(c.lines) < n {
+		c.lines = make([]cacheLine, n)
+	} else {
+		c.lines = c.lines[:n]
+		clear(c.lines)
 	}
-	return c
+	c.tick = 0
+	c.hits = 0
+	c.misses = 0
+	c.evicted = 0
+}
+
+// set returns the ways of the set a line maps to.
+func (c *dramCache) set(line uint64) []cacheLine {
+	s := line % uint64(c.sets)
+	return c.lines[s*uint64(c.ways) : (s+1)*uint64(c.ways)]
 }
 
 // access looks up a line. On a hit it updates LRU and dirtiness and returns
@@ -37,7 +61,7 @@ func newDRAMCache(lines, ways int) *dramCache {
 // evicted dirty victim's line index when a writeback is needed.
 func (c *dramCache) access(line uint64, write bool) (hit bool, writeback bool, victimLine uint64) {
 	c.tick++
-	set := c.tags[line%uint64(c.sets)]
+	set := c.set(line)
 	for i := range set {
 		if set[i].valid && set[i].tag == line {
 			set[i].lastUse = c.tick
@@ -68,6 +92,18 @@ func (c *dramCache) access(line uint64, write bool) (hit bool, writeback bool, v
 	}
 	set[victim] = cacheLine{tag: line, valid: true, dirty: write, lastUse: c.tick}
 	return false, writeback, victimLine
+}
+
+// peek reports whether a line is resident without touching LRU state or the
+// hit/miss counters — the scheduler's residency probe.
+func (c *dramCache) peek(line uint64) bool {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *dramCache) hitRate() float64 {

@@ -224,6 +224,16 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("%w: organization %d ch × %d ranks × %d banks × %d rows",
 			ErrConfig, c.Channels, c.RanksPerChannel, c.BanksPerRank, c.RowsPerBank)
 	}
+	// The replay engine packs (row, bank, write) into one word per event
+	// (partition.go); these bounds sit far beyond any physical organization.
+	if int64(c.RowsPerBank) > 1<<metaRowBits {
+		return fmt.Errorf("%w: RowsPerBank %d exceeds the 2^%d partition packing bound",
+			ErrConfig, c.RowsPerBank, metaRowBits)
+	}
+	if int64(c.RanksPerChannel)*int64(c.BanksPerRank) > 1<<metaBankBits {
+		return fmt.Errorf("%w: %d ranks × %d banks exceeds the 2^%d partition packing bound",
+			ErrConfig, c.RanksPerChannel, c.BanksPerRank, metaBankBits)
+	}
 	if c.LineBytes <= 0 {
 		c.LineBytes = 64
 	}

@@ -1,0 +1,426 @@
+package memsim
+
+import "math/bits"
+
+// winReq is one admitted request in the controller window.
+type winReq struct {
+	enq  uint64 // admission cycle (total latency = completion − enq)
+	line uint64 // global line index
+	meta uint64 // packed row / effective bank / write (see partition.go)
+}
+
+type bankState struct {
+	openRow       int64
+	readyAt       uint64
+	lastActivate  uint64
+	nextRefreshAt uint64
+}
+
+// channelEngine simulates one channel: per-bank state machines, a shared
+// data bus, a scheduling window, and (for hybrid) the DRAM cache front.
+// All mutable per-run state lives in the pooled engineState; the engine
+// itself is a stack value wired to the simulator's immutable tables.
+//
+// The controller queue is two rings over pooled storage:
+//
+//   - win (winHead/winLen) holds admitted-but-unscheduled requests in
+//     arrival order. FCFS pops the head in O(1); FR-FCFS removes from the
+//     middle by shifting whichever side is shorter.
+//   - inflight (infHead/infLen) holds completion times of scheduled
+//     requests, sorted ascending. Completion times are monotone in issue
+//     order (every service path advances busFreeAt to its data-done cycle,
+//     and the next completion lands at least one burst later), so pushes
+//     are O(1) amortized, retirement pops the head, and the earliest
+//     completion IS the head — replacing the O(depth) scans of the
+//     pre-refactor engine.
+type channelEngine struct {
+	cfg       *Config
+	mapper    *AddressMapper
+	st        *engineState
+	back      *timingTable // backing store (the only tier for DRAM/NVM)
+	front     *timingTable // DRAM tier of a hybrid
+	rows      int
+	lineBytes uint64
+	busFreeAt uint64
+	now       uint64
+	stats     ChannelStats
+	cache     *dramCache // hybrid-cache front, else nil
+	// flatHalf > 0 marks a flat hybrid: banks [0, flatHalf) are DRAM-timed,
+	// banks [flatHalf, 2·flatHalf) NVM-timed.
+	flatHalf int
+	closed   bool // ClosedPage policy
+	frfcfs   bool
+
+	winHead, winLen int
+	infHead, infLen int
+}
+
+func newChannelEngine(s *Simulator, st *engineState) channelEngine {
+	cfg := &s.cfg
+	e := channelEngine{
+		cfg:       cfg,
+		mapper:    s.mapper,
+		st:        st,
+		back:      &s.back,
+		front:     &s.front,
+		rows:      cfg.RowsPerBank,
+		lineBytes: uint64(cfg.LineBytes),
+		closed:    cfg.Policy == ClosedPage,
+		frfcfs:    cfg.Scheduler != FCFS,
+	}
+	if cfg.Type == Hybrid {
+		if cfg.HybridMode == HybridFlat {
+			e.flatHalf = s.mapper.BanksPerChannel() / 2
+			if e.flatHalf < 1 {
+				e.flatHalf = 1
+			}
+		} else {
+			e.cache = &st.cache
+		}
+	}
+	return e
+}
+
+// flatTier assigns a line to the DRAM tier (0) or NVM tier (1) of a flat
+// hybrid, placing DRAMFraction of the address space on DRAM via a stable
+// hash.
+func (e *channelEngine) flatTier(line uint64) int {
+	h := (line * 0x9E3779B97F4A7C15) >> 40
+	if float64(h%1024) < e.cfg.DRAMFraction*1024 {
+		return 0
+	}
+	return 1
+}
+
+// run processes the channel's partition (already sorted by arrival). The
+// controller queue is bounded at QueueDepth and exerts backpressure, as
+// NVMain's trace replay does: a request occupies a queue slot from admission
+// until completion, and admission stalls while the queue is full. Total
+// latency is measured from admission (queueing + service), which bounds it
+// near QueueDepth × service time even under saturation. Controller arrival
+// cycles are derived from the partition's CPU-cycle timestamps here, since
+// the clock ratio is a per-configuration property.
+func (e *channelEngine) run(part *channelPart, ratio float64) {
+	depth := len(e.st.win)
+	n := part.len()
+	next := 0
+	var nextArrival uint64
+	if n > 0 {
+		nextArrival = uint64(float64(part.cycles[0]) * ratio)
+	}
+	for e.winLen > 0 || next < n {
+		// Retire completed in-flight requests: pop the sorted ring's head.
+		for e.infLen > 0 && e.st.inflight[e.infHead] <= e.now {
+			e.infHead++
+			if e.infHead == depth {
+				e.infHead = 0
+			}
+			e.infLen--
+		}
+		// Admit arrived requests while the queue has room.
+		for next < n && e.winLen+e.infLen < depth && nextArrival <= e.now {
+			e.admit(part, next, nextArrival)
+			next++
+			if next < n {
+				nextArrival = uint64(float64(part.cycles[next]) * ratio)
+			}
+		}
+		if e.winLen == 0 {
+			// Idle or blocked: jump to whichever comes first — the next
+			// arrival (if a slot is free) or the earliest completion.
+			var wake uint64
+			switch {
+			case next < n && e.infLen < depth:
+				wake = nextArrival
+				if e.infLen > 0 && e.st.inflight[e.infHead] < wake {
+					wake = e.st.inflight[e.infHead]
+				}
+			default:
+				if e.infLen == 0 {
+					return // nothing left anywhere
+				}
+				wake = e.st.inflight[e.infHead]
+			}
+			if wake > e.now {
+				e.now = wake
+			} else {
+				e.now++
+			}
+			continue
+		}
+		req := e.remove(e.schedule())
+
+		done, devLat := e.service(req)
+		e.pushInflight(done)
+		e.stats.Requests++
+		e.stats.SumDeviceLatency += devLat
+		totalLat := done - req.enq
+		e.stats.SumTotalLatency += totalLat
+		e.stats.LatencyHist[bits.Len64(totalLat)]++
+		if done > e.stats.LastCompletion {
+			e.stats.LastCompletion = done
+		}
+		e.now++ // command-issue slot; banks proceed in parallel
+	}
+}
+
+// admit places partition event i into the window, resolving the flat-hybrid
+// tier remap once so scheduling and service work on the effective bank.
+func (e *channelEngine) admit(part *channelPart, i int, arrival uint64) {
+	depth := len(e.st.win)
+	enq := max(arrival, e.now)
+	e.stats.StallCycles += enq - arrival
+	line := part.lines[i]
+	m := part.meta[i]
+	if e.flatHalf > 0 {
+		eb := metaBank(m)%e.flatHalf + e.flatTier(line)*e.flatHalf
+		m = uint64(metaRow(m)) | uint64(eb)<<metaBankShift | m&metaWrite
+	}
+	slot := e.winHead + e.winLen
+	if slot >= depth {
+		slot -= depth
+	}
+	e.st.win[slot] = winReq{enq: enq, line: line, meta: m}
+	e.winLen++
+}
+
+// remove extracts the window's i-th oldest request, shifting whichever side
+// of the ring is shorter. FCFS (i = 0) is a pure head pop.
+func (e *channelEngine) remove(i int) winReq {
+	depth := len(e.st.win)
+	pos := e.winHead + i
+	if pos >= depth {
+		pos -= depth
+	}
+	r := e.st.win[pos]
+	if i < e.winLen-1-i {
+		// Closer to the head: shift the prefix toward the tail.
+		for j := i; j > 0; j-- {
+			dst := e.winHead + j
+			if dst >= depth {
+				dst -= depth
+			}
+			src := e.winHead + j - 1
+			if src >= depth {
+				src -= depth
+			}
+			e.st.win[dst] = e.st.win[src]
+		}
+		e.winHead++
+		if e.winHead == depth {
+			e.winHead = 0
+		}
+	} else {
+		// Closer to the tail: shift the suffix toward the head.
+		for j := i; j < e.winLen-1; j++ {
+			dst := e.winHead + j
+			if dst >= depth {
+				dst -= depth
+			}
+			src := e.winHead + j + 1
+			if src >= depth {
+				src -= depth
+			}
+			e.st.win[dst] = e.st.win[src]
+		}
+	}
+	e.winLen--
+	return r
+}
+
+// pushInflight inserts a completion time into the sorted inflight ring.
+// Completions arrive in nearly (in fact exactly) non-decreasing order, so
+// the backward scan terminates immediately in practice while still being
+// correct if a service path ever produced an out-of-order completion.
+func (e *channelEngine) pushInflight(done uint64) {
+	i := e.infLen
+	for i > 0 && e.st.inflight[e.infAt(i-1)] > done {
+		e.st.inflight[e.infAt(i)] = e.st.inflight[e.infAt(i-1)]
+		i--
+	}
+	e.st.inflight[e.infAt(i)] = done
+	e.infLen++
+}
+
+func (e *channelEngine) infAt(i int) int {
+	p := e.infHead + i
+	if p >= len(e.st.inflight) {
+		p -= len(e.st.inflight)
+	}
+	return p
+}
+
+// schedule picks the next request index in the window: FCFS takes the head;
+// FR-FCFS prefers row-buffer hits (cache residency for hybrid-cache),
+// falling back to the oldest request.
+func (e *channelEngine) schedule() int {
+	if !e.frfcfs || e.winLen == 1 {
+		return 0
+	}
+	depth := len(e.st.win)
+	pos := e.winHead
+	for i := 0; i < e.winLen; i++ {
+		r := &e.st.win[pos]
+		if e.cache != nil {
+			if e.cache.peek(r.line) {
+				return i
+			}
+		} else {
+			b := &e.st.banks[metaBank(r.meta)]
+			if b.openRow == int64(metaRow(r.meta)) && b.readyAt <= e.now {
+				return i
+			}
+		}
+		pos++
+		if pos == depth {
+			pos = 0
+		}
+	}
+	return 0
+}
+
+// service executes one request and returns its completion cycle and its
+// device latency (the access time excluding queueing, which NVMain reports
+// as "average latency"; the queue-inclusive time is completion − arrival).
+func (e *channelEngine) service(r winReq) (done, devLat uint64) {
+	row := metaRow(r.meta)
+	bank := metaBank(r.meta)
+	write := metaIsWrite(r.meta)
+	if e.flatHalf > 0 {
+		// Flat hybrid: the bank was tier-remapped at admission, so the tier
+		// is implied by which half it landed in.
+		if bank < e.flatHalf {
+			return e.serviceTier(bank, row, write, e.now, e.front, false)
+		}
+		return e.serviceTier(bank, row, write, e.now, e.back, true)
+	}
+	if e.cache == nil {
+		return e.serviceTier(bank, row, write, e.now, e.back, true)
+	}
+	// Hybrid: consult the DRAM cache first.
+	hit, writeback, victim := e.cache.access(r.line, write)
+	if hit {
+		e.stats.CacheHits++
+		dataStart := max(e.now+e.front.hitCas, e.busFreeAt)
+		done = dataStart + e.front.burst
+		e.busFreeAt = done
+		if write {
+			e.stats.EnergyNJ += e.front.eWrite
+		} else {
+			e.stats.EnergyNJ += e.front.eRead
+		}
+		// The critical word is forwarded as soon as the column access
+		// completes; the burst tail overlaps with the consumer.
+		return done, e.front.hitCas
+	}
+	e.stats.CacheMisses++
+	// Miss: fetch the line from the NVM backing store (write-allocate).
+	done, devLat = e.serviceTier(bank, row, false, e.now, e.back, true)
+	// Install into the cache: one DRAM-side burst after the fill.
+	done += e.front.burst
+	devLat += e.front.burst
+	if write {
+		e.stats.EnergyNJ += e.front.eWrite
+	} else {
+		e.stats.EnergyNJ += e.front.eRead
+	}
+	// Dirty victim: write it back to NVM. The writeback occupies the backend
+	// after the fill but does not delay this request's completion.
+	if writeback {
+		e.stats.CacheWritebacks++
+		vloc := e.mapper.Map(victim * e.lineBytes)
+		e.serviceTier(e.mapper.BankIndex(vloc), vloc.Row, true, done, e.back, true)
+	}
+	return done, devLat
+}
+
+// serviceTier performs a device access on one tier's bank bi starting no
+// earlier than at, using the tier's folded timing table; trackEndurance
+// enables hot-row write accounting (NVM tiers). It returns the completion
+// cycle and the device latency (row handling + column access + burst,
+// excluding data-bus queueing).
+func (e *channelEngine) serviceTier(bi, row int, write bool, at uint64, t *timingTable, trackEndurance bool) (done, devLat uint64) {
+	b := &e.st.banks[bi]
+	start := max(at, b.readyAt)
+	// Event-level refresh: when enabled, catch up on overdue refreshes
+	// before the access; each blocks the bank for tRFC and closes its row.
+	if t.trefi > 0 {
+		if b.nextRefreshAt == 0 {
+			b.nextRefreshAt = t.trefi
+		}
+		for start >= b.nextRefreshAt {
+			start = max(start, b.nextRefreshAt+t.trfc)
+			b.nextRefreshAt += t.trefi
+			b.openRow = -1
+			e.stats.Refreshes++
+			e.stats.EnergyNJ += t.eRefresh
+		}
+	}
+	var casDone uint64
+	if e.closed {
+		// The row was auto-precharged after the previous access; every
+		// access activates afresh.
+		e.stats.RowMisses++
+		b.lastActivate = start
+		casDone = start + t.actCas
+		devLat = t.devMiss
+		e.stats.Activates++
+		e.stats.EnergyNJ += t.eActivate
+	} else if b.openRow == int64(row) {
+		e.stats.RowHits++
+		casDone = start + t.hitCas
+		devLat = t.devHit
+	} else {
+		e.stats.RowMisses++
+		if b.openRow >= 0 {
+			// Precharge the open row; DRAM must honor tRAS (data restore)
+			// since the last activate — NVM has tRAS = 0.
+			prechargeOK := max(start, b.lastActivate+t.tras)
+			start = prechargeOK + t.trp
+		}
+		b.lastActivate = start
+		casDone = start + t.actCas
+		devLat = t.devMiss
+		b.openRow = int64(row)
+		e.stats.Activates++
+		e.stats.EnergyNJ += t.eActivate
+	}
+	dataStart := max(casDone, e.busFreeAt)
+	dataDone := dataStart + t.burst
+	e.busFreeAt = dataDone
+	var prechargeTail uint64
+	if e.closed {
+		// Auto-precharge after the burst, honoring tRAS restore.
+		prechargeTail = max(dataDone, b.lastActivate+t.tras) - dataDone + t.trp
+		b.openRow = -1
+	}
+	if write {
+		b.readyAt = dataDone + t.wrRec + prechargeTail
+		e.stats.Writes++
+		e.stats.EnergyNJ += t.eWrite
+		if trackEndurance {
+			idx := bi*e.rows + row
+			e.st.rowWrites[idx]++
+			if e.st.rowWrites[idx] > e.stats.MaxRowWrites {
+				e.stats.MaxRowWrites = e.st.rowWrites[idx]
+			}
+		}
+	} else {
+		b.readyAt = dataDone + prechargeTail
+		e.stats.Reads++
+		e.stats.EnergyNJ += t.eRead
+	}
+	e.stats.BytesTransferred += e.lineBytes
+	e.st.perBank[bi] += e.lineBytes
+	return dataDone, devLat
+}
+
+// snapshot copies the run's statistics out of pooled storage. PerBankBytes
+// is cloned because the Result retains it past the engine state's release.
+func (e *channelEngine) snapshot(dst *ChannelStats, hitRate *float64) {
+	e.stats.PerBankBytes = append([]uint64(nil), e.st.perBank...)
+	*dst = e.stats
+	if e.cache != nil {
+		*hitRate = e.cache.hitRate()
+	}
+}

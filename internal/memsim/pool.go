@@ -1,0 +1,64 @@
+package memsim
+
+import "sync"
+
+// engineState is the per-run mutable state of one channel engine: bank state
+// machines, endurance counters, per-bank byte counters, the controller
+// window/inflight rings, and (for hybrid-cache configs) the DRAM cache tag
+// store. All of it is geometry-sized and zeroed on acquire, so a sweep
+// replaying thousands of design points draws state from a pool instead of
+// allocating ~300 KB per channel per point.
+type engineState struct {
+	banks     []bankState
+	rowWrites []uint64 // flattened [bank*rows + row] endurance counters
+	perBank   []uint64 // bytes transferred per bank
+	win       []winReq // controller window ring storage (QueueDepth slots)
+	inflight  []uint64 // completion-time ring storage (QueueDepth slots)
+	cache     dramCache
+}
+
+var enginePool = sync.Pool{New: func() any { return &engineState{} }}
+
+// acquireEngineState draws a pooled state and shapes it for a geometry:
+// nb banks × rows, a depth-slot controller queue, and — when cacheLines > 0 —
+// a DRAM cache. Everything is reset to the fresh-run state.
+func acquireEngineState(nb, rows, depth, cacheLines, cacheWays int) *engineState {
+	st := enginePool.Get().(*engineState)
+	if cap(st.banks) < nb {
+		st.banks = make([]bankState, nb)
+	} else {
+		st.banks = st.banks[:nb]
+	}
+	for i := range st.banks {
+		st.banks[i] = bankState{openRow: -1}
+	}
+	nrw := nb * rows
+	if cap(st.rowWrites) < nrw {
+		st.rowWrites = make([]uint64, nrw)
+	} else {
+		st.rowWrites = st.rowWrites[:nrw]
+		clear(st.rowWrites)
+	}
+	if cap(st.perBank) < nb {
+		st.perBank = make([]uint64, nb)
+	} else {
+		st.perBank = st.perBank[:nb]
+		clear(st.perBank)
+	}
+	if cap(st.win) < depth {
+		st.win = make([]winReq, depth)
+	} else {
+		st.win = st.win[:depth]
+	}
+	if cap(st.inflight) < depth {
+		st.inflight = make([]uint64, depth)
+	} else {
+		st.inflight = st.inflight[:depth]
+	}
+	if cacheLines > 0 {
+		st.cache.init(cacheLines, cacheWays)
+	}
+	return st
+}
+
+func releaseEngineState(st *engineState) { enginePool.Put(st) }

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"io"
+	"math"
+	"sync"
 
 	"graphdse/internal/trace"
 )
@@ -16,12 +18,97 @@ import (
 // struct-of-arrays layout also streams through the cache better than
 // []trace.Event during partitioning.
 //
+// On top of the decoded arrays, a PreparedTrace memoizes per-channel
+// partitions keyed by mapping geometry (see partitionFor): sweep points
+// sharing an interleave route the trace to channels once and replay the
+// cached partition thereafter.
+//
 // A PreparedTrace is safe for concurrent use by any number of simulators.
 type PreparedTrace struct {
 	cycles []uint64
 	addrs  []uint64
 	writes []bool
 	stats  trace.Stats
+
+	// Partition cache. Entries are single-flight: concurrent replays of a
+	// new geometry block on ready while one goroutine partitions.
+	pmu        sync.Mutex
+	parts      map[geomKey]*partEntry
+	partClock  uint64 // LRU clock
+	partHits   uint64
+	partMisses uint64
+}
+
+type partEntry struct {
+	ready   chan struct{} // closed once part is populated
+	part    *tracePartition
+	lastUse uint64
+}
+
+// partitionCacheCap bounds cached partitions per trace. The paper's 416-point
+// space spans only two mapping geometries (2 and 4 channels), so a small cap
+// holds every geometry of a realistic sweep while bounding worst-case memory
+// at cap × trace size.
+const partitionCacheCap = 8
+
+// partitionFor returns the per-channel partition of this trace under the
+// mapper's geometry, building (in parallel, for large traces) and caching it
+// on first use. Concurrent callers with the same geometry share one build.
+func (p *PreparedTrace) partitionFor(m *AddressMapper) *tracePartition {
+	key := m.geom()
+	p.pmu.Lock()
+	if p.parts == nil {
+		p.parts = make(map[geomKey]*partEntry)
+	}
+	p.partClock++
+	if e, ok := p.parts[key]; ok {
+		e.lastUse = p.partClock
+		p.partHits++
+		p.pmu.Unlock()
+		<-e.ready
+		return e.part
+	}
+	p.partMisses++
+	if len(p.parts) >= partitionCacheCap {
+		// Evict the least-recently-used completed entry; in-flight builds
+		// are never evicted (their builders would leak the slot).
+		var oldest geomKey
+		oldestUse := uint64(math.MaxUint64)
+		found := false
+		for k, e := range p.parts {
+			select {
+			case <-e.ready:
+			default:
+				continue
+			}
+			if e.lastUse < oldestUse {
+				oldest, oldestUse, found = k, e.lastUse, true
+			}
+		}
+		if found {
+			delete(p.parts, oldest)
+		}
+	}
+	e := &partEntry{ready: make(chan struct{}), lastUse: p.partClock}
+	p.parts[key] = e
+	p.pmu.Unlock()
+	e.part = buildPartition(m, p.cycles, p.addrs, p.writes)
+	close(e.ready)
+	return e.part
+}
+
+// PartitionCacheStats reports the partition cache's occupancy and traffic.
+type PartitionCacheStats struct {
+	Entries int    // geometries currently cached
+	Hits    uint64 // replays served by a cached (or in-flight) partition
+	Misses  uint64 // replays that built a partition
+}
+
+// PartitionCacheStats returns a snapshot of the partition cache counters.
+func (p *PreparedTrace) PartitionCacheStats() PartitionCacheStats {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	return PartitionCacheStats{Entries: len(p.parts), Hits: p.partHits, Misses: p.partMisses}
 }
 
 // Prepare validates and decodes events into a PreparedTrace.
@@ -86,6 +173,8 @@ var preparedCRCTable = crc32.MakeTable(crc32.Castagnoli)
 // preparation time; long-lived holders (the daemon's content-addressed trace
 // cache) recompute it on access to detect in-memory corruption of an entry
 // shared by many concurrent jobs and re-decode instead of serving poison.
+// The partition cache is derived state and deliberately outside the
+// fingerprint.
 func (p *PreparedTrace) Fingerprint() uint32 {
 	h := crc32.New(preparedCRCTable)
 	var buf [17]byte
@@ -120,41 +209,22 @@ func (p *PreparedTrace) Events() []trace.Event {
 }
 
 // RunPrepared replays a prepared trace. Events are not re-validated — that
-// happened once at Prepare time — so per-point cost is address mapping,
-// partitioning, and channel simulation only.
+// happened once at Prepare time — and the per-channel partition is drawn
+// from the trace's geometry-keyed cache, so per-point cost is channel
+// simulation plus (on a geometry's first use only) address mapping.
 func (s *Simulator) RunPrepared(p *PreparedTrace) (*Result, error) {
-	n := p.Len()
-	if n == 0 {
+	if p.Len() == 0 {
 		return nil, ErrEmptyTrace
 	}
-	cfg := &s.cfg
-	ratio := cfg.CtrlFreqMHz / cfg.CPUFreqMHz
-	// Presize channel queues assuming a roughly uniform interleave, with
-	// slack so skewed mappings rarely reallocate.
-	capHint := n/cfg.Channels + n/8 + 8
-	perChannel := make([][]request, cfg.Channels)
-	for ch := range perChannel {
-		perChannel[ch] = make([]request, 0, capHint)
-	}
-	for i := 0; i < n; i++ {
-		loc := s.mapper.Map(p.addrs[i])
-		perChannel[loc.Channel] = append(perChannel[loc.Channel], request{
-			arrival: uint64(float64(p.cycles[i]) * ratio),
-			write:   p.writes[i],
-			loc:     loc,
-		})
-	}
-	return s.runPartitioned(perChannel)
+	return s.runPartition(p.partitionFor(s.mapper))
 }
 
 // RunSource replays a trace stream in one pass without materializing it as
 // []trace.Event: each batch is validated, mapped, and partitioned into the
 // per-channel queues as it arrives. Memory use is the simulator's working
-// form (per-channel request queues) plus one batch.
+// form (the per-channel partition) plus one batch.
 func (s *Simulator) RunSource(src trace.Source) (*Result, error) {
-	cfg := &s.cfg
-	ratio := cfg.CtrlFreqMHz / cfg.CPUFreqMHz
-	perChannel := make([][]request, cfg.Channels)
+	part := newTracePartition(s.cfg.Channels, 0)
 	batch := make([]trace.Event, trace.DefaultBatch)
 	total := 0
 	for {
@@ -163,12 +233,7 @@ func (s *Simulator) RunSource(src trace.Source) (*Result, error) {
 			if verr := e.Validate(); verr != nil {
 				return nil, verr
 			}
-			loc := s.mapper.Map(e.Addr)
-			perChannel[loc.Channel] = append(perChannel[loc.Channel], request{
-				arrival: uint64(float64(e.Cycle) * ratio),
-				write:   e.Op == trace.Write,
-				loc:     loc,
-			})
+			part.route(s.mapper, e.Cycle, e.Addr, e.Op == trace.Write)
 		}
 		total += n
 		if err == io.EOF {
@@ -181,7 +246,7 @@ func (s *Simulator) RunSource(src trace.Source) (*Result, error) {
 	if total == 0 {
 		return nil, ErrEmptyTrace
 	}
-	return s.runPartitioned(perChannel)
+	return s.runPartition(part)
 }
 
 // RunPreparedTrace is the PreparedTrace analog of RunTrace: build a

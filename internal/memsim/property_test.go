@@ -2,6 +2,7 @@ package memsim
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -75,6 +76,72 @@ func TestPropSimulatorInvariants(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Run, RunPrepared on a fresh simulator, and RunPrepared again on
+// the same simulator (pooled engines + cached partition) are the same
+// function — bit-identical Results for random traces and configurations.
+// This is the live generalization of the committed golden fixtures.
+func TestPropReplayPathEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 500 + rng.Intn(3000)
+		events := make([]trace.Event, n)
+		cycle := uint64(1)
+		for i := range events {
+			cycle += uint64(1 + rng.Intn(40))
+			op := trace.Read
+			if rng.Intn(3) == 0 {
+				op = trace.Write
+			}
+			events[i] = trace.Event{Cycle: cycle, Op: op, Addr: uint64(rng.Int63n(1 << 26))}
+		}
+		channels := []int{1, 2, 4}[rng.Intn(3)]
+		ctrl := []float64{400, 666, 1250, 1600}[rng.Intn(4)]
+		cpu := []float64{2000, 3000, 5000, 6500}[rng.Intn(4)]
+		var cfg Config
+		switch rng.Intn(4) {
+		case 0:
+			cfg = NewDRAMConfig(channels, cpu, ctrl)
+		case 1:
+			cfg = NewNVMConfig(channels, cpu, ctrl, NVMTRCDSweep(ctrl)[rng.Intn(6)])
+		case 2:
+			cfg = NewHybridConfig(channels, cpu, ctrl, NVMTRCDSweep(ctrl)[rng.Intn(6)], 0.25)
+		default:
+			cfg = NewHybridConfig(channels, cpu, ctrl, NVMTRCDSweep(ctrl)[rng.Intn(6)], 0.25)
+			cfg.HybridMode = HybridFlat
+		}
+		if rng.Intn(2) == 0 {
+			cfg.Scheduler = FCFS
+		}
+		if rng.Intn(2) == 0 {
+			cfg.Policy = ClosedPage
+		}
+		if rng.Intn(4) == 0 {
+			cfg.Mapping = MapChannelBlocked
+		}
+		want, err := RunTrace(cfg, events)
+		if err != nil {
+			return false
+		}
+		pt, err := Prepare(events)
+		if err != nil {
+			return false
+		}
+		sim, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		got, err := sim.RunPrepared(pt)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			return false
+		}
+		again, err := sim.RunPrepared(pt) // pooled engine + cached partition
+		return err == nil && reflect.DeepEqual(again, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -9,10 +9,16 @@ import (
 	"graphdse/internal/trace"
 )
 
-// Simulator replays memory traces against one configuration.
+// Simulator replays memory traces against one configuration. The engine
+// itself lives in engine.go (per-channel replay over pooled state),
+// partition.go (the SoA per-channel trace form) and timing.go (folded
+// per-tier timing tables); this file holds the public entry points and
+// result assembly.
 type Simulator struct {
 	cfg    Config
 	mapper *AddressMapper
+	back   timingTable // backing-store tier (the only tier for DRAM/NVM)
+	front  timingTable // DRAM tier of a hybrid (cache front or flat DRAM half)
 }
 
 // ErrEmptyTrace is returned when Run is given no events.
@@ -23,51 +29,48 @@ func New(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Simulator{cfg: cfg, mapper: NewAddressMapper(&cfg)}, nil
+	s := &Simulator{cfg: cfg}
+	s.mapper = NewAddressMapper(&s.cfg)
+	s.back = buildTimingTable(&s.cfg.Timing, &s.cfg.Energy)
+	s.front = buildTimingTable(&s.cfg.CacheTiming, &s.cfg.CacheEnergy)
+	return s, nil
 }
 
 // Config returns the validated configuration.
 func (s *Simulator) Config() Config { return s.cfg }
 
-// request is a decoded trace event queued at one channel.
-type request struct {
-	arrival uint64 // controller cycles, from the trace timestamp
-	enqueue uint64 // when the bounded controller queue admitted it
-	write   bool
-	loc     Location
-}
-
 // Run replays events (CPU-cycle timestamps, ascending) and returns the
 // aggregated metrics. Channels are independent and simulated in parallel.
 // For sweeps replaying the same trace against many configurations, prefer
-// Prepare + RunPrepared, which validates and decodes the trace once; for
-// traces too large to hold in memory, use RunSource.
+// Prepare + RunPrepared, which validates and decodes the trace once and
+// shares partitions across points of equal mapping geometry; for traces too
+// large to hold in memory, use RunSource.
 func (s *Simulator) Run(events []trace.Event) (*Result, error) {
 	if len(events) == 0 {
 		return nil, ErrEmptyTrace
 	}
-	cfg := &s.cfg
-	ratio := cfg.CtrlFreqMHz / cfg.CPUFreqMHz
-	perChannel := make([][]request, cfg.Channels)
+	part := newTracePartition(s.cfg.Channels, partitionCapHint(len(events), s.cfg.Channels))
 	for _, e := range events {
 		if err := e.Validate(); err != nil {
 			return nil, err
 		}
-		loc := s.mapper.Map(e.Addr)
-		perChannel[loc.Channel] = append(perChannel[loc.Channel], request{
-			arrival: uint64(float64(e.Cycle) * ratio),
-			write:   e.Op == trace.Write,
-			loc:     loc,
-		})
+		part.route(s.mapper, e.Cycle, e.Addr, e.Op == trace.Write)
 	}
-	return s.runPartitioned(perChannel)
+	return s.runPartition(part)
 }
 
-// runPartitioned simulates the already-partitioned per-channel request
-// queues and assembles the result — the shared back half of Run,
-// RunPrepared, and RunSource.
-func (s *Simulator) runPartitioned(perChannel [][]request) (*Result, error) {
+// runPartition simulates the partitioned trace and assembles the result —
+// the shared back half of Run, RunPrepared, and RunSource. Each channel
+// goroutine draws its mutable state from the engine pool and returns it when
+// the channel drains, so steady-state sweeps allocate only the snapshot.
+func (s *Simulator) runPartition(part *tracePartition) (*Result, error) {
 	cfg := &s.cfg
+	ratio := cfg.CtrlFreqMHz / cfg.CPUFreqMHz
+	nb := s.mapper.BanksPerChannel()
+	cacheLines, cacheWays := 0, 0
+	if cfg.Type == Hybrid && cfg.HybridMode != HybridFlat {
+		cacheLines, cacheWays = cfg.CacheLines, cfg.CacheWays
+	}
 	stats := make([]ChannelStats, cfg.Channels)
 	hitRates := make([]float64, cfg.Channels)
 	var wg sync.WaitGroup
@@ -75,12 +78,11 @@ func (s *Simulator) runPartitioned(perChannel [][]request) (*Result, error) {
 		wg.Add(1)
 		go func(ch int) {
 			defer wg.Done()
-			eng := newChannelEngine(cfg, s.mapper)
-			eng.run(perChannel[ch])
-			stats[ch] = eng.stats
-			if eng.cache != nil {
-				hitRates[ch] = eng.cache.hitRate()
-			}
+			st := acquireEngineState(nb, cfg.RowsPerBank, cfg.QueueDepth, cacheLines, cacheWays)
+			eng := newChannelEngine(s, st)
+			eng.run(&part.chans[ch], ratio)
+			eng.snapshot(&stats[ch], &hitRates[ch])
+			releaseEngineState(st)
 		}(ch)
 	}
 	wg.Wait()
@@ -181,356 +183,6 @@ func (s *Simulator) staticWatts() float64 {
 	default:
 		return cfg.Energy.StaticWatts + cfg.Energy.IOWattsPerMHz*cfg.CtrlFreqMHz
 	}
-}
-
-// channelEngine simulates one channel: per-bank state machines, a shared
-// data bus, a scheduling window, and (for hybrid) the DRAM cache front.
-type channelEngine struct {
-	cfg    *Config
-	mapper *AddressMapper
-	banks  []bankState
-	// rowWrites[bank][row] counts writes for endurance tracking.
-	rowWrites [][]uint64
-	busFreeAt uint64
-	now       uint64
-	stats     ChannelStats
-	cache     *dramCache
-	// flatHalf > 0 marks a flat hybrid: banks [0, flatHalf) are DRAM-timed,
-	// banks [flatHalf, 2·flatHalf) NVM-timed.
-	flatHalf int
-}
-
-type bankState struct {
-	openRow       int64
-	readyAt       uint64
-	lastActivate  uint64
-	nextRefreshAt uint64
-}
-
-func newChannelEngine(cfg *Config, mapper *AddressMapper) *channelEngine {
-	nb := mapper.BanksPerChannel()
-	eng := &channelEngine{
-		cfg:       cfg,
-		mapper:    mapper,
-		banks:     make([]bankState, nb),
-		rowWrites: make([][]uint64, nb),
-	}
-	for i := range eng.banks {
-		eng.banks[i].openRow = -1
-		eng.rowWrites[i] = make([]uint64, cfg.RowsPerBank)
-	}
-	eng.stats.PerBankBytes = make([]uint64, nb)
-	if cfg.Type == Hybrid {
-		if cfg.HybridMode == HybridFlat {
-			eng.flatHalf = nb / 2
-			if eng.flatHalf < 1 {
-				eng.flatHalf = 1
-			}
-		} else {
-			eng.cache = newDRAMCache(cfg.CacheLines, cfg.CacheWays)
-		}
-	}
-	return eng
-}
-
-// effBank returns the per-channel bank index a location will be serviced
-// on, accounting for flat-hybrid tier remapping.
-func (e *channelEngine) effBank(loc Location) int {
-	bi := e.mapper.BankIndex(loc)
-	if e.flatHalf > 0 {
-		return bi%e.flatHalf + e.flatTier(loc.Line)*e.flatHalf
-	}
-	return bi
-}
-
-// flatTier assigns a line to the DRAM tier (0) or NVM tier (1) of a flat
-// hybrid, placing DRAMFraction of the address space on DRAM via a stable
-// hash.
-func (e *channelEngine) flatTier(line uint64) int {
-	h := (line * 0x9E3779B97F4A7C15) >> 40
-	if float64(h%1024) < e.cfg.DRAMFraction*1024 {
-		return 0
-	}
-	return 1
-}
-
-// run processes the channel's requests (already sorted by arrival). The
-// controller queue is bounded at QueueDepth and exerts backpressure, as
-// NVMain's trace replay does: a request occupies a queue slot from admission
-// until completion, and admission stalls while the queue is full. Total
-// latency is measured from admission (queueing + service), which bounds it
-// near QueueDepth × service time even under saturation.
-func (e *channelEngine) run(reqs []request) {
-	depth := e.cfg.QueueDepth
-	window := make([]request, 0, depth)  // admitted, not yet scheduled
-	inflight := make([]uint64, 0, depth) // completion times of scheduled requests
-	next := 0
-	for len(window) > 0 || next < len(reqs) {
-		// Retire completed in-flight requests.
-		k := 0
-		for _, c := range inflight {
-			if c > e.now {
-				inflight[k] = c
-				k++
-			}
-		}
-		inflight = inflight[:k]
-		// Admit arrived requests while the queue has room.
-		for next < len(reqs) && len(window)+len(inflight) < depth && reqs[next].arrival <= e.now {
-			r := reqs[next]
-			r.enqueue = maxU64(r.arrival, e.now)
-			e.stats.StallCycles += r.enqueue - r.arrival
-			window = append(window, r)
-			next++
-		}
-		if len(window) == 0 {
-			// Idle or blocked: jump to whichever comes first — the next
-			// arrival (if a slot is free) or the earliest completion.
-			var wake uint64
-			switch {
-			case next < len(reqs) && len(inflight) < depth:
-				wake = reqs[next].arrival
-				if earliest, ok := earliestCompletion(inflight); ok && earliest < wake {
-					wake = earliest
-				}
-			default:
-				earliest, ok := earliestCompletion(inflight)
-				if !ok {
-					return // nothing left anywhere
-				}
-				wake = earliest
-			}
-			if wake > e.now {
-				e.now = wake
-			} else {
-				e.now++
-			}
-			continue
-		}
-		pick := e.schedule(window)
-		req := window[pick]
-		window = append(window[:pick], window[pick+1:]...)
-
-		done, devLat := e.service(req)
-		inflight = append(inflight, done)
-		e.stats.Requests++
-		e.stats.SumDeviceLatency += devLat
-		totalLat := done - req.enqueue
-		e.stats.SumTotalLatency += totalLat
-		e.stats.LatencyHist[bitsLen(totalLat)]++
-		if done > e.stats.LastCompletion {
-			e.stats.LastCompletion = done
-		}
-		e.now++ // command-issue slot; banks proceed in parallel
-	}
-}
-
-func earliestCompletion(inflight []uint64) (uint64, bool) {
-	if len(inflight) == 0 {
-		return 0, false
-	}
-	min := inflight[0]
-	for _, c := range inflight[1:] {
-		if c < min {
-			min = c
-		}
-	}
-	return min, true
-}
-
-// schedule picks the next request index in the window: FCFS takes the head;
-// FR-FCFS prefers row-buffer hits (cache hits for hybrid), falling back to
-// the oldest request.
-func (e *channelEngine) schedule(window []request) int {
-	if e.cfg.Scheduler == FCFS || len(window) == 1 {
-		return 0
-	}
-	for i, r := range window {
-		if e.cache != nil {
-			// Peek: is the line resident? (No LRU update on peek.)
-			set := e.cache.tags[r.loc.Line%uint64(e.cache.sets)]
-			for _, l := range set {
-				if l.valid && l.tag == r.loc.Line {
-					return i
-				}
-			}
-			continue
-		}
-		b := &e.banks[e.effBank(r.loc)]
-		if b.openRow == int64(r.loc.Row) && b.readyAt <= e.now {
-			return i
-		}
-	}
-	return 0
-}
-
-// service executes one request and returns its completion cycle and its
-// device latency (the access time excluding queueing, which NVMain reports
-// as "average latency"; the queue-inclusive time is completion − arrival).
-func (e *channelEngine) service(req request) (done, devLat uint64) {
-	if e.flatHalf > 0 {
-		// Flat hybrid: route the request to its tier's banks.
-		loc := req.loc
-		tier := e.flatTier(loc.Line)
-		loc.Rank = 0
-		loc.Bank = e.effBank(req.loc)
-		if tier == 0 {
-			return e.serviceTier(loc, req.write, e.now, &e.cfg.CacheTiming, &e.cfg.CacheEnergy, false)
-		}
-		return e.serviceTier(loc, req.write, e.now, &e.cfg.Timing, &e.cfg.Energy, true)
-	}
-	if e.cache == nil {
-		return e.serviceBackend(req.loc, req.write, e.now)
-	}
-	// Hybrid: consult the DRAM cache first.
-	hit, writeback, victim := e.cache.access(req.loc.Line, req.write)
-	if hit {
-		e.stats.CacheHits++
-		t := &e.cfg.CacheTiming
-		en := &e.cfg.CacheEnergy
-		dataStart := maxU64(e.now+t.TCAS, e.busFreeAt)
-		done = dataStart + t.TBURST
-		e.busFreeAt = done
-		if req.write {
-			e.stats.EnergyNJ += en.EWrite
-		} else {
-			e.stats.EnergyNJ += en.ERead
-		}
-		// The critical word is forwarded as soon as the column access
-		// completes; the burst tail overlaps with the consumer.
-		return done, t.TCAS
-	}
-	e.stats.CacheMisses++
-	// Miss: fetch the line from the NVM backing store (write-allocate).
-	done, devLat = e.serviceBackend(req.loc, false, e.now)
-	// Install into the cache: one DRAM-side burst after the fill.
-	done += e.cfg.CacheTiming.TBURST
-	devLat += e.cfg.CacheTiming.TBURST
-	if req.write {
-		e.stats.EnergyNJ += e.cfg.CacheEnergy.EWrite
-	} else {
-		e.stats.EnergyNJ += e.cfg.CacheEnergy.ERead
-	}
-	// Dirty victim: write it back to NVM. The writeback occupies the backend
-	// after the fill but does not delay this request's completion.
-	if writeback {
-		e.stats.CacheWritebacks++
-		vloc := e.locForLine(victim)
-		e.serviceBackend(vloc, true, done)
-	}
-	return done, devLat
-}
-
-// locForLine reconstructs the Location of a cached line index (the line
-// already belongs to this channel by construction of the interleave).
-func (e *channelEngine) locForLine(line uint64) Location {
-	return e.mapper.Map(line * uint64(e.cfg.LineBytes))
-}
-
-// serviceBackend performs a device access on the backing store (the only
-// store for DRAM/NVM configs) starting no earlier than at. It returns the
-// completion cycle and the device latency (row handling + column access +
-// burst, excluding data-bus queueing).
-func (e *channelEngine) serviceBackend(loc Location, write bool, at uint64) (done, devLat uint64) {
-	return e.serviceTier(loc, write, at, &e.cfg.Timing, &e.cfg.Energy, true)
-}
-
-// serviceTier is serviceBackend parametrized by the device tier's timing and
-// energy model; trackEndurance enables hot-row write accounting (NVM tiers).
-func (e *channelEngine) serviceTier(loc Location, write bool, at uint64, t *Timing, en *Energy, trackEndurance bool) (done, devLat uint64) {
-	bi := e.mapper.BankIndex(loc)
-	if e.flatHalf > 0 {
-		bi = loc.Bank // already a per-channel bank index for flat hybrids
-	}
-	b := &e.banks[bi]
-	start := maxU64(at, b.readyAt)
-	// Event-level refresh: when enabled, catch up on overdue refreshes
-	// before the access; each blocks the bank for TRFC and closes its row.
-	if t.TREFI > 0 {
-		if b.nextRefreshAt == 0 {
-			b.nextRefreshAt = t.TREFI
-		}
-		for start >= b.nextRefreshAt {
-			start = maxU64(start, b.nextRefreshAt+t.TRFC)
-			b.nextRefreshAt += t.TREFI
-			b.openRow = -1
-			e.stats.Refreshes++
-			e.stats.EnergyNJ += en.ERefresh
-		}
-	}
-	var rowReady uint64
-	if e.cfg.Policy == ClosedPage {
-		// The row was auto-precharged after the previous access; every
-		// access activates afresh.
-		e.stats.RowMisses++
-		b.lastActivate = start
-		rowReady = start + t.TRCD
-		e.stats.Activates++
-		e.stats.EnergyNJ += en.EActivate
-	} else if b.openRow == int64(loc.Row) {
-		e.stats.RowHits++
-		rowReady = start
-	} else {
-		e.stats.RowMisses++
-		if b.openRow >= 0 {
-			// Precharge the open row; DRAM must honor tRAS (data restore)
-			// since the last activate — NVM has tRAS = 0.
-			prechargeOK := maxU64(start, b.lastActivate+t.TRAS)
-			start = prechargeOK + t.TRP
-		}
-		b.lastActivate = start
-		rowReady = start + t.TRCD
-		b.openRow = int64(loc.Row)
-		e.stats.Activates++
-		e.stats.EnergyNJ += en.EActivate
-	}
-	casDone := rowReady + t.TCAS
-	devLat = casDone - start + t.TBURST
-	dataStart := maxU64(casDone, e.busFreeAt)
-	dataDone := dataStart + t.TBURST
-	e.busFreeAt = dataDone
-	var prechargeTail uint64
-	if e.cfg.Policy == ClosedPage {
-		// Auto-precharge after the burst, honoring tRAS restore.
-		prechargeTail = maxU64(dataDone, b.lastActivate+t.TRAS) - dataDone + t.TRP
-		b.openRow = -1
-	}
-	if write {
-		b.readyAt = dataDone + t.TWR + t.TWP + prechargeTail
-		e.stats.Writes++
-		e.stats.EnergyNJ += en.EWrite
-		if trackEndurance {
-			rw := e.rowWrites[bi]
-			rw[loc.Row]++
-			if rw[loc.Row] > e.stats.MaxRowWrites {
-				e.stats.MaxRowWrites = rw[loc.Row]
-			}
-		}
-	} else {
-		b.readyAt = dataDone + prechargeTail
-		e.stats.Reads++
-		e.stats.EnergyNJ += en.ERead
-	}
-	e.stats.BytesTransferred += uint64(e.cfg.LineBytes)
-	e.stats.PerBankBytes[bi] += uint64(e.cfg.LineBytes)
-	return dataDone, devLat
-}
-
-// bitsLen returns the bit length of v (0 for 0), the log2 histogram bucket.
-func bitsLen(v uint64) int {
-	n := 0
-	for v > 0 {
-		n++
-		v >>= 1
-	}
-	return n
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // RunTrace is a convenience helper: build a simulator for cfg and replay

@@ -1,0 +1,48 @@
+package memsim
+
+// timingTable is a device tier's timing and energy model folded into the
+// handful of precomputed sums the service path actually adds. The raw
+// Timing/Energy structs describe parameters the way NVMain's configuration
+// files do (tRCD, tCAS, tBURST, ...); the inner loop only ever needs fixed
+// combinations of them (activate→data = tRCD+tCAS, device latency =
+// tRCD+tCAS+tBURST, write recovery = tWR+tWP), so they are summed once per
+// engine instead of re-added per request. All sums are exact uint64
+// additions, so a table-driven service is bit-identical to the unfolded
+// arithmetic.
+type timingTable struct {
+	hitCas  uint64 // tCAS: column access on an already-open row
+	actCas  uint64 // tRCD+tCAS: activate + column access
+	trp     uint64 // precharge time
+	tras    uint64 // minimum activate→precharge (0 for NVM)
+	burst   uint64 // tBURST: data-bus occupancy
+	devHit  uint64 // tCAS+tBURST: device latency of a row hit
+	devMiss uint64 // tRCD+tCAS+tBURST: device latency of an activate path
+	wrRec   uint64 // tWR+tWP: write recovery + NVM write pulse
+	trefi   uint64 // refresh interval; 0 disables event-level refresh
+	trfc    uint64 // refresh cycle time (bank blocked)
+
+	eActivate float64
+	eRead     float64
+	eWrite    float64
+	eRefresh  float64
+}
+
+// buildTimingTable folds one tier's parameters.
+func buildTimingTable(t *Timing, en *Energy) timingTable {
+	return timingTable{
+		hitCas:    t.TCAS,
+		actCas:    t.TRCD + t.TCAS,
+		trp:       t.TRP,
+		tras:      t.TRAS,
+		burst:     t.TBURST,
+		devHit:    t.TCAS + t.TBURST,
+		devMiss:   t.TRCD + t.TCAS + t.TBURST,
+		wrRec:     t.TWR + t.TWP,
+		trefi:     t.TREFI,
+		trfc:      t.TRFC,
+		eActivate: en.EActivate,
+		eRead:     en.ERead,
+		eWrite:    en.EWrite,
+		eRefresh:  en.ERefresh,
+	}
+}
