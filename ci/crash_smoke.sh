@@ -5,9 +5,13 @@
 #   2. the checkpoint holds exactly one record per design point (no
 #      double-run points), and
 #   3. the final report is byte-identical to one from an uninterrupted
-#      daemon.
-# The Go test suite proves the same contract in-process
-# (internal/dsed/crash_test.go); this script proves it for the real binary.
+#      daemon, and
+#   4. an SSE event stream held open across the crash resumes with
+#      Last-Event-ID: the merged id sequence is contiguous from 1 and ends
+#      in a terminal done event.
+# The Go test suite proves the same contracts in-process
+# (internal/dsed/crash_test.go, crash_stream_test.go); this script proves
+# them for the real binary.
 set -euo pipefail
 
 workdir="$(mktemp -d)"
@@ -60,6 +64,11 @@ start_daemon "$spool" "$addrfile"
 code=$(spec 100 | curl -s -o /dev/null -w '%{http_code}' -X POST -d @- "$base/v1/jobs")
 [ "$code" = 202 ] || { echo "FAIL: submit returned $code, want 202"; exit 1; }
 
+# Hold an SSE stream open across the crash: the kill severs this curl, and
+# phase 2 reconnects with Last-Event-ID from where delivery stopped.
+curl -sN "$base/v1/jobs/smoke/events" > "$workdir/events1.txt" &
+stream_pid=$!
+
 for _ in $(seq 1 200); do
   done_pts=$(job_field done); done_pts=${done_pts:-0}
   [ "$done_pts" -ge 3 ] && break
@@ -69,6 +78,16 @@ done
 
 kill -9 "$daemon_pid"
 wait "$daemon_pid" 2>/dev/null || true
+wait "$stream_pid" 2>/dev/null || true
+
+# The kill can tear the final SSE line mid-write; only complete lines count.
+if [ -s "$workdir/events1.txt" ] && [ -n "$(tail -c1 "$workdir/events1.txt")" ]; then
+  sed -i '$d' "$workdir/events1.txt"
+fi
+last_id=$(sed -n 's/^id: //p' "$workdir/events1.txt" | tail -1)
+last_id=${last_id:-0}
+[ "$last_id" -ge 1 ] || { echo "FAIL: SSE stream delivered no events before the crash"; exit 1; }
+echo "stream severed after event id $last_id"
 
 ckpt="$spool/ckpt/smoke.jsonl"
 partial=$(wc -l < "$ckpt" 2>/dev/null || echo 0)
@@ -91,6 +110,20 @@ lines=$(wc -l < "$ckpt")
 [ "$lines" -eq "$TOTAL" ] || { echo "FAIL: checkpoint holds $lines records for $TOTAL points (duplicates or loss)"; exit 1; }
 
 curl -sf "$base/v1/jobs/smoke/result" > "$workdir/recovered.json"
+
+echo "== resumed SSE delivery: reconnect with Last-Event-ID =="
+curl -sN -m 60 -H "Last-Event-ID: $last_id" "$base/v1/jobs/smoke/events" > "$workdir/events2.txt"
+grep -q '"state":"done"' "$workdir/events2.txt" || {
+  echo "FAIL: resumed stream did not end in a terminal done event"; exit 1
+}
+# The merged id sequence — delivered before the crash plus delivered after
+# resume — must be contiguous from 1: no gaps, no duplicates.
+sed -n 's/^id: //p' "$workdir/events1.txt" "$workdir/events2.txt" | awk '
+  NR != $1 { printf "FAIL: merged stream line %d carries id %s\n", NR, $1; exit 1 }
+  END { if (NR == 0) { print "FAIL: resumed stream was empty"; exit 1 } }
+' || exit 1
+merged=$(sed -n 's/^id: //p' "$workdir/events1.txt" "$workdir/events2.txt" | wc -l)
+echo "merged stream contiguous: $merged events across the crash"
 
 # Graceful drain: first SIGTERM must exit 0.
 kill -TERM "$daemon_pid"

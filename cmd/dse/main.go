@@ -73,8 +73,20 @@ func main() {
 		heartbeat    = flag.Duration("heartbeat", 0, "per-stage heartbeat watchdog: cancel a stage whose progress stalls this long (0 = off)")
 		memBudget    = flag.String("mem-budget", "", "heap soft budget, e.g. 512MiB: under pressure the sweep sheds workers instead of dying (empty = off)")
 		guardReport  = flag.Bool("guard-report", false, "print the supervision run report (per-stage outcomes) to stderr")
+
+		daemonURL   = flag.String("daemon", "", "dsed base URL, e.g. http://127.0.0.1:8080 (used by -follow)")
+		follow      = flag.String("follow", "", "follow a daemon job's event stream by job ID until it completes (requires -daemon)")
+		followAfter = flag.Uint64("follow-after", 0, "resume -follow delivery after this event sequence number")
 	)
 	flag.Parse()
+	if *follow != "" {
+		if *daemonURL == "" {
+			fmt.Fprintln(os.Stderr, "dse: -follow requires -daemon")
+			os.Exit(artifact.ExitUsage)
+		}
+		runFollow(*daemonURL, *follow, *followAfter)
+		return
+	}
 	if !*figure2 && !*table1 && *figure3 == "" && !*recommend && !*pareto && !*importance && *csvPath == "" {
 		*all = true
 	}

@@ -56,6 +56,8 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 4, "decoded traces held in the content-addressed cache")
 		memBudget    = flag.String("mem-budget", "", "heap soft budget, e.g. 512MiB: under pressure the fleet sheds workers (empty = off)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown window for in-flight checkpointing")
+		eventBuffer  = flag.Int("event-buffer", 64, "per-subscriber event buffer: a stream consumer this far behind is evicted (resume with Last-Event-ID)")
+		sseHeartbeat = flag.Duration("sse-heartbeat", 10*time.Second, "comment-heartbeat interval on /v1/jobs/{id}/events streams")
 		quiet        = flag.Bool("quiet", false, "suppress operational logging")
 	)
 	flag.Parse()
@@ -74,9 +76,11 @@ func main() {
 		Addr: *addr,
 		Dir:  *dir,
 		Queue: dsed.QueueOptions{
-			MaxQueued: *maxQueued,
-			TenantCap: *tenantCap,
+			MaxQueued:   *maxQueued,
+			TenantCap:   *tenantCap,
+			EventBuffer: *eventBuffer,
 		},
+		SSEHeartbeat: *sseHeartbeat,
 		Scheduler: dsed.SchedulerOptions{
 			JobWorkers:   *jobWorkers,
 			SweepWorkers: *sweepWorkers,

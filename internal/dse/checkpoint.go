@@ -77,6 +77,29 @@ func CanonicalRecords(records []RunRecord) ([]json.RawMessage, error) {
 	return out, nil
 }
 
+// DecodeCanonicalRecords parses canonical record lines — the encoding
+// CanonicalRecords produces and a sealed daemon report carries — back into
+// RunRecords against the design space they were swept from. It is the read
+// side of the daemon's query endpoints: Pareto fronts and recommendations
+// are recomputed from the sealed report rather than from live sweep state.
+// Unknown point IDs and structurally invalid lines are rejected outright;
+// a sealed report is never salvaged, because its seal asserts completeness.
+func DecodeCanonicalRecords(lines []json.RawMessage, points []DesignPoint) ([]RunRecord, error) {
+	byID := make(map[string]DesignPoint, len(points))
+	for _, p := range points {
+		byID[p.ID()] = p
+	}
+	out := make([]RunRecord, 0, len(lines))
+	for i, line := range lines {
+		rec, err := decodeRecord(line, byID)
+		if err != nil {
+			return nil, fmt.Errorf("dse: canonical record %d: %w", i, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
 // decodeRecord parses one checkpoint line back into a RunRecord. byID maps
 // point IDs of the live design space; lines for unknown points, survivor
 // lines without a result, and survivor results failing metric validation

@@ -2,6 +2,7 @@ package dse
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -284,5 +285,65 @@ func TestCheckpointTornTailFromConcurrentWriter(t *testing.T) {
 	}
 	if !rep.Clean() || len(loaded) != len(points) {
 		t.Fatalf("completed tail: report %+v, loaded %d, want clean full load", rep, len(loaded))
+	}
+}
+
+// TestDecodeCanonicalRecordsRoundTrip pins the read side of the daemon's
+// query endpoints: the canonical lines a sealed report carries decode back
+// into RunRecords that re-encode byte-identically, failed records
+// included, and damaged or out-of-space lines are rejected outright rather
+// than salvaged.
+func TestDecodeCanonicalRecordsRoundTrip(t *testing.T) {
+	events := smallTrace(t)
+	points := EnumerateSpace(tinySpace())
+	records, err := Sweep(events, points, SweepOptions{Faults: PaperFaults(0.25, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	for _, r := range records {
+		failed = failed || r.Failed
+	}
+	if !failed || len(Survivors(records)) == 0 {
+		t.Fatalf("sweep produced no mix of failures and survivors (%d records)", len(records))
+	}
+
+	lines, err := CanonicalRecords(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCanonicalRecords(lines, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(lines) {
+		t.Fatalf("decoded %d records from %d lines", len(decoded), len(lines))
+	}
+	for i := range decoded {
+		decoded[i].FromCheckpoint = false
+	}
+	again, err := CanonicalRecords(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lines {
+		if string(again[i]) != string(lines[i]) {
+			t.Fatalf("line %d not byte-identical after decode:\n%s\n%s", i, lines[i], again[i])
+		}
+	}
+
+	// A line naming a point outside the design space is corruption, not a
+	// skip: the seal asserts completeness.
+	if _, err := DecodeCanonicalRecords(lines, nil); err == nil {
+		t.Fatal("decode accepted records against an empty design space")
+	}
+	bad := append([]json.RawMessage(nil), lines...)
+	bad[0] = json.RawMessage(`{"id":""}`)
+	if _, err := DecodeCanonicalRecords(bad, points); err == nil {
+		t.Fatal("decode accepted a line with no point id")
+	}
+	bad[0] = json.RawMessage(`{`)
+	if _, err := DecodeCanonicalRecords(bad, points); err == nil {
+		t.Fatal("decode accepted malformed JSON")
 	}
 }

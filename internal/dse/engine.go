@@ -97,6 +97,9 @@ func sweepEngine(ctx context.Context, pt *memsim.PreparedTrace, points []DesignP
 	var done atomic.Int64
 	finish := func(i int, rec RunRecord) {
 		records[i] = rec
+		if opts.OnRecord != nil {
+			opts.OnRecord(rec)
+		}
 		if opts.OnPoint != nil {
 			opts.OnPoint(int(done.Add(1)), len(points))
 		}
@@ -326,15 +329,32 @@ var backoffSalt = rand.Uint64()
 // at maxBackoff. The jitter is a hash of (process salt, point, attempt):
 // stable within a process, different across processes.
 func backoffDelay(base time.Duration, attempt int, p DesignPoint) time.Duration {
+	return BackoffJitter(base, attempt, p.ID(), maxBackoff)
+}
+
+// BackoffJitter is the repository's shared retry-delay policy:
+// base·2^(attempt−1) plus deterministic jitter in [0, d/2], capped at max
+// (maxBackoff when max <= 0). The jitter is a hash of (process salt, key,
+// attempt): stable within a process so schedules are reproducible, salted
+// per process so a fleet restarted together does not retry in lockstep.
+// The sweep engine keys it by design-point ID; the daemon's streaming
+// client keys it by job ID for its reconnect schedule.
+func BackoffJitter(base time.Duration, attempt int, key string, max time.Duration) time.Duration {
 	if base <= 0 {
 		base = 20 * time.Millisecond
 	}
+	if max <= 0 {
+		max = maxBackoff
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
 	d := base << uint(attempt-1)
-	if d > maxBackoff || d <= 0 {
-		d = maxBackoff
+	if d > max || d <= 0 {
+		d = max
 	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%d", backoffSalt, p.ID(), attempt)
+	fmt.Fprintf(h, "%d|%s|%d", backoffSalt, key, attempt)
 	if half := int64(d / 2); half > 0 {
 		d += time.Duration(h.Sum64() % uint64(half+1))
 	}

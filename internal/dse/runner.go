@@ -91,6 +91,11 @@ type SweepOptions struct {
 	// total counts. It is the sweep's progress heartbeat; callers must make
 	// it safe for concurrent use.
 	OnPoint func(done, total int)
+	// OnRecord, when set, receives every terminal record (including adopted
+	// checkpoint records) as it lands, before the matching OnPoint call —
+	// the daemon streams per-point failure-log events from it. Callers must
+	// make it safe for concurrent use.
+	OnRecord func(RunRecord)
 }
 
 // injector resolves the effective fault injector, folding the legacy

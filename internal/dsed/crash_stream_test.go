@@ -1,0 +1,165 @@
+package dsed
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"graphdse/internal/dsedclient"
+)
+
+// TestDaemonKill9StreamResume is the acceptance test for durable event
+// delivery: a dsedclient follows a paced job's stream, the daemon is
+// SIGKILLed mid-sweep, a replacement daemon starts on the same address over
+// the same spool, and the client auto-reconnects with Last-Event-ID. The
+// merged client-side sequence must be gap-free and duplicate-free across
+// the crash, end in exactly one terminal event, and show the full recovery
+// arc (queued → running → requeued → running → done).
+func TestDaemonKill9StreamResume(t *testing.T) {
+	if spool := os.Getenv(crashHelperEnv); spool != "" {
+		crashHelperDaemon(spool, os.Getenv(crashAddrFileEnv)) // never returns
+	}
+	if testing.Short() {
+		t.Skip("subprocess crash test skipped in -short")
+	}
+
+	spool := t.TempDir()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	spec := crashJobSpec(75)
+
+	// Phase 1: daemon up (ephemeral port), job submitted, client following.
+	cmd := startCrashHelperFor(t, "TestDaemonKill9StreamResume", "", spool, addrFile)
+	base := waitAddr(t, addrFile, 10*time.Second)
+	addr := strings.TrimPrefix(base, "http://")
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		cmd.Process.Kill()
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+
+	var mu sync.Mutex
+	var evs []dsedclient.Event
+	progressSeen := make(chan struct{})
+	var progressOnce sync.Once
+	followCtx, cancelFollow := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancelFollow()
+	client := dsedclient.New(base, dsedclient.Options{
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  500 * time.Millisecond,
+		// The restart window spans many reconnect attempts; the breaker
+		// must not trip while the replacement daemon comes up.
+		MaxConsecutiveFailures: 200,
+		StallTimeout:           10 * time.Second,
+	})
+	type followResult struct {
+		term dsedclient.Event
+		err  error
+	}
+	followDone := make(chan followResult, 1)
+	go func() {
+		term, ferr := client.Follow(followCtx, "crashjob", dsedclient.FollowOptions{
+			OnEvent: func(ev dsedclient.Event) {
+				mu.Lock()
+				evs = append(evs, ev)
+				n := 0
+				for _, e := range evs {
+					if e.Type == "progress" {
+						n++
+					}
+				}
+				mu.Unlock()
+				if n >= 3 {
+					progressOnce.Do(func() { close(progressSeen) })
+				}
+			},
+			OnRetry: func(failures int, rerr error, delay time.Duration) {
+				t.Logf("client reconnect %d after %v (backoff %v)", failures, rerr, delay)
+			},
+		})
+		followDone <- followResult{term, ferr}
+	}()
+
+	// SIGKILL once the client has observed real mid-sweep progress.
+	select {
+	case <-progressSeen:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("client never observed sweep progress")
+	case res := <-followDone:
+		cmd.Process.Kill()
+		t.Fatalf("stream ended before the crash: %+v err=%v", res.term, res.err)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Phase 2: replacement daemon on the SAME address over the same spool.
+	// The client is still in its reconnect loop and must resume seamlessly.
+	cmd2 := startCrashHelperFor(t, "TestDaemonKill9StreamResume", addr, spool, addrFile)
+	var res followResult
+	select {
+	case res = <-followDone:
+	case <-time.After(90 * time.Second):
+		cmd2.Process.Kill()
+		t.Fatal("followed stream never reached a terminal event after restart")
+	}
+	if res.err != nil {
+		cmd2.Process.Kill()
+		t.Fatalf("follow across crash: %v", res.err)
+	}
+	if res.term.State != "done" {
+		cmd2.Process.Kill()
+		t.Fatalf("terminal state %q (%s), want done", res.term.State, res.term.Error)
+	}
+
+	// The merged sequence: contiguous seqs from 1, exactly one terminal.
+	mu.Lock()
+	got := append([]dsedclient.Event(nil), evs...)
+	mu.Unlock()
+	last := checkEventSequence(t, got, 1)
+	if last.Seq != res.term.Seq {
+		t.Fatalf("last delivered seq %d != terminal seq %d", last.Seq, res.term.Seq)
+	}
+	// The recovery arc is visible in the state events: the crash forced a
+	// second queued→running cycle, and the journal recorded all of it.
+	var states []string
+	finalAttempt := 0
+	for _, ev := range got {
+		if ev.Type == "state" {
+			states = append(states, ev.State)
+			if ev.State == "running" {
+				finalAttempt = ev.Attempt
+			}
+		}
+	}
+	want := []string{"queued", "running", "queued", "running", "done"}
+	if strings.Join(states, ",") != strings.Join(want, ",") {
+		t.Fatalf("state arc = %v, want %v", states, want)
+	}
+	if finalAttempt != 2 {
+		t.Fatalf("final running attempt = %d, want 2", finalAttempt)
+	}
+
+	// Clean drain of the replacement daemon rides along.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("replacement daemon did not drain cleanly: %v", err)
+	}
+}

@@ -21,20 +21,29 @@ import (
 const (
 	crashHelperEnv   = "GRAPHDSE_DSED_CRASH_HELPER"
 	crashAddrFileEnv = "GRAPHDSE_DSED_CRASH_ADDRFILE"
+	// crashAddrEnv pins the helper's listen address; the stream-resume test
+	// needs the restarted daemon on the same port so the following client's
+	// reconnects land.
+	crashAddrEnv = "GRAPHDSE_DSED_CRASH_ADDR"
 )
 
 // crashHelperDaemon is the subprocess body: a real daemon over the given
 // spool. It serves until SIGTERM (drain → exit 0) or SIGKILL (the parent's
 // simulated crash). Never returns.
 func crashHelperDaemon(spool, addrFile string) {
+	addr := os.Getenv(crashAddrEnv)
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
 	d, err := New(Options{
-		Addr:     "127.0.0.1:0",
+		Addr:     addr,
 		Dir:      spool,
 		AddrFile: addrFile,
 		Scheduler: SchedulerOptions{
 			JobWorkers:   1,
 			SweepWorkers: 1,
 		},
+		SSEHeartbeat: 500 * time.Millisecond,
 		DrainTimeout: 10 * time.Second,
 	})
 	if err != nil {
@@ -99,10 +108,20 @@ func waitAddr(t *testing.T, addrFile string, deadline time.Duration) string {
 
 // startCrashHelper launches the subprocess daemon over spool.
 func startCrashHelper(t *testing.T, spool, addrFile string) *exec.Cmd {
+	return startCrashHelperFor(t, "TestDaemonKill9Recovery", "", spool, addrFile)
+}
+
+// startCrashHelperFor launches the subprocess daemon by re-execing the test
+// binary into testName's helper branch. addr pins the listen address
+// ("" = ephemeral).
+func startCrashHelperFor(t *testing.T, testName, addr, spool, addrFile string) *exec.Cmd {
 	t.Helper()
 	os.Remove(addrFile)
-	cmd := exec.Command(os.Args[0], "-test.run=TestDaemonKill9Recovery$")
+	cmd := exec.Command(os.Args[0], "-test.run="+testName+"$")
 	cmd.Env = append(os.Environ(), crashHelperEnv+"="+spool, crashAddrFileEnv+"="+addrFile)
+	if addr != "" {
+		cmd.Env = append(cmd.Env, crashAddrEnv+"="+addr)
+	}
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)

@@ -27,6 +27,9 @@ type Options struct {
 	// HeapSoftBytes arms the memory governor: under pressure the fleet
 	// sheds sweep workers instead of dying (0 = off).
 	HeapSoftBytes uint64
+	// SSEHeartbeat is the event-stream comment-heartbeat interval
+	// (default 10s).
+	SSEHeartbeat time.Duration
 	// CacheEntries bounds the decoded-trace cache (default 4).
 	CacheEntries int
 	// DrainTimeout bounds the graceful-shutdown window (default 30s).
@@ -85,13 +88,15 @@ func New(opts Options) (*Daemon, error) {
 	}
 	cache := NewTraceCache(opts.CacheEntries)
 	sched := NewScheduler(q, cache, gov, opts.Scheduler)
+	srv := NewServer(q, sched, cache, gov)
+	srv.SetHeartbeat(opts.SSEHeartbeat)
 	return &Daemon{
 		opts:  opts,
 		q:     q,
 		cache: cache,
 		gov:   gov,
 		sched: sched,
-		srv:   NewServer(q, sched, cache, gov),
+		srv:   srv,
 	}, nil
 }
 
@@ -188,6 +193,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 		}
 	default:
 	}
+	d.q.Close()
 	d.opts.Logf("dsed: drained cleanly")
 	return nil
 }

@@ -1,0 +1,444 @@
+package dsed
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"graphdse/internal/artifact"
+)
+
+// Event is one entry of a job's durable event stream. Events carry a
+// per-job sequence number assigned at journal-append time: seqs start at 1,
+// increase by exactly 1, and — because the journal is replayed at daemon
+// restart to recover the counter — stay monotonic and gap-free across
+// crashes. That is the whole resume contract: a client that remembers the
+// last seq it saw can reconnect with `Last-Event-ID: <seq>` and receive
+// exactly the events it missed, no gaps and no duplicates, regardless of
+// how many times the daemon died in between.
+//
+// Events are deliberately timestamp-free: a resumed stream replays the
+// journal bytes, and nondeterministic fields would make otherwise-identical
+// histories diverge.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	Job  string `json:"job"`
+	Type string `json:"type"`
+	// State is set for EventState records (and names the terminal state
+	// that ends a stream).
+	State JobState `json:"state,omitempty"`
+	// Attempt counts queued→running transitions at the time of the event.
+	Attempt int `json:"attempt,omitempty"`
+	// Done/Total carry sweep progress for EventProgress records.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// Survivors/Quarantined summarize the gate outcome on seal and
+	// terminal-state records.
+	Survivors   int `json:"survivors,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
+	// Error carries the failure detail of failed/cancelled states and
+	// per-point failure records.
+	Error string `json:"error,omitempty"`
+	// Point/Class/Attempts identify one failed design point for
+	// EventFailure records.
+	Point    string `json:"point,omitempty"`
+	Class    string `json:"class,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// Event types. Everything except EventLag is journaled before it is
+// observable; EventLag is a parting notice written only to the one
+// subscriber being evicted, so it carries no sequence number and never
+// advances a client's resume position.
+const (
+	// EventState records a job lifecycle transition (see JobState).
+	EventState = "state"
+	// EventProgress records sweep progress (Done/Total completed points).
+	EventProgress = "progress"
+	// EventFailure records one design point's terminal failure — the
+	// streaming form of the sweep failure log.
+	EventFailure = "failure"
+	// EventSeal records that the job's result document was sealed to disk;
+	// it always precedes the terminal done state event.
+	EventSeal = "seal"
+	// EventLag tells a slow consumer it was disconnected for falling
+	// behind and must reconnect with Last-Event-ID to resume.
+	EventLag = "lag"
+)
+
+// Terminal reports whether the event ends its job's stream: the stream of a
+// job is closed after its terminal state transition is delivered.
+func (e *Event) Terminal() bool { return e.Type == EventState && e.State.Terminal() }
+
+// eventEnvelope is the on-disk frame of one journal record: the marshalled
+// event plus a CRC32-Castagnoli over exactly those bytes, one frame per
+// line. The journal is append-only; a torn final line (crash mid-append) is
+// expected and salvaged as a valid prefix at replay.
+type eventEnvelope struct {
+	CRC uint32          `json:"crc"`
+	Ev  json.RawMessage `json:"ev"`
+}
+
+// encodeEvent frames one event for the journal.
+func encodeEvent(ev *Event) ([]byte, error) {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return nil, err
+	}
+	env := eventEnvelope{CRC: artifact.Checksum(body), Ev: body}
+	out, err := json.Marshal(&env)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// decodeEvent verifies and unmarshals one journal line. Checksum or
+// structural damage returns artifact.ErrCorrupt.
+func decodeEvent(line []byte) (Event, error) {
+	var env eventEnvelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Event{}, fmt.Errorf("%w: event frame: %v", artifact.ErrCorrupt, err)
+	}
+	if got := artifact.Checksum(env.Ev); got != env.CRC {
+		return Event{}, fmt.Errorf("%w: event checksum %08x != %08x", artifact.ErrCorrupt, got, env.CRC)
+	}
+	var ev Event
+	if err := json.Unmarshal(env.Ev, &ev); err != nil {
+		return Event{}, fmt.Errorf("%w: event body: %v", artifact.ErrCorrupt, err)
+	}
+	if ev.Seq == 0 || ev.Type == "" {
+		return Event{}, fmt.Errorf("%w: event missing seq or type", artifact.ErrCorrupt)
+	}
+	return ev, nil
+}
+
+// EventLogStats is the event path's observability snapshot, surfaced in
+// /statusz.
+type EventLogStats struct {
+	// Written counts journal records appended (and fsynced) this process.
+	Written int64 `json:"journal_written"`
+	// Replayed counts journal records read back — restart recovery plus
+	// subscriber backlog replays.
+	Replayed int64 `json:"journal_replayed"`
+	// Errors counts journal append failures (the stream degrades, jobs
+	// do not).
+	Errors int64 `json:"journal_errors"`
+	// Subscribers is the current number of attached subscribers.
+	Subscribers int64 `json:"subscribers"`
+	// SlowEvictions counts subscribers disconnected for falling behind.
+	SlowEvictions int64 `json:"slow_evictions"`
+	// ResumeHits counts subscriptions that arrived with a Last-Event-ID
+	// position; FullReplays counts those that started from scratch.
+	ResumeHits  int64 `json:"resume_hits"`
+	FullReplays int64 `json:"full_replays"`
+}
+
+// A Subscriber is one attached consumer of a job's event stream. Events
+// arrive on Events(); if the consumer falls so far behind that its buffer
+// fills, the hub disconnects it — Evicted() closes — rather than ever
+// blocking the publisher. The channel may deliver events the subscriber
+// already received via its backlog replay; consumers must skip events with
+// Seq at or below their last delivered position.
+type Subscriber struct {
+	job     string
+	ch      chan Event
+	evicted chan struct{}
+}
+
+// Events is the live event feed.
+func (s *Subscriber) Events() <-chan Event { return s.ch }
+
+// Evicted is closed when the hub disconnects this subscriber for lagging.
+func (s *Subscriber) Evicted() <-chan struct{} { return s.evicted }
+
+// jobStream is one job's journal handle plus its attached subscribers. The
+// file is opened lazily, kept open while the job is live, and closed when
+// the terminal state event is journaled, so open file handles are bounded
+// by active jobs rather than spool history.
+type jobStream struct {
+	mu        sync.Mutex
+	path      string
+	f         *os.File
+	replayed  bool
+	next      uint64 // next seq to assign (1-based)
+	lastState JobState
+	subs      map[*Subscriber]struct{}
+}
+
+// EventLog is the durable per-job event journal plus its bounded fan-out
+// hub. The invariant ordering every emission follows is
+//
+//	journal append → fsync → publish to subscribers
+//
+// so an event is durable before it is observable: anything a client ever
+// saw is replayable after kill -9, which is what makes Last-Event-ID
+// resume gap-free. Publishing never blocks — a subscriber whose buffer is
+// full is evicted on the spot — so the scheduler's progress is never
+// hostage to a stalled network peer.
+type EventLog struct {
+	dir     string
+	bufSize int
+
+	mu      sync.Mutex
+	streams map[string]*jobStream
+
+	written     atomic.Int64
+	replayed    atomic.Int64
+	errors      atomic.Int64
+	subscribers atomic.Int64
+	evictions   atomic.Int64
+	resumeHits  atomic.Int64
+	fullReplays atomic.Int64
+}
+
+// NewEventLog opens an event log rooted at dir (one journal file per job).
+// bufSize bounds each subscriber's delivery buffer (default 64).
+func NewEventLog(dir string, bufSize int) *EventLog {
+	if bufSize <= 0 {
+		bufSize = 64
+	}
+	return &EventLog{dir: dir, bufSize: bufSize, streams: map[string]*jobStream{}}
+}
+
+// Stats snapshots the counters.
+func (l *EventLog) Stats() EventLogStats {
+	return EventLogStats{
+		Written:       l.written.Load(),
+		Replayed:      l.replayed.Load(),
+		Errors:        l.errors.Load(),
+		Subscribers:   l.subscribers.Load(),
+		SlowEvictions: l.evictions.Load(),
+		ResumeHits:    l.resumeHits.Load(),
+		FullReplays:   l.fullReplays.Load(),
+	}
+}
+
+// stream returns (creating if needed) the in-memory handle for one job.
+func (l *EventLog) stream(job string) *jobStream {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.streams[job]
+	if !ok {
+		st = &jobStream{
+			path: filepath.Join(l.dir, job+".jsonl"),
+			subs: map[*Subscriber]struct{}{},
+		}
+		l.streams[job] = st
+	}
+	return st
+}
+
+// scanJournal reads every valid event from a journal file, stopping at the
+// first damaged or unterminated line: the valid prefix is the journal,
+// exactly as the artifact layer treats torn containers. It also returns the
+// byte length of that valid prefix so replay can truncate damage away. A
+// missing file is an empty journal. An unterminated tail is never part of
+// the stream: Emit publishes only after the full record (newline included,
+// one Write call) is appended and fsynced, so an unterminated record was
+// never observable.
+func scanJournal(path string) ([]Event, int64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0
+	}
+	var out []Event
+	var valid int64
+	off := 0
+	for off < len(data) {
+		end := bytes.IndexByte(data[off:], '\n')
+		if end < 0 {
+			break
+		}
+		line := data[off : off+end]
+		off += end + 1
+		if len(bytes.TrimSpace(line)) > 0 {
+			ev, derr := decodeEvent(line)
+			if derr != nil {
+				return out, valid
+			}
+			out = append(out, ev)
+		}
+		valid = int64(off)
+	}
+	return out, valid
+}
+
+// replayLocked recovers the stream's sequence counter (and last journaled
+// state) from disk on first touch after a restart, truncating any damaged
+// tail so subsequent appends extend the valid prefix instead of splicing
+// onto garbage. The truncated bytes were never observable (publication
+// strictly follows a successful append), so their seqs are safely reused.
+// Caller holds st.mu.
+func (st *jobStream) replayLocked(l *EventLog) {
+	if st.replayed {
+		return
+	}
+	evs, valid := scanJournal(st.path)
+	if fi, err := os.Stat(st.path); err == nil && fi.Size() > valid {
+		_ = os.Truncate(st.path, valid)
+	}
+	st.next = 1
+	for i := range evs {
+		ev := &evs[i]
+		if ev.Seq >= st.next {
+			st.next = ev.Seq + 1
+		}
+		if ev.Type == EventState {
+			st.lastState = ev.State
+		}
+	}
+	l.replayed.Add(int64(len(evs)))
+	st.replayed = true
+}
+
+// Emit journals one event for job — assigning its sequence number, framing
+// it with a CRC, appending, and fsyncing — and only then fans it out to
+// subscribers. Fan-out never blocks: a subscriber with no buffer space is
+// evicted immediately. An append error degrades the stream (counted in
+// Stats().Errors), never the job.
+func (l *EventLog) Emit(job string, ev Event) error {
+	st := l.stream(job)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.replayLocked(l)
+
+	ev.Job = job
+	ev.Seq = st.next
+	data, err := encodeEvent(&ev)
+	if err != nil {
+		l.errors.Add(1)
+		return fmt.Errorf("dsed: encode event: %w", err)
+	}
+	if st.f == nil {
+		f, oerr := os.OpenFile(st.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if oerr != nil {
+			l.errors.Add(1)
+			return fmt.Errorf("dsed: open event journal: %w", oerr)
+		}
+		st.f = f
+	}
+	if _, err := st.f.Write(data); err != nil {
+		l.errors.Add(1)
+		return fmt.Errorf("dsed: append event journal: %w", err)
+	}
+	if err := st.f.Sync(); err != nil {
+		l.errors.Add(1)
+		return fmt.Errorf("dsed: sync event journal: %w", err)
+	}
+	st.next++
+	if ev.Type == EventState {
+		st.lastState = ev.State
+	}
+	l.written.Add(1)
+
+	// Durable → observable. Never block on a subscriber: a full buffer
+	// means the consumer has fallen a whole window behind, and the journal
+	// it can resume from is already complete.
+	for sub := range st.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			delete(st.subs, sub)
+			close(sub.evicted)
+			l.evictions.Add(1)
+			l.subscribers.Add(-1)
+		}
+	}
+
+	if ev.Terminal() {
+		st.f.Close()
+		st.f = nil
+	}
+	return nil
+}
+
+// EnsureState appends a state event only if the journal's last state
+// transition differs from ev.State. Recovery uses it to reconcile the
+// journal with the authoritative job record: a crash between the record
+// write and the journal append leaves the journal one transition behind,
+// and this closes the gap idempotently.
+func (l *EventLog) EnsureState(job string, ev Event) error {
+	st := l.stream(job)
+	st.mu.Lock()
+	st.replayLocked(l)
+	last := st.lastState
+	st.mu.Unlock()
+	if last == ev.State {
+		return nil
+	}
+	ev.Type = EventState
+	return l.Emit(job, ev)
+}
+
+// Subscribe attaches a consumer to job's stream, resuming after seq
+// `after` (0 replays from the beginning). It returns the subscriber plus
+// the journal backlog — every durable event with after < Seq ≤ the stream's
+// position at attach time. The caller delivers the backlog first, then
+// drains Events(), skipping anything at or below its last delivered seq:
+// the two sources overlap but can never gap, because every event is on disk
+// before it is published.
+func (l *EventLog) Subscribe(job string, after uint64) (*Subscriber, []Event, error) {
+	st := l.stream(job)
+	st.mu.Lock()
+	st.replayLocked(l)
+	sub := &Subscriber{
+		job:     job,
+		ch:      make(chan Event, l.bufSize),
+		evicted: make(chan struct{}),
+	}
+	st.subs[sub] = struct{}{}
+	cur := st.next - 1
+	st.mu.Unlock()
+	l.subscribers.Add(1)
+	if after > 0 {
+		l.resumeHits.Add(1)
+	} else {
+		l.fullReplays.Add(1)
+	}
+
+	var backlog []Event
+	if after < cur {
+		evs, _ := scanJournal(st.path)
+		for _, ev := range evs {
+			if ev.Seq > after && ev.Seq <= cur {
+				backlog = append(backlog, ev)
+			}
+		}
+		l.replayed.Add(int64(len(backlog)))
+	}
+	return sub, backlog, nil
+}
+
+// Unsubscribe detaches a subscriber (idempotent; eviction already detaches).
+func (l *EventLog) Unsubscribe(sub *Subscriber) {
+	if sub == nil {
+		return
+	}
+	st := l.stream(sub.job)
+	st.mu.Lock()
+	_, attached := st.subs[sub]
+	delete(st.subs, sub)
+	st.mu.Unlock()
+	if attached {
+		l.subscribers.Add(-1)
+	}
+}
+
+// Close releases every open journal handle (the daemon's drain path).
+func (l *EventLog) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, st := range l.streams {
+		st.mu.Lock()
+		if st.f != nil {
+			st.f.Close()
+			st.f = nil
+		}
+		st.mu.Unlock()
+	}
+}

@@ -24,6 +24,12 @@
 //   - SIGTERM drains gracefully: intake stops, in-flight jobs checkpoint,
 //     the process exits 0; a second signal force-exits with
 //     artifact.ExitForced.
+//   - Every observable job transition — state changes, sweep progress,
+//     per-point failures, the result seal — is journaled durably (CRC-framed
+//     append-only, fsynced before publication) and streamed over SSE with
+//     Last-Event-ID resume, so a client's view of a job survives both
+//     daemon crashes and its own disconnects with no gaps and no
+//     duplicates; slow consumers are evicted, never waited on.
 package dsed
 
 import (

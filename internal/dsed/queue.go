@@ -39,6 +39,7 @@ const (
 	jobsDir    = "jobs"
 	ckptDir    = "ckpt"
 	resultsDir = "results"
+	eventsDir  = "events"
 )
 
 // RecoveryReport accounts for what a queue recovery found, so an operator
@@ -76,6 +77,10 @@ type QueueOptions struct {
 	MaxQueued int
 	// TenantCap bounds one tenant's queued+running jobs (default 8).
 	TenantCap int
+	// EventBuffer bounds each event subscriber's delivery buffer; a consumer
+	// that falls a full buffer behind is evicted rather than ever blocking
+	// the queue or scheduler (default 64).
+	EventBuffer int
 }
 
 func (o *QueueOptions) fill() {
@@ -95,6 +100,12 @@ type Queue struct {
 	dir  string
 	opts QueueOptions
 
+	// events journals every observable transition before it becomes
+	// observable (see EventLog). Emissions under q.mu keep journal order
+	// identical to state-transition order; EventLog never calls back into
+	// the queue, so the lock order is safe.
+	events *EventLog
+
 	mu       sync.Mutex
 	jobs     map[string]*JobRecord
 	pending  []string // FIFO of queued job IDs
@@ -110,7 +121,7 @@ type Queue struct {
 // complete result exists) or re-enqueued to resume from their checkpoint.
 func OpenQueue(dir string, opts QueueOptions) (*Queue, error) {
 	opts.fill()
-	for _, sub := range []string{jobsDir, ckptDir, resultsDir} {
+	for _, sub := range []string{jobsDir, ckptDir, resultsDir, eventsDir} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("dsed: spool: %w", err)
 		}
@@ -118,6 +129,7 @@ func OpenQueue(dir string, opts QueueOptions) (*Queue, error) {
 	q := &Queue{
 		dir:    dir,
 		opts:   opts,
+		events: NewEventLog(filepath.Join(dir, eventsDir), opts.EventBuffer),
 		jobs:   map[string]*JobRecord{},
 		notify: make(chan struct{}),
 	}
@@ -126,6 +138,13 @@ func OpenQueue(dir string, opts QueueOptions) (*Queue, error) {
 	}
 	return q, nil
 }
+
+// Events returns the queue's durable event log.
+func (q *Queue) Events() *EventLog { return q.events }
+
+// Close releases the event log's journal handles. The queue itself holds no
+// other open files.
+func (q *Queue) Close() { q.events.Close() }
 
 // Dir returns the spool root.
 func (q *Queue) Dir() string { return q.dir }
@@ -200,9 +219,27 @@ func (q *Queue) recover() error {
 	for _, rec := range requeue {
 		q.pending = append(q.pending, rec.Spec.ID)
 	}
+	// Reconcile each job's event journal with its authoritative record: a
+	// crash can land between a record write and the matching journal append,
+	// leaving the journal one transition behind. EnsureState appends the
+	// missing transition idempotently, so a resumed stream always converges
+	// on the recovered state.
+	for _, rec := range q.jobs {
+		_ = q.events.EnsureState(rec.Spec.ID, Event{
+			State:       rec.State,
+			Attempt:     rec.Attempt,
+			Error:       rec.Error,
+			Survivors:   rec.Survivors,
+			Quarantined: rec.Quarantined,
+		})
+	}
 	q.recovery = rep
 	return nil
 }
+
+// emit journals one event, tolerating journal failures: a broken event
+// stream degrades observability, never the job.
+func (q *Queue) emit(id string, ev Event) { _ = q.events.Emit(id, ev) }
 
 // resultComplete reports whether a structurally-valid result file exists
 // for the job.
@@ -309,6 +346,7 @@ func (q *Queue) Submit(spec JobSpec) (rec JobRecord, existing bool, err error) {
 	q.pending = append(q.pending, spec.ID)
 	close(q.notify)
 	q.notify = make(chan struct{})
+	q.emit(spec.ID, Event{Type: EventState, State: StateQueued})
 	return *newRec, false, nil
 }
 
@@ -339,6 +377,7 @@ func (q *Queue) Next(ctx context.Context) (JobRecord, error) {
 			// the checkpoint, costing duplicate scheduling, never
 			// duplicate completed points.
 			_ = writeJobRecord(q.jobPath(id), rec)
+			q.emit(id, Event{Type: EventState, State: StateRunning, Attempt: rec.Attempt})
 			out := *rec
 			q.mu.Unlock()
 			return out, nil
@@ -357,10 +396,19 @@ func (q *Queue) Next(ctx context.Context) (JobRecord, error) {
 // checkpoint is the durable fine-grained progress).
 func (q *Queue) Progress(id string, done, total int) {
 	q.mu.Lock()
-	if rec, ok := q.jobs[id]; ok && rec.State == StateRunning {
+	rec, ok := q.jobs[id]
+	running := ok && rec.State == StateRunning
+	if running {
 		rec.Done, rec.Total = done, total
 	}
 	q.mu.Unlock()
+	// Emitted outside q.mu: progress is the hot path, and its journal fsync
+	// must not serialize queue operations. Ordering versus the terminal
+	// transition is safe because Finalize runs strictly after the sweep —
+	// and therefore after every Progress call — completes.
+	if running {
+		q.emit(id, Event{Type: EventProgress, Done: done, Total: total})
+	}
 }
 
 // Finalize moves a job to a terminal state and persists it. For StateDone
@@ -383,6 +431,20 @@ func (q *Queue) Finalize(id string, state JobState, errMsg string, survivors, qu
 	if err := writeJobRecord(q.jobPath(id), rec); err != nil {
 		return fmt.Errorf("dsed: persist finalize %s: %w", id, err)
 	}
+	// Seal precedes the terminal state event, mirroring the result-file
+	// ordering on disk: by the time a client sees "done", the sealed report
+	// the query endpoints serve from is already committed.
+	if state == StateDone {
+		q.emit(id, Event{Type: EventSeal, Survivors: survivors, Quarantined: quarantined})
+	}
+	q.emit(id, Event{
+		Type:        EventState,
+		State:       state,
+		Attempt:     rec.Attempt,
+		Error:       errMsg,
+		Survivors:   survivors,
+		Quarantined: quarantined,
+	})
 	return nil
 }
 
@@ -406,6 +468,7 @@ func (q *Queue) Requeue(id string) error {
 	q.pending = append(q.pending, id)
 	close(q.notify)
 	q.notify = make(chan struct{})
+	q.emit(id, Event{Type: EventState, State: StateQueued, Attempt: rec.Attempt})
 	return nil
 }
 
@@ -434,6 +497,7 @@ func (q *Queue) CancelQueued(id string) (wasRunning bool, err error) {
 		if werr := writeJobRecord(q.jobPath(id), rec); werr != nil {
 			return false, fmt.Errorf("dsed: persist cancel %s: %w", id, werr)
 		}
+		q.emit(id, Event{Type: EventState, State: StateCancelled, Attempt: rec.Attempt})
 		return false, nil
 	default:
 		return false, fmt.Errorf("%w: %s is %s", ErrNotCancellable, id, rec.State)

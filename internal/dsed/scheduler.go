@@ -207,6 +207,25 @@ func (s *Scheduler) executeJob(ctx context.Context, rec *JobRecord) (state JobSt
 		OnCheckpointSalvage: func(rep *dse.CheckpointReport) {
 			s.opts.Logf("dsed: job %s resume salvage: %s", id, rep)
 		},
+		// Stream each design point's terminal failure as it lands. Records
+		// adopted from the resume checkpoint are skipped: their failures
+		// were journaled by the attempt that ran them, and the event journal
+		// survives the same crashes the checkpoint does.
+		OnRecord: func(r dse.RunRecord) {
+			if !r.Failed || r.FromCheckpoint {
+				return
+			}
+			ev := Event{
+				Type:     EventFailure,
+				Point:    r.Point.ID(),
+				Class:    r.FaultClass.String(),
+				Attempts: r.Attempts,
+			}
+			if r.Err != nil {
+				ev.Error = r.Err.Error()
+			}
+			s.q.emit(id, ev)
+		},
 	}
 	if rec.Spec.FailureRate > 0 {
 		so.Faults = dse.PaperFaults(rec.Spec.FailureRate, rec.Spec.FailureSeed)

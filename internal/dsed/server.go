@@ -24,12 +24,18 @@ type Server struct {
 	cache *TraceCache
 	gov   *guard.Governor
 	start time.Time
+	// heartbeat is the SSE comment-heartbeat interval (default 10s); tests
+	// shorten it.
+	heartbeat time.Duration
 }
 
 // NewServer wires the HTTP layer (gov may be nil).
 func NewServer(q *Queue, sched *Scheduler, cache *TraceCache, gov *guard.Governor) *Server {
 	return &Server{q: q, sched: sched, cache: cache, gov: gov, start: time.Now()}
 }
+
+// SetHeartbeat overrides the SSE heartbeat interval (<=0 keeps the default).
+func (s *Server) SetHeartbeat(d time.Duration) { s.heartbeat = d }
 
 // Handler builds the route table.
 func (s *Server) Handler() http.Handler {
@@ -39,6 +45,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/pareto", s.handlePareto)
+	mux.HandleFunc("GET /v1/jobs/{id}/recommend", s.handleRecommend)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	return mux
@@ -176,7 +185,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statusOf(rec))
 }
 
-// handleCancel cancels one job.
+// handleCancel cancels one job. A queued job cancels synchronously (200,
+// terminal record); a running job's cancel propagates through the sweep
+// context and lands at point granularity, so the response is 202 with the
+// still-running record — the terminal `cancelled` event on the job's
+// stream is the completion signal. Terminal jobs keep the 409 contract.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.sched.Cancel(id); err != nil {
@@ -195,7 +208,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, statusOf(rec))
+	status := http.StatusOK
+	if !rec.State.Terminal() {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, statusOf(rec))
 }
 
 // handleResult serves the sealed result document of a done job.
@@ -227,13 +244,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // Statusz is the daemon's observability snapshot.
 type Statusz struct {
-	UptimeSec  int64      `json:"uptime_sec"`
-	Queued     int        `json:"queued"`
-	Running    int        `json:"running"`
-	Cache      CacheStats `json:"cache"`
-	Pressure   int        `json:"pressure"`
-	PeakHeap   uint64     `json:"peak_heap_bytes"`
-	Downshifts int        `json:"downshifts"`
+	UptimeSec  int64         `json:"uptime_sec"`
+	Queued     int           `json:"queued"`
+	Running    int           `json:"running"`
+	Cache      CacheStats    `json:"cache"`
+	Events     EventLogStats `json:"events"`
+	Pressure   int           `json:"pressure"`
+	PeakHeap   uint64        `json:"peak_heap_bytes"`
+	Downshifts int           `json:"downshifts"`
 }
 
 // handleStatusz reports queue depth, cache health, and governor pressure.
@@ -244,6 +262,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Queued:    queued,
 		Running:   running,
 		Cache:     s.cache.Stats(),
+		Events:    s.q.Events().Stats(),
 	}
 	if s.gov != nil {
 		st.Pressure = s.gov.Pressure()

@@ -1,0 +1,288 @@
+// Package dsedclient is the resilient streaming client for the DSE daemon's
+// job-event API. Its one job is to turn the daemon's at-least-once,
+// resumable SSE stream into an exactly-once, gap-free event sequence at the
+// caller — across network failures, daemon restarts, and slow-consumer
+// evictions — or fail loudly when the daemon stays unreachable.
+//
+// The client is a small state machine:
+//
+//	connect → stream → (terminal event? done)
+//	   ↑         |
+//	   |     disconnect/evict/stall
+//	   |         ↓
+//	   └── backoff (jittered exponential, circuit breaker) ──→ reconnect
+//	                                         with Last-Event-ID = last seq
+//
+// Every reconnect resumes from the last sequence number actually delivered,
+// and anything the server replays at or below that position is filtered, so
+// the caller's OnEvent sees each journaled event exactly once, in order.
+package dsedclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphdse/internal/dse"
+)
+
+// Event mirrors the daemon's wire event (internal/dsed.Event) with the
+// state as a plain string, so the client package depends only on the JSON
+// contract, not the daemon implementation.
+type Event struct {
+	Seq         uint64 `json:"seq"`
+	Job         string `json:"job"`
+	Type        string `json:"type"`
+	State       string `json:"state,omitempty"`
+	Attempt     int    `json:"attempt,omitempty"`
+	Done        int    `json:"done,omitempty"`
+	Total       int    `json:"total,omitempty"`
+	Survivors   int    `json:"survivors,omitempty"`
+	Quarantined int    `json:"quarantined,omitempty"`
+	Error       string `json:"error,omitempty"`
+	Point       string `json:"point,omitempty"`
+	Class       string `json:"class,omitempty"`
+	Attempts    int    `json:"attempts,omitempty"`
+}
+
+// terminalStates are the job states that end a stream (mirrors
+// dsed.JobState.Terminal).
+var terminalStates = map[string]bool{
+	"done": true, "failed": true, "cancelled": true, "quarantined": true,
+}
+
+// Terminal reports whether the event ends its job's stream.
+func (e *Event) Terminal() bool { return e.Type == "state" && terminalStates[e.State] }
+
+// Client failure sentinels.
+var (
+	// ErrCircuitOpen reports too many consecutive connection failures with
+	// no delivered progress: the daemon is treated as down and the caller
+	// decides, instead of the client retrying forever.
+	ErrCircuitOpen = errors.New("dsedclient: circuit open: daemon unreachable")
+	// ErrNotFound reports a job ID the daemon does not know. The spool is
+	// durable across restarts, so an unknown job is a caller error, not a
+	// transient condition, and is never retried.
+	ErrNotFound = errors.New("dsedclient: unknown job")
+)
+
+// Options tunes the client's resilience envelope. Zero values get
+// conservative defaults.
+type Options struct {
+	// HTTPClient performs the requests (default http.DefaultClient). The
+	// client relies on per-request contexts, not client-level timeouts — a
+	// blanket timeout would kill healthy long-lived streams.
+	HTTPClient *http.Client
+	// BackoffBase seeds the reconnect backoff (default 100ms), doubled per
+	// consecutive failure with deterministic jitter — the same policy the
+	// sweep engine uses for point retries (dse.BackoffJitter).
+	BackoffBase time.Duration
+	// BackoffMax caps one backoff delay (default 5s).
+	BackoffMax time.Duration
+	// MaxConsecutiveFailures opens the circuit breaker: that many
+	// connect-or-stream failures in a row without a single delivered event
+	// returns ErrCircuitOpen (default 8). Any delivered event resets the
+	// count.
+	MaxConsecutiveFailures int
+	// StallTimeout bounds silence on an open stream (default 30s). The
+	// daemon heartbeats every few seconds, so a stream with no bytes for
+	// this long is a dead peer and the client reconnects. It must be
+	// comfortably larger than the daemon's heartbeat interval.
+	StallTimeout time.Duration
+}
+
+func (o *Options) fill() {
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.MaxConsecutiveFailures <= 0 {
+		o.MaxConsecutiveFailures = 8
+	}
+	if o.StallTimeout <= 0 {
+		o.StallTimeout = 30 * time.Second
+	}
+}
+
+// Client follows job-event streams from one daemon.
+type Client struct {
+	base string
+	opts Options
+}
+
+// New builds a client for the daemon at baseURL (e.g. "http://127.0.0.1:8080").
+func New(baseURL string, opts Options) *Client {
+	opts.fill()
+	return &Client{base: strings.TrimSuffix(baseURL, "/"), opts: opts}
+}
+
+// FollowOptions parameterizes one Follow call.
+type FollowOptions struct {
+	// After resumes delivery after this sequence number (0 = from the
+	// beginning).
+	After uint64
+	// OnEvent receives each event exactly once, in sequence order.
+	// Server-side lag notices (Type "lag", Seq 0) are also delivered so
+	// callers can see evictions; they do not advance the resume position.
+	OnEvent func(Event)
+	// OnRetry, when set, observes each reconnect decision: the consecutive
+	// failure count, the triggering error, and the backoff delay chosen.
+	OnRetry func(failures int, err error, delay time.Duration)
+}
+
+// Follow streams a job's events until its terminal state event arrives and
+// returns that event. It reconnects through transient failures with
+// jittered exponential backoff, resuming via Last-Event-ID so the delivered
+// sequence stays gap-free and duplicate-free; it returns early with
+// ErrNotFound for unknown jobs, ErrCircuitOpen when the daemon stays down,
+// or ctx.Err() when the caller gives up.
+func (c *Client) Follow(ctx context.Context, id string, fo FollowOptions) (Event, error) {
+	last := fo.After
+	failures := 0
+	for {
+		term, delivered, err := c.streamOnce(ctx, id, &last, fo.OnEvent)
+		if term != nil {
+			return *term, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return Event{}, cerr
+		}
+		if errors.Is(err, ErrNotFound) {
+			return Event{}, err
+		}
+		// Delivered progress proves the daemon was alive this attempt:
+		// reset the breaker so a long job with occasional blips never
+		// trips it.
+		if delivered {
+			failures = 0
+		}
+		failures++
+		if failures >= c.opts.MaxConsecutiveFailures {
+			return Event{}, fmt.Errorf("%w (%d attempts, last error: %v)", ErrCircuitOpen, failures, err)
+		}
+		delay := dse.BackoffJitter(c.opts.BackoffBase, failures, id, c.opts.BackoffMax)
+		if fo.OnRetry != nil {
+			fo.OnRetry(failures, err, delay)
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return Event{}, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// streamOnce opens one SSE connection and consumes it until the stream
+// ends. It returns the terminal event if one arrived, whether any event was
+// delivered on this connection, and the error that ended the stream.
+// *last advances as events are delivered, so the next connection resumes
+// precisely.
+func (c *Client) streamOnce(ctx context.Context, id string, last *uint64, onEvent func(Event)) (term *Event, delivered bool, err error) {
+	reqCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	url := fmt.Sprintf("%s/v1/jobs/%s/events", c.base, id)
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *last > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*last, 10))
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, false, fmt.Errorf("%w: %s", ErrNotFound, id)
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, false, fmt.Errorf("dsedclient: events %s: status %d", id, resp.StatusCode)
+	}
+
+	// Stall watchdog: any traffic — events or heartbeat comments — rearms
+	// it; a silent peer is cut off and the reconnect loop takes over.
+	stall := time.AfterFunc(c.opts.StallTimeout, cancel)
+	defer stall.Stop()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data []byte
+	lagged := false
+	for sc.Scan() {
+		stall.Reset(c.opts.StallTimeout)
+		line := sc.Bytes()
+		switch {
+		case len(bytes.TrimSpace(line)) == 0:
+			// Frame boundary: dispatch.
+			if len(data) == 0 {
+				continue
+			}
+			var ev Event
+			uerr := json.Unmarshal(data, &ev)
+			data = nil
+			if uerr != nil {
+				return nil, delivered, fmt.Errorf("dsedclient: bad event payload: %w", uerr)
+			}
+			if ev.Type == "lag" {
+				// Evicted for lagging: surface it, then reconnect and
+				// resume from the journal.
+				if onEvent != nil {
+					onEvent(ev)
+				}
+				lagged = true
+				cancel()
+				continue
+			}
+			if ev.Seq <= *last {
+				continue // replay overlap: already delivered
+			}
+			*last = ev.Seq
+			delivered = true
+			if onEvent != nil {
+				onEvent(ev)
+			}
+			if ev.Terminal() {
+				e := ev
+				return &e, delivered, nil
+			}
+		case line[0] == ':':
+			// Heartbeat comment: liveness only.
+		case bytes.HasPrefix(line, []byte("data:")):
+			payload := bytes.TrimPrefix(line, []byte("data:"))
+			payload = bytes.TrimPrefix(payload, []byte(" "))
+			if len(data) > 0 {
+				data = append(data, '\n')
+			}
+			data = append(data, payload...)
+		default:
+			// id:/event: fields are advisory here — Seq and Type ride in
+			// the JSON payload, which is the authoritative copy.
+		}
+	}
+	if lagged {
+		return nil, delivered, fmt.Errorf("dsedclient: evicted as slow consumer; resuming after seq %d", *last)
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, delivered, fmt.Errorf("dsedclient: stream: %w", serr)
+	}
+	return nil, delivered, errors.New("dsedclient: stream ended without terminal event")
+}

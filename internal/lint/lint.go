@@ -76,6 +76,7 @@ var All = []*Analyzer{
 	AllocBound,
 	LeakyGoroutine,
 	HTTPCtx,
+	SSEContract,
 }
 
 // Run executes every analyzer over every package and returns the surviving

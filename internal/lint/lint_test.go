@@ -131,6 +131,7 @@ func TestCorpus(t *testing.T) {
 		{"allocbound", "corpus/allocbound", lint.AllocBound},
 		{"leakygoroutine", "corpus/leakygoroutine", lint.LeakyGoroutine},
 		{"httpctx", "corpus/httpctx", lint.HTTPCtx},
+		{"ssecontract", "corpus/ssecontract", lint.SSEContract},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) { runCorpus(t, c.dir, c.path, c.analyzer) })

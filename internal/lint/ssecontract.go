@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SSEContract enforces the streaming-handler contract from the durable
+// job-event work. A streaming handler — a function that receives an
+// *http.Request and declares the "text/event-stream" content type — holds a
+// connection open indefinitely, which makes three disciplines mandatory:
+//
+//   - Flush after writing. SSE frames sit in the ResponseWriter's buffer
+//     until flushed; a handler that never calls Flush/FlushError streams
+//     nothing until the connection closes, defeating the format.
+//   - Select on r.Context().Done(). A long-lived handler that does not
+//     watch the request context outlives every disconnect and drain,
+//     pinning its subscriber slot and goroutine forever.
+//   - Send periodic heartbeats. Without a ticker-driven keepalive, neither
+//     side of an idle stream can tell a quiet peer from a dead one, and
+//     intermediaries silently reap the connection.
+//
+// The three checks are structural, not data-flow: any Flush call, any
+// select receiving from a .Done() channel, and any time.NewTicker/Tick/
+// After in the handler body (closures included) satisfy them.
+var SSEContract = &Analyzer{
+	Name: "ssecontract",
+	Doc:  "SSE handlers flush after writes, select on r.Context().Done(), and send heartbeats",
+	Run:  runSSEContract,
+}
+
+func runSSEContract(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !fieldListTakesRequest(pass, fd.Type.Params) {
+				continue
+			}
+			if !declaresEventStream(fd.Body) {
+				continue
+			}
+			checkSSEBody(pass, fd.Name.Pos(), fd.Body)
+		}
+	}
+}
+
+// declaresEventStream reports whether the body contains the SSE content
+// type as a string literal — the marker of a streaming handler.
+func declaresEventStream(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if strings.Contains(lit.Value, "text/event-stream") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkSSEBody reports every missing leg of the streaming contract at pos.
+func checkSSEBody(pass *Pass, pos token.Pos, body *ast.BlockStmt) {
+	var flushes, selectsDone, heartbeats bool
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Flush", "FlushError":
+					flushes = true
+				}
+			}
+			if isPkgFunc(pass, n, "time", "NewTicker", "Tick", "After") {
+				heartbeats = true
+			}
+		case *ast.SelectStmt:
+			for _, clause := range n.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if commReceivesDone(cc.Comm) {
+					selectsDone = true
+				}
+			}
+		}
+		return true
+	})
+	if !flushes {
+		pass.Reportf(pos,
+			"streaming handler must flush after each write: SSE frames sit in the response buffer until Flush/FlushError")
+	}
+	if !selectsDone {
+		pass.Reportf(pos,
+			"streaming handler must select on r.Context().Done(): without it the stream outlives disconnects and server drain")
+	}
+	if !heartbeats {
+		pass.Reportf(pos,
+			"streaming handler must send periodic heartbeats (time.NewTicker/Tick/After): an idle stream is indistinguishable from a dead peer")
+	}
+}
+
+// commReceivesDone reports whether a select comm clause receives from a
+// channel produced by a .Done() call — the shape of both r.Context().Done()
+// and a derived context's Done().
+func commReceivesDone(comm ast.Stmt) bool {
+	var rhs ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		rhs = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+	}
+	un, ok := ast.Unparen(rhs).(*ast.UnaryExpr)
+	if !ok || un.Op != token.ARROW {
+		return false
+	}
+	call, ok := ast.Unparen(un.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done"
+}

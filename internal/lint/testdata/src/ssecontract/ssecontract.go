@@ -1,0 +1,95 @@
+// Package ssecontract is the graphlint corpus for the ssecontract
+// analyzer: SSE handlers flush after writes, select on r.Context().Done(),
+// and send heartbeats.
+package ssecontract
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// badBuffered streams nothing until the connection dies, never notices a
+// disconnect, and never pings an idle peer: all three legs missing.
+func badBuffered(w http.ResponseWriter, r *http.Request) { // want `must flush after each write` `must select on r.Context\(\).Done\(\)` `must send periodic heartbeats`
+	w.Header().Set("Content-Type", "text/event-stream")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(w, "data: %d\n\n", i)
+	}
+}
+
+// badNoCancel flushes and ticks but ignores the request context: the
+// handler outlives every disconnect and pins its goroutine through drain.
+func badNoCancel(w http.ResponseWriter, r *http.Request) { // want `must select on r.Context\(\).Done\(\)`
+	w.Header().Set("Content-Type", "text/event-stream")
+	fl := w.(http.Flusher)
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for range ticker.C {
+		fmt.Fprint(w, ": hb\n\n")
+		fl.Flush()
+	}
+}
+
+// badNoHeartbeat watches the context and flushes, but an idle stream sends
+// nothing — neither side can tell a quiet peer from a dead one.
+func badNoHeartbeat(w http.ResponseWriter, r *http.Request, events <-chan string) { // want `must send periodic heartbeats`
+	w.Header().Set("Content-Type", "text/event-stream")
+	fl := w.(http.Flusher)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-events:
+			fmt.Fprintf(w, "data: %s\n\n", ev)
+			fl.Flush()
+		}
+	}
+}
+
+// okHandler satisfies all three legs; the flush living in a closure counts.
+func okHandler(w http.ResponseWriter, r *http.Request, events <-chan string) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	fl := w.(http.Flusher)
+	send := func(ev string) {
+		fmt.Fprintf(w, "data: %s\n\n", ev)
+		fl.Flush()
+	}
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-events:
+			send(ev)
+		case <-ticker.C:
+			fmt.Fprint(w, ": hb\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+// okClientShaped sets the SSE content type on an outbound request it builds
+// itself — no *http.Request parameter, so it is not a handler and the
+// contract does not apply.
+func okClientShaped() *http.Request {
+	req, _ := http.NewRequest(http.MethodGet, "http://localhost/v1/jobs/j/events", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	return req
+}
+
+// okPlainHandler never mentions the SSE content type: ordinary
+// request/response handlers are out of scope.
+func okPlainHandler(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprint(w, "ok")
+}
+
+// suppressedHandler documents why it opts out (a one-shot dump endpoint
+// that closes immediately, streaming in name only).
+//
+//lint:ignore ssecontract corpus: one-shot snapshot endpoint, closes after a single write
+func suppressedHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	fmt.Fprint(w, "data: snapshot\n\n")
+}
