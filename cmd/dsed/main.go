@@ -59,6 +59,21 @@ func main() {
 		eventBuffer  = flag.Int("event-buffer", 64, "per-subscriber event buffer: a stream consumer this far behind is evicted (resume with Last-Event-ID)")
 		sseHeartbeat = flag.Duration("sse-heartbeat", 10*time.Second, "comment-heartbeat interval on /v1/jobs/{id}/events streams")
 		quiet        = flag.Bool("quiet", false, "suppress operational logging")
+
+		spoolSoft       = flag.String("spool-soft", "", "spool soft watermark, e.g. 256MiB: above it submissions are shed with 507 (empty = off)")
+		spoolHard       = flag.String("spool-hard", "", "spool hard watermark: above it the daemon degrades to read-only until space frees (empty = off)")
+		diskProbe       = flag.Duration("disk-probe", 2*time.Second, "disk usage rescan / degraded-mode recovery-probe interval")
+		retainAge       = flag.Duration("retain-age", 0, "GC terminal jobs older than this (0 = keep forever)")
+		retainJobs      = flag.Int("retain-jobs", 0, "keep at most this many terminal jobs, oldest evicted first (0 = unlimited)")
+		retainBytes     = flag.String("retain-bytes", "", "cap terminal jobs' combined spool bytes, oldest evicted first (empty = unlimited)")
+		maxCorrupt      = flag.Int("max-corrupt", 16, "cap on quarantined .corrupt spool records; oldest evicted beyond it")
+		compactRecords  = flag.Int("compact-records", 4096, "compact a job's event journal once it exceeds this many records (-1 disables)")
+		janitorInterval = flag.Duration("janitor-interval", 30*time.Second, "spool janitor sweep interval")
+
+		// Deterministic storage-fault injection for chaos smokes. Not for
+		// production: the daemon will really refuse writes.
+		faultWriteBudget = flag.String("fault-write-budget", "", "TESTING: inject ENOSPC on spool writes after this many bytes, e.g. 64KiB (empty = off)")
+		faultClearFile   = flag.String("fault-clear-file", "", "TESTING: stop injecting faults once this file exists (polled on every spool write)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -79,6 +94,16 @@ func main() {
 			MaxQueued:   *maxQueued,
 			TenantCap:   *tenantCap,
 			EventBuffer: *eventBuffer,
+			MaxCorrupt:  *maxCorrupt,
+		},
+		Disk: dsed.DiskPolicy{
+			ProbeInterval: *diskProbe,
+		},
+		Retention: dsed.RetentionPolicy{
+			MaxAge:         *retainAge,
+			MaxJobs:        *retainJobs,
+			CompactRecords: *compactRecords,
+			Interval:       *janitorInterval,
 		},
 		SSEHeartbeat: *sseHeartbeat,
 		Scheduler: dsed.SchedulerOptions{
@@ -97,6 +122,39 @@ func main() {
 			os.Exit(artifact.ExitUsage)
 		}
 		opts.HeapSoftBytes = bytes
+	}
+	for _, sz := range []struct {
+		flagName string
+		raw      string
+		dst      *int64
+	}{
+		{"-spool-soft", *spoolSoft, &opts.Disk.SoftBytes},
+		{"-spool-hard", *spoolHard, &opts.Disk.HardBytes},
+		{"-retain-bytes", *retainBytes, &opts.Retention.MaxBytes},
+	} {
+		if sz.raw == "" {
+			continue
+		}
+		bytes, err := parseBytes(sz.raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsed: %s: %v\n", sz.flagName, err)
+			os.Exit(artifact.ExitUsage)
+		}
+		*sz.dst = int64(bytes)
+	}
+	if *faultWriteBudget != "" {
+		budget, err := parseBytes(*faultWriteBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsed: -fault-write-budget: %v\n", err)
+			os.Exit(artifact.ExitUsage)
+		}
+		ffs := artifact.NewFaultFS(artifact.OS)
+		ffs.SetWriteBudget(int64(budget))
+		if *faultClearFile != "" {
+			ffs.ClearOnFile(*faultClearFile)
+		}
+		opts.FS = ffs
+		logf("dsed: FAULT INJECTION armed: ENOSPC after %d spool bytes (clear file: %q)", budget, *faultClearFile)
 	}
 
 	d, err := dsed.New(opts)

@@ -13,12 +13,24 @@ import (
 // any instant — including kill -9 mid-write — leaves either the old complete
 // file or the new complete file, never a torn mixture. The directory is
 // fsynced after the rename so the new name itself survives a power cut.
+//
+// All durable I/O goes through the FS seam, so the same code path runs
+// against the real filesystem in production and a FaultFS in chaos tests.
+// The fsync-failure contract is absolute: a temp file whose fsync failed is
+// discarded, never renamed into place — after a failed fsync the kernel may
+// have dropped the dirty pages, and retrying fsync on the same descriptor
+// can report success without the data ever reaching the platter.
 
 // WriteFileAtomic writes the output of fn to path atomically. fn receives a
-// buffered temp-file writer; if fn or any durability step fails, the target
-// is left untouched and the temp file is removed.
+// temp-file writer; if fn or any durability step fails, the target is left
+// untouched and the temp file is removed.
 func WriteFileAtomic(path string, perm os.FileMode, fn func(io.Writer) error) error {
-	af, err := CreateAtomic(path)
+	return WriteFileAtomicFS(OS, path, perm, fn)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic against an explicit filesystem.
+func WriteFileAtomicFS(fsys FS, path string, perm os.FileMode, fn func(io.Writer) error) error {
+	af, err := CreateAtomicFS(fsys, path)
 	if err != nil {
 		return err
 	}
@@ -38,20 +50,26 @@ func WriteFileAtomic(path string, perm os.FileMode, fn func(io.Writer) error) er
 // content durably replace the target; Abort discards it. Exactly one of the
 // two must be called; Abort after Commit is a safe no-op.
 type AtomicFile struct {
-	f      *os.File
+	fs     FS
+	f      File
 	path   string
 	tmp    string
 	closed bool
 }
 
-// CreateAtomic starts an atomic write of path.
+// CreateAtomic starts an atomic write of path on the real filesystem.
 func CreateAtomic(path string) (*AtomicFile, error) {
+	return CreateAtomicFS(OS, path)
+}
+
+// CreateAtomicFS starts an atomic write of path on fsys.
+func CreateAtomicFS(fsys FS, path string) (*AtomicFile, error) {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	f, err := fsys.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("artifact: atomic write of %s: %w", path, err)
 	}
-	return &AtomicFile{f: f, path: path, tmp: f.Name()}, nil
+	return &AtomicFile{fs: fsys, f: f, path: path, tmp: f.Name()}, nil
 }
 
 // Write implements io.Writer on the temp file.
@@ -68,8 +86,9 @@ func (a *AtomicFile) Chmod(perm os.FileMode) error {
 }
 
 // Commit fsyncs the temp file, renames it over the target, and fsyncs the
-// directory. On any error the temp file is removed and the target is left
-// as it was.
+// directory. On any error — including a failed fsync, whose file must never
+// be trusted — the temp file is removed and the target is left exactly as
+// it was; the caller retries the whole write or surfaces the failure.
 func (a *AtomicFile) Commit() error {
 	if a.closed {
 		return fmt.Errorf("artifact: double commit of %s", a.path)
@@ -77,18 +96,18 @@ func (a *AtomicFile) Commit() error {
 	a.closed = true
 	if err := a.f.Sync(); err != nil {
 		a.f.Close()
-		os.Remove(a.tmp)
+		a.fs.Remove(a.tmp)
 		return fmt.Errorf("artifact: fsync %s: %w", a.tmp, err)
 	}
 	if err := a.f.Close(); err != nil {
-		os.Remove(a.tmp)
+		a.fs.Remove(a.tmp)
 		return fmt.Errorf("artifact: close %s: %w", a.tmp, err)
 	}
-	if err := os.Rename(a.tmp, a.path); err != nil {
-		os.Remove(a.tmp)
+	if err := a.fs.Rename(a.tmp, a.path); err != nil {
+		a.fs.Remove(a.tmp)
 		return fmt.Errorf("artifact: commit %s: %w", a.path, err)
 	}
-	syncDir(filepath.Dir(a.path))
+	_ = a.fs.SyncDir(filepath.Dir(a.path))
 	return nil
 }
 
@@ -99,17 +118,5 @@ func (a *AtomicFile) Abort() {
 	}
 	a.closed = true
 	a.f.Close()
-	os.Remove(a.tmp)
-}
-
-// syncDir fsyncs a directory so a completed rename survives power loss.
-// Best-effort: some filesystems (and platforms) reject directory fsync; the
-// rename itself is still atomic there.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	d.Sync()
-	d.Close()
+	a.fs.Remove(a.tmp)
 }

@@ -1,0 +1,267 @@
+package artifact
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// FaultFS wraps an FS with deterministic storage-fault injection: a byte
+// budget that runs out (ENOSPC), write and fsync errors (EIO), failed
+// renames, and torn writes that persist only a prefix before erroring. It
+// is how the chaos tests and the CI disk-pressure smoke prove that a full
+// or flaky disk degrades the daemon instead of corrupting it.
+//
+// All knobs are safe for concurrent use and can be re-armed between test
+// phases. Faults affect only mutations; reads always pass through, so a
+// "full disk" still serves existing artifacts exactly like the real thing.
+type FaultFS struct {
+	inner FS
+
+	mu sync.Mutex
+	// budget is the remaining write allowance in bytes; <0 means unlimited.
+	// A write that would exceed it persists nothing and returns ENOSPC —
+	// and every later write fails too, until the budget is re-armed.
+	budget int64
+	// writeErr fails Write calls after writeAfter more successful ones.
+	writeErr   error
+	writeAfter int
+	// syncErr fails File.Sync after syncAfter more successful ones.
+	syncErr   error
+	syncAfter int
+	// renameErr fails Rename after renameAfter more successful ones.
+	renameErr   error
+	renameAfter int
+	// tornNext makes the next write persist only half its bytes, then
+	// return EIO — a torn write the durability layer must never adopt.
+	tornNext bool
+	// clearFile, when set, disarms every fault as soon as the file exists
+	// (checked through the inner FS, so injected faults cannot hide it).
+	// It is the recovery trigger for process-level chaos drills: the
+	// harness touches the file and the "disk" heals.
+	clearFile string
+
+	injected int64 // faults actually delivered
+}
+
+// NewFaultFS wraps inner (nil means OS) with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{inner: inner, budget: -1}
+}
+
+// SetWriteBudget arms ENOSPC after n more written bytes (n<0 disarms).
+func (f *FaultFS) SetWriteBudget(n int64) {
+	f.mu.Lock()
+	f.budget = n
+	f.mu.Unlock()
+}
+
+// FailWrites arms err (EIO when nil) on every Write after the next `after`
+// successful ones.
+func (f *FaultFS) FailWrites(err error, after int) {
+	f.mu.Lock()
+	f.writeErr = orEIO(err)
+	f.writeAfter = after
+	f.mu.Unlock()
+}
+
+// FailSyncs arms err (EIO when nil) on every File.Sync after the next
+// `after` successful ones.
+func (f *FaultFS) FailSyncs(err error, after int) {
+	f.mu.Lock()
+	f.syncErr = orEIO(err)
+	f.syncAfter = after
+	f.mu.Unlock()
+}
+
+// FailRenames arms err (EIO when nil) on every Rename after the next
+// `after` successful ones.
+func (f *FaultFS) FailRenames(err error, after int) {
+	f.mu.Lock()
+	f.renameErr = orEIO(err)
+	f.renameAfter = after
+	f.mu.Unlock()
+}
+
+// TearNextWrite makes the next Write persist only a prefix, then fail.
+func (f *FaultFS) TearNextWrite() {
+	f.mu.Lock()
+	f.tornNext = true
+	f.mu.Unlock()
+}
+
+// ClearOnFile disarms all faults automatically once path exists.
+func (f *FaultFS) ClearOnFile(path string) {
+	f.mu.Lock()
+	f.clearFile = path
+	f.mu.Unlock()
+}
+
+// Clear disarms every fault.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	f.clearLocked()
+	f.mu.Unlock()
+}
+
+func (f *FaultFS) clearLocked() {
+	f.budget = -1
+	f.writeErr, f.writeAfter = nil, 0
+	f.syncErr, f.syncAfter = nil, 0
+	f.renameErr, f.renameAfter = nil, 0
+	f.tornNext = false
+}
+
+// Injected reports how many faults have actually been delivered.
+func (f *FaultFS) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// checkClearLocked disarms everything if the clear-file has appeared.
+// Caller holds f.mu; the Stat goes through the inner FS so the trigger is
+// visible even while writes are failing.
+func (f *FaultFS) checkClearLocked() {
+	if f.clearFile == "" {
+		return
+	}
+	if _, err := f.inner.Stat(f.clearFile); err == nil {
+		f.clearLocked()
+		f.clearFile = ""
+	}
+}
+
+func orEIO(err error) error {
+	if err == nil {
+		return syscall.EIO
+	}
+	return err
+}
+
+// writeGate decides one Write call's fate: pass n bytes through, or persist
+// `keep` bytes and fail with err.
+func (f *FaultFS) writeGate(n int) (keep int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.checkClearLocked()
+	if f.tornNext {
+		f.tornNext = false
+		f.injected++
+		return n / 2, fmt.Errorf("faultfs: torn write: %w", syscall.EIO)
+	}
+	if f.writeErr != nil {
+		if f.writeAfter > 0 {
+			f.writeAfter--
+		} else {
+			f.injected++
+			return 0, fmt.Errorf("faultfs: write: %w", f.writeErr)
+		}
+	}
+	if f.budget >= 0 {
+		if int64(n) > f.budget {
+			f.injected++
+			f.budget = 0
+			return 0, fmt.Errorf("faultfs: write budget exhausted: %w", syscall.ENOSPC)
+		}
+		f.budget -= int64(n)
+	}
+	return n, nil
+}
+
+func (f *FaultFS) syncGate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.checkClearLocked()
+	if f.syncErr == nil {
+		return nil
+	}
+	if f.syncAfter > 0 {
+		f.syncAfter--
+		return nil
+	}
+	f.injected++
+	return fmt.Errorf("faultfs: fsync: %w", f.syncErr)
+}
+
+func (f *FaultFS) renameGate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.checkClearLocked()
+	if f.renameErr == nil {
+		return nil
+	}
+	if f.renameAfter > 0 {
+		f.renameAfter--
+		return nil
+	}
+	f.injected++
+	return fmt.Errorf("faultfs: rename: %w", f.renameErr)
+}
+
+// faultFile routes Write/Sync through the parent's gates.
+type faultFile struct {
+	File
+	parent *FaultFS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	keep, gerr := ff.parent.writeGate(len(p))
+	if gerr != nil {
+		n := 0
+		if keep > 0 {
+			// Torn write: a prefix really reaches the file — the tear the
+			// checksummed formats must detect and refuse to adopt.
+			n, _ = ff.File.Write(p[:keep])
+		}
+		return n, gerr
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.parent.syncGate(); err != nil {
+		return err
+	}
+	return ff.File.Sync()
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, parent: f}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, parent: f}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.renameGate(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.inner.ReadDir(name) }
+func (f *FaultFS) ReadFile(name string) ([]byte, error)       { return f.inner.ReadFile(name) }
+func (f *FaultFS) Stat(name string) (os.FileInfo, error)      { return f.inner.Stat(name) }
+func (f *FaultFS) Truncate(name string, size int64) error     { return f.inner.Truncate(name, size) }
+func (f *FaultFS) SyncDir(dir string) error                   { return f.inner.SyncDir(dir) }

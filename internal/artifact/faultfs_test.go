@@ -1,0 +1,194 @@
+package artifact
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// writeAtomic is the test shorthand for one atomic write of content.
+func writeAtomic(fsys FS, path, content string) error {
+	return WriteFileAtomicFS(fsys, path, 0o644, func(w io.Writer) error {
+		_, err := io.WriteString(w, content)
+		return err
+	})
+}
+
+// mustContent asserts path holds exactly want.
+func mustContent(t *testing.T, path, want string) {
+	t.Helper()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if string(got) != want {
+		t.Fatalf("%s = %q, want %q", path, got, want)
+	}
+}
+
+// tempResidue counts leaked atomic-write temp files in dir.
+func tempResidue(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".") && strings.Contains(e.Name(), ".tmp-") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFaultFSWriteBudgetENOSPC: the byte budget delivers ENOSPC, the
+// target is never touched, and re-arming the budget restores service —
+// the unit-level model of a disk filling up and being cleared.
+func TestFaultFSWriteBudgetENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	path := filepath.Join(dir, "artifact.json")
+	if err := writeAtomic(ffs, path, "v1"); err != nil {
+		t.Fatalf("unfaulted write: %v", err)
+	}
+
+	ffs.SetWriteBudget(0)
+	err := writeAtomic(ffs, path, "v2-should-never-land")
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("budget-exhausted write: got %v, want ENOSPC", err)
+	}
+	mustContent(t, path, "v1")
+	if n := tempResidue(t, dir); n != 0 {
+		t.Fatalf("%d temp files leaked after failed write", n)
+	}
+	// The budget stays exhausted: later writes keep failing, as on a
+	// genuinely full disk.
+	if err := writeAtomic(ffs, path, "v2"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("second write after exhaustion: got %v, want ENOSPC", err)
+	}
+
+	ffs.SetWriteBudget(-1)
+	if err := writeAtomic(ffs, path, "v2"); err != nil {
+		t.Fatalf("write after budget re-arm: %v", err)
+	}
+	mustContent(t, path, "v2")
+	if ffs.Injected() < 2 {
+		t.Fatalf("Injected() = %d, want >= 2", ffs.Injected())
+	}
+}
+
+// TestFaultFSFsyncFailureNeverAdopted encodes the fsyncgate contract: a
+// temp file whose fsync failed is discarded, never renamed over the
+// target, because the kernel may already have dropped its pages.
+func TestFaultFSFsyncFailureNeverAdopted(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	path := filepath.Join(dir, "artifact.json")
+	if err := writeAtomic(ffs, path, "durable"); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.FailSyncs(nil, 0)
+	err := writeAtomic(ffs, path, "lost-to-fsync")
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("fsync-failed write: got %v, want EIO", err)
+	}
+	mustContent(t, path, "durable")
+	if n := tempResidue(t, dir); n != 0 {
+		t.Fatalf("%d temp files leaked: a failed-fsync temp must be removed, not kept", n)
+	}
+
+	ffs.Clear()
+	if err := writeAtomic(ffs, path, "healed"); err != nil {
+		t.Fatal(err)
+	}
+	mustContent(t, path, "healed")
+}
+
+// TestFaultFSRenameFailureLeavesTarget: a failed rename aborts the commit
+// and removes the temp; the old artifact survives byte-for-byte.
+func TestFaultFSRenameFailureLeavesTarget(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	path := filepath.Join(dir, "artifact.json")
+	if err := writeAtomic(ffs, path, "old"); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.FailRenames(nil, 0)
+	if err := writeAtomic(ffs, path, "new"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename-failed write: got %v, want EIO", err)
+	}
+	mustContent(t, path, "old")
+	if n := tempResidue(t, dir); n != 0 {
+		t.Fatalf("%d temp files leaked after failed rename", n)
+	}
+}
+
+// TestFaultFSTornWrite: the torn-write fault really persists a prefix on
+// the raw handle (what checksummed formats must detect), while the atomic
+// writer turns the same tear into a clean no-op on the target.
+func TestFaultFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+
+	raw := filepath.Join(dir, "journal.jsonl")
+	f, err := ffs.OpenFile(raw, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.TearNextWrite()
+	payload := []byte("0123456789")
+	n, werr := f.Write(payload)
+	f.Close()
+	if !errors.Is(werr, syscall.EIO) {
+		t.Fatalf("torn write: got err %v, want EIO", werr)
+	}
+	if n == 0 || n >= len(payload) {
+		t.Fatalf("torn write persisted %d bytes, want a strict prefix", n)
+	}
+	mustContent(t, raw, string(payload[:n]))
+
+	// Through the atomic writer the tear is invisible to the target.
+	target := filepath.Join(dir, "artifact.json")
+	if err := writeAtomic(ffs, target, "good"); err != nil {
+		t.Fatal(err)
+	}
+	ffs.TearNextWrite()
+	if err := writeAtomic(ffs, target, "torn-attempt"); err == nil {
+		t.Fatal("torn atomic write reported success")
+	}
+	mustContent(t, target, "good")
+	if r := tempResidue(t, dir); r != 0 {
+		t.Fatalf("%d temp files leaked after torn atomic write", r)
+	}
+}
+
+// TestFaultFSClearOnFile: the out-of-band recovery trigger disarms every
+// fault the moment the clear file appears, even though writes are failing
+// — the Stat goes through the inner FS.
+func TestFaultFSClearOnFile(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	trigger := filepath.Join(dir, "heal-me")
+	ffs.FailWrites(nil, 0)
+	ffs.ClearOnFile(trigger)
+
+	path := filepath.Join(dir, "artifact.json")
+	if err := writeAtomic(ffs, path, "x"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("armed write: got %v, want EIO", err)
+	}
+
+	if err := os.WriteFile(trigger, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAtomic(ffs, path, "recovered"); err != nil {
+		t.Fatalf("write after clear file appeared: %v", err)
+	}
+	mustContent(t, path, "recovered")
+}

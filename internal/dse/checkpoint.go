@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"graphdse/internal/artifact"
 	"graphdse/internal/memsim"
 )
 
@@ -194,8 +195,14 @@ func LoadCheckpoint(path string, points []DesignPoint) (map[string]RunRecord, in
 // the report in both modes because it is exactly the damage checkpoints
 // exist to absorb.
 func LoadCheckpointReport(path string, points []DesignPoint, strict bool) (map[string]RunRecord, *CheckpointReport, error) {
+	return LoadCheckpointReportFS(artifact.OS, path, points, strict)
+}
+
+// LoadCheckpointReportFS is LoadCheckpointReport against an explicit
+// filesystem (the daemon threads its spool FS through here).
+func LoadCheckpointReportFS(fsys artifact.FS, path string, points []DesignPoint, strict bool) (map[string]RunRecord, *CheckpointReport, error) {
 	rep := &CheckpointReport{}
-	f, err := os.Open(path)
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -250,17 +257,17 @@ func LoadCheckpointReport(path string, points []DesignPoint, strict bool) (map[s
 // workers never interleave partial lines.
 type checkpointWriter struct {
 	mu sync.Mutex
-	f  *os.File
+	f  artifact.File
 }
 
-// openCheckpoint opens the checkpoint for appending; without resume the
-// file is truncated so a fresh sweep starts clean.
-func openCheckpoint(path string, resume bool) (*checkpointWriter, error) {
+// openCheckpoint opens the checkpoint for appending through fsys; without
+// resume the file is truncated so a fresh sweep starts clean.
+func openCheckpoint(fsys artifact.FS, path string, resume bool) (*checkpointWriter, error) {
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
 	if !resume {
 		flags |= os.O_TRUNC
 	}
-	f, err := os.OpenFile(path, flags, 0o644)
+	f, err := fsys.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, err
 	}

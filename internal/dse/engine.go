@@ -76,7 +76,7 @@ func sweepEngine(ctx context.Context, pt *memsim.PreparedTrace, points []DesignP
 		if opts.Resume {
 			var err error
 			var rep *CheckpointReport
-			resumed, rep, err = LoadCheckpointReport(opts.CheckpointPath, points, opts.StrictCheckpoint)
+			resumed, rep, err = LoadCheckpointReportFS(opts.fs(), opts.CheckpointPath, points, opts.StrictCheckpoint)
 			if err != nil && !errors.Is(err, os.ErrNotExist) {
 				return nil, fmt.Errorf("dse: resume: %w", err)
 			}
@@ -85,7 +85,7 @@ func sweepEngine(ctx context.Context, pt *memsim.PreparedTrace, points []DesignP
 			}
 		}
 		var err error
-		ckpt, err = openCheckpoint(opts.CheckpointPath, opts.Resume)
+		ckpt, err = openCheckpoint(opts.fs(), opts.CheckpointPath, opts.Resume)
 		if err != nil {
 			return nil, fmt.Errorf("dse: checkpoint: %w", err)
 		}
@@ -209,7 +209,11 @@ func runPoint(ctx context.Context, pt *memsim.PreparedTrace, p DesignPoint, opts
 	// A record cut short by sweep cancellation is not a terminal outcome;
 	// keep it out of the checkpoint so resume re-runs the point.
 	if ckpt != nil && !errors.Is(err, context.Canceled) {
-		ckpt.Append(rec)
+		if aerr := ckpt.Append(rec); aerr != nil && opts.OnCheckpointError != nil {
+			// Best-effort by contract, but the failure is a disk-health
+			// signal the daemon's governor wants to see.
+			opts.OnCheckpointError(aerr)
+		}
 	}
 	return rec
 }

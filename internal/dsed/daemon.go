@@ -24,6 +24,16 @@ type Options struct {
 	Queue     QueueOptions
 	Scheduler SchedulerOptions
 
+	// Disk bounds spool usage and arms degraded-mode handling (see
+	// DiskPolicy; failure-driven degradation is always on).
+	Disk DiskPolicy
+	// Retention bounds what the spool keeps for terminal jobs and paces
+	// the janitor (see RetentionPolicy).
+	Retention RetentionPolicy
+	// FS is the filesystem all spool I/O goes through (nil = the real
+	// filesystem). cmd/dsed threads a FaultFS here for chaos smokes.
+	FS artifact.FS
+
 	// HeapSoftBytes arms the memory governor: under pressure the fleet
 	// sheds sweep workers instead of dying (0 = off).
 	HeapSoftBytes uint64
@@ -63,12 +73,14 @@ func (o *Options) fill() {
 // Daemon composes the durable queue, the trace cache, the supervised
 // scheduler, and the HTTP server into one crash-safe service.
 type Daemon struct {
-	opts  Options
-	q     *Queue
-	cache *TraceCache
-	gov   *guard.Governor
-	sched *Scheduler
-	srv   *Server
+	opts    Options
+	q       *Queue
+	cache   *TraceCache
+	gov     *guard.Governor
+	disk    *DiskGovernor
+	janitor *Janitor
+	sched   *Scheduler
+	srv     *Server
 
 	mu   sync.Mutex
 	addr string
@@ -78,6 +90,9 @@ type Daemon struct {
 // recovery report is available via Recovery before Run is called.
 func New(opts Options) (*Daemon, error) {
 	opts.fill()
+	if opts.FS != nil && opts.Queue.FS == nil {
+		opts.Queue.FS = opts.FS
+	}
 	q, err := OpenQueue(opts.Dir, opts.Queue)
 	if err != nil {
 		return nil, err
@@ -86,19 +101,32 @@ func New(opts Options) (*Daemon, error) {
 	if opts.HeapSoftBytes > 0 {
 		gov = guard.NewGovernor(guard.Budget{HeapSoftBytes: opts.HeapSoftBytes})
 	}
+	disk := NewDiskGovernor(q.FS(), opts.Dir, opts.Disk)
+	q.AttachDisk(disk)
+	janitor := NewJanitor(q, opts.Retention)
 	cache := NewTraceCache(opts.CacheEntries)
 	sched := NewScheduler(q, cache, gov, opts.Scheduler)
 	srv := NewServer(q, sched, cache, gov)
 	srv.SetHeartbeat(opts.SSEHeartbeat)
+	srv.SetDisk(disk)
+	srv.SetJanitor(janitor)
 	return &Daemon{
-		opts:  opts,
-		q:     q,
-		cache: cache,
-		gov:   gov,
-		sched: sched,
-		srv:   srv,
+		opts:    opts,
+		q:       q,
+		cache:   cache,
+		gov:     gov,
+		disk:    disk,
+		janitor: janitor,
+		sched:   sched,
+		srv:     srv,
 	}, nil
 }
+
+// Disk exposes the disk governor (tests and embedding callers).
+func (d *Daemon) Disk() *DiskGovernor { return d.disk }
+
+// Janitor exposes the spool janitor (tests and embedding callers).
+func (d *Daemon) Janitor() *Janitor { return d.janitor }
 
 // Recovery returns the Open-time recovery report.
 func (d *Daemon) Recovery() *RecoveryReport { return d.q.Recovery() }
@@ -127,6 +155,9 @@ func (d *Daemon) Run(ctx context.Context) error {
 	d.addr = ln.Addr().String()
 	d.mu.Unlock()
 	if d.opts.AddrFile != "" {
+		// The addr file is a local handshake with the launcher, not spool
+		// state — it stays on the real filesystem so an injected spool
+		// fault cannot break the "daemon is up" signal chaos smokes rely on.
 		if err := artifact.WriteFileAtomic(d.opts.AddrFile, 0o644, func(w io.Writer) error {
 			_, werr := io.WriteString(w, d.addr+"\n")
 			return werr
@@ -144,6 +175,20 @@ func (d *Daemon) Run(ctx context.Context) error {
 		d.gov.Start(ctx)
 		defer d.gov.Stop()
 	}
+
+	// Storage background loops: usage/probe scanning and spool GC. Both
+	// stop with ctx; neither holds durable state, so no drain ordering.
+	var bgWG sync.WaitGroup
+	bgWG.Add(2)
+	go func() {
+		defer bgWG.Done()
+		d.disk.Run(ctx)
+	}()
+	go func() {
+		defer bgWG.Done()
+		d.janitor.Run(ctx)
+	}()
+	defer bgWG.Wait()
 
 	// The scheduler fleet runs under its own cancel so the drain sequence
 	// controls ordering: first stop intake, then stop the fleet.

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -136,6 +138,10 @@ type EventLogStats struct {
 	// position; FullReplays counts those that started from scratch.
 	ResumeHits  int64 `json:"resume_hits"`
 	FullReplays int64 `json:"full_replays"`
+	// Compactions counts journal compactions (snapshot rewrites);
+	// CompactDropped counts superseded records they discarded.
+	Compactions    int64 `json:"compactions"`
+	CompactDropped int64 `json:"compact_dropped"`
 }
 
 // A Subscriber is one attached consumer of a job's event stream. Events
@@ -160,10 +166,18 @@ func (s *Subscriber) Evicted() <-chan struct{} { return s.evicted }
 // file is opened lazily, kept open while the job is live, and closed when
 // the terminal state event is journaled, so open file handles are bounded
 // by active jobs rather than spool history.
+//
+// A long journal may have been compacted into two files: a sealed snapshot
+// (snap, written atomically, holding the compacted prefix of the stream)
+// plus the live tail (path, append-only). History is the snapshot followed
+// by every tail event with seq greater than the snapshot's maximum — a rule
+// that also absorbs a crash between writing the snapshot and rewriting the
+// tail, when the tail still duplicates the snapshot's records.
 type jobStream struct {
 	mu        sync.Mutex
 	path      string
-	f         *os.File
+	snap      string
+	f         artifact.File
 	replayed  bool
 	next      uint64 // next seq to assign (1-based)
 	lastState JobState
@@ -181,40 +195,70 @@ type jobStream struct {
 // full is evicted on the spot — so the scheduler's progress is never
 // hostage to a stalled network peer.
 type EventLog struct {
+	fs      artifact.FS
 	dir     string
 	bufSize int
+
+	// observe, when set, receives every journal append's outcome (nil on
+	// success) — the disk governor's health feed. Set before serving.
+	observe func(error)
 
 	mu      sync.Mutex
 	streams map[string]*jobStream
 
-	written     atomic.Int64
-	replayed    atomic.Int64
-	errors      atomic.Int64
-	subscribers atomic.Int64
-	evictions   atomic.Int64
-	resumeHits  atomic.Int64
-	fullReplays atomic.Int64
+	written        atomic.Int64
+	replayed       atomic.Int64
+	errors         atomic.Int64
+	subscribers    atomic.Int64
+	evictions      atomic.Int64
+	resumeHits     atomic.Int64
+	fullReplays    atomic.Int64
+	compactions    atomic.Int64
+	compactDropped atomic.Int64
 }
 
-// NewEventLog opens an event log rooted at dir (one journal file per job).
-// bufSize bounds each subscriber's delivery buffer (default 64).
+// NewEventLog opens an event log rooted at dir (one journal file per job)
+// on the real filesystem. bufSize bounds each subscriber's delivery buffer
+// (default 64).
 func NewEventLog(dir string, bufSize int) *EventLog {
+	return NewEventLogFS(artifact.OS, dir, bufSize)
+}
+
+// NewEventLogFS is NewEventLog against an explicit filesystem; the daemon
+// threads its spool FS here so chaos tests can fault journal appends.
+func NewEventLogFS(fsys artifact.FS, dir string, bufSize int) *EventLog {
 	if bufSize <= 0 {
 		bufSize = 64
 	}
-	return &EventLog{dir: dir, bufSize: bufSize, streams: map[string]*jobStream{}}
+	if fsys == nil {
+		fsys = artifact.OS
+	}
+	return &EventLog{fs: fsys, dir: dir, bufSize: bufSize, streams: map[string]*jobStream{}}
+}
+
+// SetWriteObserver installs the durable-write outcome observer (nil on
+// success, the append/fsync error otherwise). Install before serving.
+func (l *EventLog) SetWriteObserver(fn func(error)) { l.observe = fn }
+
+// observeWrite reports one append outcome to the observer, if any.
+func (l *EventLog) observeWrite(err error) {
+	if l.observe != nil {
+		l.observe(err)
+	}
 }
 
 // Stats snapshots the counters.
 func (l *EventLog) Stats() EventLogStats {
 	return EventLogStats{
-		Written:       l.written.Load(),
-		Replayed:      l.replayed.Load(),
-		Errors:        l.errors.Load(),
-		Subscribers:   l.subscribers.Load(),
-		SlowEvictions: l.evictions.Load(),
-		ResumeHits:    l.resumeHits.Load(),
-		FullReplays:   l.fullReplays.Load(),
+		Written:        l.written.Load(),
+		Replayed:       l.replayed.Load(),
+		Errors:         l.errors.Load(),
+		Subscribers:    l.subscribers.Load(),
+		SlowEvictions:  l.evictions.Load(),
+		ResumeHits:     l.resumeHits.Load(),
+		FullReplays:    l.fullReplays.Load(),
+		Compactions:    l.compactions.Load(),
+		CompactDropped: l.compactDropped.Load(),
 	}
 }
 
@@ -226,12 +270,17 @@ func (l *EventLog) stream(job string) *jobStream {
 	if !ok {
 		st = &jobStream{
 			path: filepath.Join(l.dir, job+".jsonl"),
+			snap: filepath.Join(l.dir, job+snapSuffix),
 			subs: map[*Subscriber]struct{}{},
 		}
 		l.streams[job] = st
 	}
 	return st
 }
+
+// snapSuffix names a job's sealed compaction snapshot next to its live
+// tail (<job>.jsonl).
+const snapSuffix = ".snap.jsonl"
 
 // scanJournal reads every valid event from a journal file, stopping at the
 // first damaged or unterminated line: the valid prefix is the journal,
@@ -241,11 +290,19 @@ func (l *EventLog) stream(job string) *jobStream {
 // the stream: Emit publishes only after the full record (newline included,
 // one Write call) is appended and fsynced, so an unterminated record was
 // never observable.
-func scanJournal(path string) ([]Event, int64) {
-	data, err := os.ReadFile(path)
+func scanJournal(fsys artifact.FS, path string) ([]Event, int64) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, 0
 	}
+	return scanJournalBytes(data)
+}
+
+// scanJournalBytes is scanJournal over in-memory journal bytes: the valid
+// prefix of decodable, newline-terminated frames, plus its byte length.
+// It is total — any input yields some (possibly empty) prefix — which is
+// the property the fuzz target drives at.
+func scanJournalBytes(data []byte) ([]Event, int64) {
 	var out []Event
 	var valid int64
 	off := 0
@@ -268,6 +325,29 @@ func scanJournal(path string) ([]Event, int64) {
 	return out, valid
 }
 
+// historyLocked assembles a job's full durable event history: the sealed
+// snapshot (if any) followed by every live-tail event above the snapshot's
+// maximum seq. The seq filter makes the two-file read crash-consistent: a
+// daemon killed after the snapshot landed but before the tail was rewritten
+// replays each record exactly once.
+func (st *jobStream) historyLocked(fsys artifact.FS) ([]Event, int64) {
+	snapEvs, _ := scanJournal(fsys, st.snap)
+	var snapMax uint64
+	for i := range snapEvs {
+		if snapEvs[i].Seq > snapMax {
+			snapMax = snapEvs[i].Seq
+		}
+	}
+	tailEvs, valid := scanJournal(fsys, st.path)
+	out := snapEvs
+	for _, ev := range tailEvs {
+		if ev.Seq > snapMax {
+			out = append(out, ev)
+		}
+	}
+	return out, valid
+}
+
 // replayLocked recovers the stream's sequence counter (and last journaled
 // state) from disk on first touch after a restart, truncating any damaged
 // tail so subsequent appends extend the valid prefix instead of splicing
@@ -278,9 +358,9 @@ func (st *jobStream) replayLocked(l *EventLog) {
 	if st.replayed {
 		return
 	}
-	evs, valid := scanJournal(st.path)
-	if fi, err := os.Stat(st.path); err == nil && fi.Size() > valid {
-		_ = os.Truncate(st.path, valid)
+	evs, valid := st.historyLocked(l.fs)
+	if fi, err := l.fs.Stat(st.path); err == nil && fi.Size() > valid {
+		_ = l.fs.Truncate(st.path, valid)
 	}
 	st.next = 1
 	for i := range evs {
@@ -294,6 +374,20 @@ func (st *jobStream) replayLocked(l *EventLog) {
 	}
 	l.replayed.Add(int64(len(evs)))
 	st.replayed = true
+}
+
+// repairLocked resets the stream after a failed append: the journal may now
+// end in a torn record, and appending more bytes onto it would hide every
+// later event behind the damage. Dropping the handle and the replayed flag
+// makes the next Emit re-scan the journal, truncate the torn tail away, and
+// recover the sequence counter from what is actually durable. Caller holds
+// st.mu.
+func (st *jobStream) repairLocked() {
+	if st.f != nil {
+		st.f.Close()
+		st.f = nil
+	}
+	st.replayed = false
 }
 
 // Emit journals one event for job — assigning its sequence number, framing
@@ -315,21 +409,27 @@ func (l *EventLog) Emit(job string, ev Event) error {
 		return fmt.Errorf("dsed: encode event: %w", err)
 	}
 	if st.f == nil {
-		f, oerr := os.OpenFile(st.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, oerr := l.fs.OpenFile(st.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if oerr != nil {
 			l.errors.Add(1)
+			l.observeWrite(oerr)
 			return fmt.Errorf("dsed: open event journal: %w", oerr)
 		}
 		st.f = f
 	}
 	if _, err := st.f.Write(data); err != nil {
 		l.errors.Add(1)
+		l.observeWrite(err)
+		st.repairLocked()
 		return fmt.Errorf("dsed: append event journal: %w", err)
 	}
 	if err := st.f.Sync(); err != nil {
 		l.errors.Add(1)
+		l.observeWrite(err)
+		st.repairLocked()
 		return fmt.Errorf("dsed: sync event journal: %w", err)
 	}
+	l.observeWrite(nil)
 	st.next++
 	if ev.Type == EventState {
 		st.lastState = ev.State
@@ -403,7 +503,9 @@ func (l *EventLog) Subscribe(job string, after uint64) (*Subscriber, []Event, er
 
 	var backlog []Event
 	if after < cur {
-		evs, _ := scanJournal(st.path)
+		st.mu.Lock()
+		evs, _ := st.historyLocked(l.fs)
+		st.mu.Unlock()
 		for _, ev := range evs {
 			if ev.Seq > after && ev.Seq <= cur {
 				backlog = append(backlog, ev)
@@ -412,6 +514,156 @@ func (l *EventLog) Subscribe(job string, after uint64) (*Subscriber, []Event, er
 		l.replayed.Add(int64(len(backlog)))
 	}
 	return sub, backlog, nil
+}
+
+// compactPrefix reduces the to-be-snapshotted prefix of a stream: interior
+// progress events are superseded by the latest one, so only the last
+// progress record in the prefix survives. State transitions, failures, and
+// seal records are history a client may legitimately want and are kept.
+func compactPrefix(prefix []Event) (kept []Event, dropped int) {
+	lastProgress := -1
+	for i := range prefix {
+		if prefix[i].Type == EventProgress {
+			lastProgress = i
+		}
+	}
+	kept = make([]Event, 0, len(prefix))
+	for i := range prefix {
+		if prefix[i].Type == EventProgress && i != lastProgress {
+			dropped++
+			continue
+		}
+		kept = append(kept, prefix[i])
+	}
+	return kept, dropped
+}
+
+// Compact rewrites job's journal as a sealed snapshot plus a short live
+// tail. The last keepTail events are preserved verbatim in the tail; the
+// prefix is compacted (superseded progress dropped) and sealed atomically
+// into the snapshot file, then the tail is rewritten atomically. Original
+// sequence numbers are preserved, so Last-Event-ID resume keeps working —
+// clients filter on seq, and the contract tolerates the seq gaps that
+// dropped records leave behind. Returns how many records compaction
+// discarded; 0 means the journal was left untouched.
+func (l *EventLog) Compact(job string, keepTail int) (int, error) {
+	if keepTail < 1 {
+		keepTail = 1
+	}
+	st := l.stream(job)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.replayLocked(l)
+
+	history, _ := st.historyLocked(l.fs)
+	if len(history) <= keepTail {
+		return 0, nil
+	}
+	cut := len(history) - keepTail
+	snapEvs, dropped := compactPrefix(history[:cut])
+	if dropped == 0 {
+		// Nothing to reclaim; rewriting would be pure churn.
+		return 0, nil
+	}
+	tailEvs := history[cut:]
+
+	writeFrames := func(path string, evs []Event) error {
+		return artifact.WriteFileAtomicFS(l.fs, path, 0o644, func(w io.Writer) error {
+			for i := range evs {
+				frame, err := encodeEvent(&evs[i])
+				if err != nil {
+					return err
+				}
+				if _, err := w.Write(frame); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+
+	// Snapshot first: until the tail is rewritten, history is recovered as
+	// snapshot + tail-events-above-snapMax, so a crash between the two
+	// atomic writes duplicates nothing and loses nothing.
+	if err := writeFrames(st.snap, snapEvs); err != nil {
+		l.observeWrite(err)
+		return 0, fmt.Errorf("dsed: compact snapshot %s: %w", job, err)
+	}
+	// The open append handle points at the file being replaced; drop it so
+	// the next Emit reopens the rewritten tail.
+	if st.f != nil {
+		st.f.Close()
+		st.f = nil
+	}
+	if err := writeFrames(st.path, tailEvs); err != nil {
+		l.observeWrite(err)
+		return 0, fmt.Errorf("dsed: compact tail %s: %w", job, err)
+	}
+	l.observeWrite(nil)
+	l.compactions.Add(1)
+	l.compactDropped.Add(int64(dropped))
+	return dropped, nil
+}
+
+// RecordCount returns how many durable events job's journal currently
+// holds across snapshot and tail (the janitor's compaction trigger).
+func (l *EventLog) RecordCount(job string) int {
+	st := l.stream(job)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	history, _ := st.historyLocked(l.fs)
+	return len(history)
+}
+
+// DropStream closes and forgets job's in-memory stream handle so the
+// janitor can delete the journal files out from under it. Subscribers, if
+// any, are evicted. The files themselves are the caller's to remove.
+func (l *EventLog) DropStream(job string) {
+	l.mu.Lock()
+	st, ok := l.streams[job]
+	if ok {
+		delete(l.streams, job)
+	}
+	l.mu.Unlock()
+	if !ok {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f != nil {
+		st.f.Close()
+		st.f = nil
+	}
+	for sub := range st.subs {
+		delete(st.subs, sub)
+		close(sub.evicted)
+		l.evictions.Add(1)
+		l.subscribers.Add(-1)
+	}
+}
+
+// journalFiles returns the on-disk files backing job's journal (tail then
+// snapshot) for GC.
+func (l *EventLog) journalFiles(job string) []string {
+	return []string{
+		filepath.Join(l.dir, job+".jsonl"),
+		filepath.Join(l.dir, job+snapSuffix),
+	}
+}
+
+// jobFromJournalName maps a journal file name back to its job ID ("" for
+// non-journal files such as temps or quarantine).
+func jobFromJournalName(name string) string {
+	if strings.HasPrefix(name, ".") {
+		return ""
+	}
+	if j, ok := strings.CutSuffix(name, snapSuffix); ok {
+		return j
+	}
+	if j, ok := strings.CutSuffix(name, ".jsonl"); ok {
+		return j
+	}
+	return ""
 }
 
 // Unsubscribe detaches a subscriber (idempotent; eviction already detaches).

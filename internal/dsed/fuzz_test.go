@@ -1,0 +1,73 @@
+package dsed
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedJournal builds a valid three-record journal for the seed corpus.
+func fuzzSeedJournal() []byte {
+	var buf bytes.Buffer
+	for _, ev := range []Event{
+		{Job: "j", Seq: 1, Type: EventState, State: StateQueued},
+		{Job: "j", Seq: 2, Type: EventProgress, Done: 1, Total: 2},
+		{Job: "j", Seq: 3, Type: EventState, State: StateDone},
+	} {
+		line, err := encodeEvent(&ev)
+		if err != nil {
+			panic(err)
+		}
+		buf.Write(line)
+	}
+	return buf.Bytes()
+}
+
+// FuzzEventEnvelope drives the event-journal decoder over arbitrary bytes.
+// The contract under any damage — torn tails, interior corruption, raw
+// garbage — is total: never panic, report a valid-prefix length that is in
+// bounds, and make that prefix stable (re-scanning it yields exactly the
+// same events and consumes it fully), because replay truncates the journal
+// to this length and appends after it.
+func FuzzEventEnvelope(f *testing.F) {
+	seed := fuzzSeedJournal()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte("\n\n\n"))
+	f.Add(seed[:len(seed)-7])                                   // torn tail
+	f.Add(bytes.Replace(seed, []byte("seq"), []byte("sEq"), 1)) // interior damage
+	f.Add([]byte("deadbeef {\"not\":\"an envelope\"}\n"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 128))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, valid := scanJournalBytes(data)
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d out of bounds [0,%d]", valid, len(data))
+		}
+		if int64(len(data)) > valid {
+			// Everything past the prefix is damage; the prefix itself must
+			// still end on a record boundary.
+			if valid > 0 && data[valid-1] != '\n' {
+				t.Fatalf("valid prefix %d does not end at a record boundary", valid)
+			}
+		}
+		reEvs, reValid := scanJournalBytes(data[:valid])
+		if reValid != valid {
+			t.Fatalf("prefix not stable: scan(data[:%d]) consumed %d", valid, reValid)
+		}
+		if len(reEvs) != len(evs) {
+			t.Fatalf("prefix not stable: %d events, re-scan %d", len(evs), len(reEvs))
+		}
+		for i := range evs {
+			if evs[i].Seq != reEvs[i].Seq || evs[i].Type != reEvs[i].Type {
+				t.Fatalf("event %d differs on re-scan: %+v vs %+v", i, evs[i], reEvs[i])
+			}
+		}
+		// Every decoded event must round-trip through the encoder: what
+		// replay accepts, Emit could have written.
+		for i := range evs {
+			if _, err := encodeEvent(&evs[i]); err != nil {
+				t.Fatalf("decoded event %d does not re-encode: %v", i, err)
+			}
+		}
+	})
+}

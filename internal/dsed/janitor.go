@@ -1,0 +1,297 @@
+package dsed
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RetentionPolicy bounds what the spool keeps for terminal jobs. Zero
+// values disable the corresponding limit; live (queued/running) jobs are
+// never touched.
+type RetentionPolicy struct {
+	// MaxAge garbage-collects terminal jobs whose record is older (0 = keep
+	// forever).
+	MaxAge time.Duration
+	// MaxJobs keeps at most this many terminal jobs, oldest evicted first
+	// (0 = unlimited).
+	MaxJobs int
+	// MaxBytes caps the terminal jobs' combined spool footprint, oldest
+	// evicted first until under (0 = unlimited).
+	MaxBytes int64
+	// CompactRecords triggers event-journal compaction once a job's journal
+	// exceeds this many records (default 4096; <0 disables compaction).
+	CompactRecords int
+	// CompactKeepTail is how many trailing events compaction preserves
+	// verbatim in the live tail (default 16).
+	CompactKeepTail int
+	// TempMaxAge garbage-collects orphaned atomic-write temp files older
+	// than this — the residue of a crash mid-commit (default 1h).
+	TempMaxAge time.Duration
+	// Interval paces janitor sweeps (default 30s).
+	Interval time.Duration
+}
+
+func (p *RetentionPolicy) fill() {
+	if p.CompactRecords == 0 {
+		p.CompactRecords = 4096
+	}
+	if p.CompactKeepTail <= 0 {
+		p.CompactKeepTail = 16
+	}
+	if p.TempMaxAge <= 0 {
+		p.TempMaxAge = time.Hour
+	}
+	if p.Interval <= 0 {
+		p.Interval = 30 * time.Second
+	}
+}
+
+// JanitorStats is the janitor's observability snapshot (/statusz).
+type JanitorStats struct {
+	Sweeps      int64 `json:"sweeps"`
+	JobsRemoved int64 `json:"jobs_removed"`
+	BytesFreed  int64 `json:"bytes_freed"`
+	// Orphans counts recordless spool files collected (crash-mid-GC or
+	// crash-mid-submit residue); Temps counts stale atomic-write temps.
+	Orphans int64 `json:"orphans"`
+	Temps   int64 `json:"temps"`
+	// Compacted counts journals rewritten; CompactDropped the records their
+	// compactions discarded.
+	Compacted      int64  `json:"compacted"`
+	CompactDropped int64  `json:"compact_dropped"`
+	Errors         int64  `json:"errors"`
+	LastError      string `json:"last_error,omitempty"`
+	LastSweep      string `json:"last_sweep,omitempty"`
+}
+
+// Janitor is the spool's lifecycle garbage collector: it applies the
+// retention policy to terminal jobs, compacts long event journals into
+// sealed snapshots, collects orphaned files left by crashes, and prunes
+// stale atomic-write temps. Every deletion follows the safe order encoded
+// in Queue.GCJob (tombstone first, artifact last), so a crash mid-sweep
+// leaves only orphans the next sweep collects — never a job whose record
+// promises files that are gone.
+type Janitor struct {
+	q      *Queue
+	policy RetentionPolicy
+
+	mu    sync.Mutex
+	stats JanitorStats
+}
+
+// NewJanitor builds a janitor over the queue's spool.
+func NewJanitor(q *Queue, policy RetentionPolicy) *Janitor {
+	policy.fill()
+	return &Janitor{q: q, policy: policy}
+}
+
+// Stats snapshots the counters.
+func (j *Janitor) Stats() JanitorStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Policy returns the effective (default-filled) retention policy.
+func (j *Janitor) Policy() RetentionPolicy { return j.policy }
+
+// Run sweeps on the policy interval until ctx ends.
+func (j *Janitor) Run(ctx context.Context) {
+	ticker := time.NewTicker(j.policy.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			j.Sweep()
+		}
+	}
+}
+
+// Sweep runs one full janitor pass: compaction, retention GC, orphan
+// collection, stale-temp pruning. It is safe to call concurrently with
+// submissions and running jobs.
+func (j *Janitor) Sweep() {
+	j.compactJournals()
+	j.applyRetention()
+	j.collectOrphans()
+	j.pruneTemps()
+	j.mu.Lock()
+	j.stats.Sweeps++
+	j.stats.LastSweep = time.Now().UTC().Format(time.RFC3339)
+	j.mu.Unlock()
+}
+
+func (j *Janitor) fail(err error) {
+	j.mu.Lock()
+	j.stats.Errors++
+	j.stats.LastError = err.Error()
+	j.mu.Unlock()
+}
+
+// compactJournals rewrites any event journal grown past the policy
+// threshold as snapshot + tail (see EventLog.Compact). Running jobs are
+// fair game — compaction preserves seqs, so live Last-Event-ID resume is
+// unaffected.
+func (j *Janitor) compactJournals() {
+	if j.policy.CompactRecords < 0 {
+		return
+	}
+	events := j.q.Events()
+	for _, rec := range j.q.List() {
+		id := rec.Spec.ID
+		if events.RecordCount(id) <= j.policy.CompactRecords {
+			continue
+		}
+		dropped, err := events.Compact(id, j.policy.CompactKeepTail)
+		if err != nil {
+			j.fail(err)
+			continue
+		}
+		if dropped > 0 {
+			j.mu.Lock()
+			j.stats.Compacted++
+			j.stats.CompactDropped += int64(dropped)
+			j.mu.Unlock()
+		}
+	}
+}
+
+// applyRetention GCs terminal jobs past the age/count/byte limits, oldest
+// (by submission order) first.
+func (j *Janitor) applyRetention() {
+	p := j.policy
+	if p.MaxAge <= 0 && p.MaxJobs <= 0 && p.MaxBytes <= 0 {
+		return
+	}
+	type victim struct {
+		id    string
+		bytes int64
+	}
+	var terminal []victim
+	var total int64
+	now := time.Now()
+	for _, rec := range j.q.List() { // submission-ordered
+		if !rec.State.Terminal() {
+			continue
+		}
+		id := rec.Spec.ID
+		bytes := j.q.JobBytes(id)
+		if p.MaxAge > 0 {
+			if info, err := j.q.fs.Stat(j.q.jobPath(id)); err == nil && now.Sub(info.ModTime()) > p.MaxAge {
+				j.gc(id)
+				continue
+			}
+		}
+		terminal = append(terminal, victim{id, bytes})
+		total += bytes
+	}
+	i := 0
+	for i < len(terminal) &&
+		((p.MaxJobs > 0 && len(terminal)-i > p.MaxJobs) ||
+			(p.MaxBytes > 0 && total > p.MaxBytes)) {
+		j.gc(terminal[i].id)
+		total -= terminal[i].bytes
+		i++
+	}
+}
+
+// gc removes one terminal job, recording the outcome.
+func (j *Janitor) gc(id string) {
+	freed, err := j.q.GCJob(id)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	j.mu.Lock()
+	j.stats.JobsRemoved++
+	j.stats.BytesFreed += freed
+	j.mu.Unlock()
+}
+
+// collectOrphans removes spool files whose job the queue no longer knows —
+// the residue of a crash between GC steps. The ownership check runs at
+// removal time per candidate, so a submission racing the sweep can never
+// lose a file: its record is durable (and indexed) before any of its other
+// spool files exist.
+func (j *Janitor) collectOrphans() {
+	type scan struct {
+		dir   string
+		toJob func(name string) string
+	}
+	stripExt := func(ext string) func(string) string {
+		return func(name string) string {
+			if strings.HasPrefix(name, ".") {
+				return ""
+			}
+			if id, ok := strings.CutSuffix(name, ext); ok {
+				return id
+			}
+			return ""
+		}
+	}
+	scans := []scan{
+		{filepath.Join(j.q.dir, ckptDir), stripExt(".jsonl")},
+		{filepath.Join(j.q.dir, resultsDir), stripExt(".json")},
+		{filepath.Join(j.q.dir, eventsDir), jobFromJournalName},
+	}
+	for _, s := range scans {
+		entries, err := j.q.fs.ReadDir(s.dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			job := s.toJob(e.Name())
+			if job == "" || j.q.Known(job) {
+				continue
+			}
+			if rerr := j.q.fs.Remove(filepath.Join(s.dir, e.Name())); rerr == nil {
+				j.mu.Lock()
+				j.stats.Orphans++
+				j.mu.Unlock()
+			}
+		}
+	}
+}
+
+// pruneTemps removes atomic-write temp files (".<name>.tmp-*") older than
+// the policy age across the spool tree — a crash mid-commit leaks exactly
+// one, and the artifact layer never reuses them.
+func (j *Janitor) pruneTemps() {
+	dirs := []string{
+		j.q.dir,
+		filepath.Join(j.q.dir, jobsDir),
+		filepath.Join(j.q.dir, ckptDir),
+		filepath.Join(j.q.dir, resultsDir),
+		filepath.Join(j.q.dir, eventsDir),
+	}
+	cutoff := time.Now().Add(-j.policy.TempMaxAge)
+	for _, dir := range dirs {
+		entries, err := j.q.fs.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasPrefix(name, ".") || !strings.Contains(name, ".tmp-") {
+				continue
+			}
+			info, ierr := e.Info()
+			if ierr != nil || info.ModTime().After(cutoff) {
+				continue
+			}
+			if rerr := j.q.fs.Remove(filepath.Join(dir, name)); rerr == nil {
+				j.mu.Lock()
+				j.stats.Temps++
+				j.mu.Unlock()
+			}
+		}
+	}
+}

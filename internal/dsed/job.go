@@ -37,7 +37,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 
 	"graphdse/internal/artifact"
 	"graphdse/internal/dse"
@@ -263,21 +262,21 @@ func decodeJobRecord(data []byte) (*JobRecord, error) {
 	return &rec, nil
 }
 
-// writeJobRecord persists the record atomically at path.
-func writeJobRecord(path string, rec *JobRecord) error {
+// writeJobRecord persists the record atomically at path through fsys.
+func writeJobRecord(fsys artifact.FS, path string, rec *JobRecord) error {
 	data, err := encodeJobRecord(rec)
 	if err != nil {
 		return err
 	}
-	return artifact.WriteFileAtomic(path, 0o644, func(w io.Writer) error {
+	return artifact.WriteFileAtomicFS(fsys, path, 0o644, func(w io.Writer) error {
 		_, werr := w.Write(data)
 		return werr
 	})
 }
 
-// readJobRecord loads and verifies one spooled record.
-func readJobRecord(path string) (*JobRecord, error) {
-	data, err := os.ReadFile(path)
+// readJobRecord loads and verifies one spooled record through fsys.
+func readJobRecord(fsys artifact.FS, path string) (*JobRecord, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

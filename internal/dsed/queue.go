@@ -7,11 +7,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"graphdse/internal/artifact"
 )
 
 // Admission-control sentinels. The HTTP layer maps them onto status codes
@@ -62,6 +64,12 @@ type RecoveryReport struct {
 	Corrupt int
 	// CorruptFiles names the set-aside records.
 	CorruptFiles []string
+	// CorruptRetained/CorruptEvicted account for the quarantine cap: the
+	// newest MaxCorrupt set-aside files are kept for forensics, anything
+	// older is evicted so a flapping disk cannot grow the quarantine
+	// without bound.
+	CorruptRetained int
+	CorruptEvicted  int
 }
 
 // String renders the report as one log line.
@@ -81,6 +89,13 @@ type QueueOptions struct {
 	// that falls a full buffer behind is evicted rather than ever blocking
 	// the queue or scheduler (default 64).
 	EventBuffer int
+	// MaxCorrupt caps the .corrupt quarantine in the jobs directory: beyond
+	// this many set-aside records, the oldest are evicted at recovery
+	// (default 16).
+	MaxCorrupt int
+	// FS is the filesystem every spool read and write goes through (nil =
+	// the real filesystem). Chaos tests inject ENOSPC/EIO/torn renames here.
+	FS artifact.FS
 }
 
 func (o *QueueOptions) fill() {
@@ -89,6 +104,12 @@ func (o *QueueOptions) fill() {
 	}
 	if o.TenantCap <= 0 {
 		o.TenantCap = 8
+	}
+	if o.MaxCorrupt <= 0 {
+		o.MaxCorrupt = 16
+	}
+	if o.FS == nil {
+		o.FS = artifact.OS
 	}
 }
 
@@ -99,6 +120,11 @@ func (o *QueueOptions) fill() {
 type Queue struct {
 	dir  string
 	opts QueueOptions
+	fs   artifact.FS
+
+	// disk, when attached, gates admission on spool health and observes
+	// every record persist (see DiskGovernor). Attach before serving.
+	disk *DiskGovernor
 
 	// events journals every observable transition before it becomes
 	// observable (see EventLog). Emissions under q.mu keep journal order
@@ -122,14 +148,15 @@ type Queue struct {
 func OpenQueue(dir string, opts QueueOptions) (*Queue, error) {
 	opts.fill()
 	for _, sub := range []string{jobsDir, ckptDir, resultsDir, eventsDir} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+		if err := opts.FS.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("dsed: spool: %w", err)
 		}
 	}
 	q := &Queue{
 		dir:    dir,
 		opts:   opts,
-		events: NewEventLog(filepath.Join(dir, eventsDir), opts.EventBuffer),
+		fs:     opts.FS,
+		events: NewEventLogFS(opts.FS, filepath.Join(dir, eventsDir), opts.EventBuffer),
 		jobs:   map[string]*JobRecord{},
 		notify: make(chan struct{}),
 	}
@@ -141,6 +168,32 @@ func OpenQueue(dir string, opts QueueOptions) (*Queue, error) {
 
 // Events returns the queue's durable event log.
 func (q *Queue) Events() *EventLog { return q.events }
+
+// FS returns the filesystem the spool persists through.
+func (q *Queue) FS() artifact.FS { return q.fs }
+
+// AttachDisk wires the disk governor into the queue's persistence paths:
+// admission is gated on spool health and every durable write (job records
+// and event-journal appends) reports its outcome. Attach before serving.
+func (q *Queue) AttachDisk(g *DiskGovernor) {
+	q.disk = g
+	if g != nil {
+		q.events.SetWriteObserver(g.ObserveWrite)
+	}
+}
+
+// Disk returns the attached governor (nil when none).
+func (q *Queue) Disk() *DiskGovernor { return q.disk }
+
+// persist writes one job record through the seam, feeding the outcome to
+// the disk governor.
+func (q *Queue) persist(path string, rec *JobRecord) error {
+	err := writeJobRecord(q.fs, path, rec)
+	if q.disk != nil {
+		q.disk.ObserveWrite(err)
+	}
+	return err
+}
 
 // Close releases the event log's journal handles. The queue itself holds no
 // other open files.
@@ -158,7 +211,7 @@ func (q *Queue) resultPath(id string) string { return filepath.Join(q.dir, resul
 // recover rebuilds the in-memory index from the spool.
 func (q *Queue) recover() error {
 	rep := &RecoveryReport{}
-	entries, err := os.ReadDir(filepath.Join(q.dir, jobsDir))
+	entries, err := q.fs.ReadDir(filepath.Join(q.dir, jobsDir))
 	if err != nil {
 		return fmt.Errorf("dsed: recover: %w", err)
 	}
@@ -169,7 +222,7 @@ func (q *Queue) recover() error {
 			continue
 		}
 		path := filepath.Join(q.dir, jobsDir, name)
-		rec, rerr := readJobRecord(path)
+		rec, rerr := readJobRecord(q.fs, path)
 		if rerr != nil {
 			// A record that fails its checksum is set aside, not deleted:
 			// the operator decides. The job counts as lost here — the one
@@ -177,8 +230,7 @@ func (q *Queue) recover() error {
 			// daemon was down.
 			rep.Corrupt++
 			aside := path + ".corrupt"
-			//lint:ignore atomicwrite setting a corrupt spool record aside is forensic renaming of damaged input, not artifact persistence
-			if mvErr := os.Rename(path, aside); mvErr == nil {
+			if mvErr := q.fs.Rename(path, aside); mvErr == nil {
 				rep.CorruptFiles = append(rep.CorruptFiles, aside)
 			}
 			continue
@@ -197,13 +249,13 @@ func (q *Queue) recover() error {
 			if q.resultComplete(rec.Spec.ID) {
 				rec.State = StateDone
 				rec.Error = ""
-				if werr := writeJobRecord(path, rec); werr != nil {
+				if werr := writeJobRecord(q.fs, path, rec); werr != nil {
 					return fmt.Errorf("dsed: recover adopt %s: %w", rec.Spec.ID, werr)
 				}
 				rep.Adopted++
 			} else {
 				rec.State = StateQueued
-				if werr := writeJobRecord(path, rec); werr != nil {
+				if werr := writeJobRecord(q.fs, path, rec); werr != nil {
 					return fmt.Errorf("dsed: recover requeue %s: %w", rec.Spec.ID, werr)
 				}
 				requeue = append(requeue, rec)
@@ -215,6 +267,7 @@ func (q *Queue) recover() error {
 		}
 		q.jobs[rec.Spec.ID] = rec
 	}
+	rep.CorruptRetained, rep.CorruptEvicted = q.capCorrupt()
 	sort.Slice(requeue, func(i, j int) bool { return requeue[i].SubmitSeq < requeue[j].SubmitSeq })
 	for _, rec := range requeue {
 		q.pending = append(q.pending, rec.Spec.ID)
@@ -237,6 +290,41 @@ func (q *Queue) recover() error {
 	return nil
 }
 
+// capCorrupt bounds the .corrupt quarantine to opts.MaxCorrupt files,
+// evicting the oldest (by modification time) beyond the cap. Quarantine
+// exists for forensics; a disk that rots records on every restart must not
+// be able to grow it without bound.
+func (q *Queue) capCorrupt() (retained, evicted int) {
+	dir := filepath.Join(q.dir, jobsDir)
+	entries, err := q.fs.ReadDir(dir)
+	if err != nil {
+		return 0, 0
+	}
+	type aged struct {
+		name string
+		mod  time.Time
+	}
+	var corrupt []aged
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".corrupt") {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil {
+			continue
+		}
+		corrupt = append(corrupt, aged{e.Name(), info.ModTime()})
+	}
+	sort.Slice(corrupt, func(i, j int) bool { return corrupt[i].mod.Before(corrupt[j].mod) })
+	for len(corrupt) > q.opts.MaxCorrupt {
+		if rerr := q.fs.Remove(filepath.Join(dir, corrupt[0].name)); rerr == nil {
+			evicted++
+		}
+		corrupt = corrupt[1:]
+	}
+	return len(corrupt), evicted
+}
+
 // emit journals one event, tolerating journal failures: a broken event
 // stream degrades observability, never the job.
 func (q *Queue) emit(id string, ev Event) { _ = q.events.Emit(id, ev) }
@@ -244,7 +332,7 @@ func (q *Queue) emit(id string, ev Event) { _ = q.events.Emit(id, ev) }
 // resultComplete reports whether a structurally-valid result file exists
 // for the job.
 func (q *Queue) resultComplete(id string) bool {
-	data, err := os.ReadFile(q.resultPath(id))
+	data, err := q.fs.ReadFile(q.resultPath(id))
 	if err != nil {
 		return false
 	}
@@ -322,6 +410,15 @@ func (q *Queue) Submit(spec JobSpec) (rec JobRecord, existing bool, err error) {
 	if q.draining {
 		return JobRecord{}, false, ErrDraining
 	}
+	if q.disk != nil {
+		// Spool health gates admission after idempotent re-submission (a
+		// known job's record is already durable — re-reporting it needs no
+		// writes) but before capacity checks, so a degraded daemon sheds
+		// load with the storage-specific status instead of a generic 429.
+		if derr := q.disk.Admit(); derr != nil {
+			return JobRecord{}, false, derr
+		}
+	}
 	if len(q.pending) >= q.opts.MaxQueued {
 		return JobRecord{}, false, fmt.Errorf("%w: %d jobs queued (max %d)", ErrSaturated, len(q.pending), q.opts.MaxQueued)
 	}
@@ -339,7 +436,7 @@ func (q *Queue) Submit(spec JobSpec) (rec JobRecord, existing bool, err error) {
 	// Durability before visibility: the record reaches disk before the job
 	// can run or be reported. A crash right here leaves a queued record
 	// that recovery re-enqueues — the job is never lost.
-	if err := writeJobRecord(q.jobPath(spec.ID), newRec); err != nil {
+	if err := q.persist(q.jobPath(spec.ID), newRec); err != nil {
 		return JobRecord{}, false, fmt.Errorf("dsed: persist job %s: %w", spec.ID, err)
 	}
 	q.jobs[spec.ID] = newRec
@@ -376,7 +473,7 @@ func (q *Queue) Next(ctx context.Context) (JobRecord, error) {
 			// runs — a crash would recover it as queued and resume from
 			// the checkpoint, costing duplicate scheduling, never
 			// duplicate completed points.
-			_ = writeJobRecord(q.jobPath(id), rec)
+			_ = q.persist(q.jobPath(id), rec)
 			q.emit(id, Event{Type: EventState, State: StateRunning, Attempt: rec.Attempt})
 			out := *rec
 			q.mu.Unlock()
@@ -428,7 +525,7 @@ func (q *Queue) Finalize(id string, state JobState, errMsg string, survivors, qu
 	rec.Error = errMsg
 	rec.Survivors = survivors
 	rec.Quarantined = quarantined
-	if err := writeJobRecord(q.jobPath(id), rec); err != nil {
+	if err := q.persist(q.jobPath(id), rec); err != nil {
 		return fmt.Errorf("dsed: persist finalize %s: %w", id, err)
 	}
 	// Seal precedes the terminal state event, mirroring the result-file
@@ -462,7 +559,7 @@ func (q *Queue) Requeue(id string) error {
 		return nil
 	}
 	rec.State = StateQueued
-	if err := writeJobRecord(q.jobPath(id), rec); err != nil {
+	if err := q.persist(q.jobPath(id), rec); err != nil {
 		return fmt.Errorf("dsed: persist requeue %s: %w", id, err)
 	}
 	q.pending = append(q.pending, id)
@@ -494,7 +591,7 @@ func (q *Queue) CancelQueued(id string) (wasRunning bool, err error) {
 			}
 		}
 		rec.State = StateCancelled
-		if werr := writeJobRecord(q.jobPath(id), rec); werr != nil {
+		if werr := q.persist(q.jobPath(id), rec); werr != nil {
 			return false, fmt.Errorf("dsed: persist cancel %s: %w", id, werr)
 		}
 		q.emit(id, Event{Type: EventState, State: StateCancelled, Attempt: rec.Attempt})
@@ -525,6 +622,75 @@ func (q *Queue) List() []JobRecord {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].SubmitSeq < out[j].SubmitSeq })
 	return out
+}
+
+// ErrNotTerminal reports a GC attempt on a job that is still live.
+var ErrNotTerminal = errors.New("dsed: job not terminal")
+
+// jobFiles lists every spool file attributable to one job, in safe
+// deletion order: the job record (the tombstone — once it is gone the job
+// no longer exists, so recovery can never re-animate it from the
+// leftovers) first, then checkpoint, then event journal and snapshot, and
+// the sealed result artifact last. A crash anywhere mid-GC leaves only
+// recordless orphans, which the janitor's orphan sweep collects.
+func (q *Queue) jobFiles(id string) []string {
+	files := []string{q.jobPath(id), q.ckptPath(id)}
+	files = append(files, q.events.journalFiles(id)...)
+	return append(files, q.resultPath(id))
+}
+
+// JobBytes sums the on-disk footprint of one job's spool files.
+func (q *Queue) JobBytes(id string) int64 {
+	var total int64
+	for _, path := range q.jobFiles(id) {
+		if info, err := q.fs.Stat(path); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// GCJob removes a terminal job from the spool and the index: tombstone
+// first, artifact last (see jobFiles), with the in-memory event stream
+// dropped between record and journal deletion so no handle keeps a deleted
+// file alive. Live jobs are refused. Returns the bytes freed.
+func (q *Queue) GCJob(id string) (int64, error) {
+	q.mu.Lock()
+	rec, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if !rec.State.Terminal() {
+		q.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s is %s", ErrNotTerminal, id, rec.State)
+	}
+	// Tombstone under the lock: record file and index entry go together,
+	// so no reader can observe a job whose record is gone.
+	freed := q.JobBytes(id)
+	if err := q.fs.Remove(q.jobPath(id)); err != nil {
+		q.mu.Unlock()
+		return 0, fmt.Errorf("dsed: gc %s: %w", id, err)
+	}
+	delete(q.jobs, id)
+	q.mu.Unlock()
+
+	q.events.DropStream(id)
+	_ = q.fs.Remove(q.ckptPath(id))
+	for _, path := range q.events.journalFiles(id) {
+		_ = q.fs.Remove(path)
+	}
+	_ = q.fs.Remove(q.resultPath(id))
+	return freed, nil
+}
+
+// Known reports whether the queue currently indexes the job (the janitor's
+// orphan test, taken at removal time to stay race-free against Submit).
+func (q *Queue) Known(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, ok := q.jobs[id]
+	return ok
 }
 
 // Depth returns the current queued and running counts.

@@ -360,7 +360,7 @@ func TestRequeuePreservesAttempt(t *testing.T) {
 	if err := q.Requeue("r1"); err != nil {
 		t.Fatal(err)
 	}
-	onDisk, err := readJobRecord(q.jobPath("r1"))
+	onDisk, err := readJobRecord(artifact.OS, q.jobPath("r1"))
 	if err != nil || onDisk.State != StateQueued {
 		t.Fatalf("requeue not durable: %+v err=%v", onDisk, err)
 	}

@@ -190,6 +190,16 @@ func (s *Scheduler) executeJob(ctx context.Context, rec *JobRecord) (state JobSt
 		Retries:        rec.Spec.Retries,
 		MinSurvivors:   rec.Spec.MinSurvivors,
 		CheckpointPath: s.q.ckptPath(id),
+		// Checkpoint I/O rides the spool seam, and every failed append
+		// feeds the disk governor: checkpoints are best-effort for the
+		// job, but a spool that cannot absorb them is a daemon-level
+		// health problem.
+		FS: s.q.fs,
+		OnCheckpointError: func(err error) {
+			if disk := s.q.Disk(); disk != nil {
+				disk.ObserveWrite(err)
+			}
+		},
 		// Resume unconditionally: on a first run the checkpoint does not
 		// exist yet, and after a crash it holds exactly the completed
 		// points — the no-duplicates, no-loss contract.
@@ -268,13 +278,52 @@ func (s *Scheduler) executeJob(ctx context.Context, rec *JobRecord) (state JobSt
 	}
 	// Result before record: recovery adopts a running job with a sealed
 	// result as done, so a crash between these two writes loses nothing.
-	if err := artifact.WriteFileAtomic(s.q.resultPath(id), 0o644, func(w io.Writer) error {
-		_, werr := w.Write(data)
-		return werr
-	}); err != nil {
+	if err := s.sealResult(ctx, id, data); err != nil {
+		if outcome, msg := interruptOutcome(ctx); outcome != StateRunning {
+			return outcome, msg, gate.Survivors, gate.Quarantined
+		}
 		return StateFailed, fmt.Sprintf("persist result: %v", err), gate.Survivors, gate.Quarantined
 	}
 	return StateDone, "", gate.Survivors, gate.Quarantined
+}
+
+// sealResult commits the result document, riding out degraded storage: a
+// finished sweep's work is never discarded just because the disk is
+// momentarily full. Every attempt's outcome feeds the disk governor; while
+// the governor reports degraded, the seal parks on AwaitWritable (a drain
+// interrupts it, requeueing the job to re-seal under the next daemon).
+// Failures the governor does not attribute to the disk get a short bounded
+// retry before failing the job.
+func (s *Scheduler) sealResult(ctx context.Context, id string, data []byte) error {
+	disk := s.q.Disk()
+	const maxIsolated = 5
+	for attempt := 0; ; attempt++ {
+		err := artifact.WriteFileAtomicFS(s.q.fs, s.q.resultPath(id), 0o644, func(w io.Writer) error {
+			_, werr := w.Write(data)
+			return werr
+		})
+		if disk != nil {
+			disk.ObserveWrite(err)
+		}
+		if err == nil {
+			return nil
+		}
+		if disk != nil && !disk.Writable() {
+			s.opts.Logf("dsed: job %s result seal blocked on degraded storage (%v); waiting", id, err)
+			if !disk.AwaitWritable(ctx) {
+				return err
+			}
+			continue
+		}
+		if attempt >= maxIsolated-1 {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
 }
 
 // interruptOutcome classifies a context interruption: daemon drain (empty

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"os"
 	"strconv"
 	"time"
 
@@ -19,11 +18,13 @@ const maxSubmitBody = 1 << 20
 // Server is the HTTP face of the daemon: job submission with admission
 // control, status/result queries, cancellation, and observability.
 type Server struct {
-	q     *Queue
-	sched *Scheduler
-	cache *TraceCache
-	gov   *guard.Governor
-	start time.Time
+	q       *Queue
+	sched   *Scheduler
+	cache   *TraceCache
+	gov     *guard.Governor
+	disk    *DiskGovernor
+	janitor *Janitor
+	start   time.Time
 	// heartbeat is the SSE comment-heartbeat interval (default 10s); tests
 	// shorten it.
 	heartbeat time.Duration
@@ -36,6 +37,12 @@ func NewServer(q *Queue, sched *Scheduler, cache *TraceCache, gov *guard.Governo
 
 // SetHeartbeat overrides the SSE heartbeat interval (<=0 keeps the default).
 func (s *Server) SetHeartbeat(d time.Duration) { s.heartbeat = d }
+
+// SetDisk wires the disk governor into health and status reporting.
+func (s *Server) SetDisk(g *DiskGovernor) { s.disk = g }
+
+// SetJanitor wires the janitor into status reporting.
+func (s *Server) SetJanitor(j *Janitor) { s.janitor = j }
 
 // Handler builds the route table.
 func (s *Server) Handler() http.Handler {
@@ -95,12 +102,20 @@ func (s *Server) retryAfterSeconds() int {
 // rejectSubmit maps admission-control errors to status codes. Saturation
 // and tenant caps are 429 with Retry-After — explicit backpressure, not a
 // dropped connection; draining is 503 (retry against the replacement
-// daemon, not this one).
+// daemon, not this one). Spool pressure is 507 Insufficient Storage and
+// degraded storage 503, both with Retry-After: the janitor or a recovery
+// probe may clear either, so a paced retry is the right client move.
 func (s *Server) rejectSubmit(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrSaturated), errors.Is(err, ErrTenantBusy):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.Is(err, ErrSpoolPressure):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusInsufficientStorage, apiError{Error: err.Error()})
+	case errors.Is(err, ErrDegraded):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
@@ -227,7 +242,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("dsed: job %s is %s, result available once done", id, rec.State)})
 		return
 	}
-	data, err := os.ReadFile(s.q.resultPath(id))
+	data, err := s.q.fs.ReadFile(s.q.resultPath(id))
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: fmt.Sprintf("dsed: read result: %v", err)})
 		return
@@ -237,24 +252,46 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
-// handleHealth is the liveness probe.
+// handleHealth is the liveness-and-serviceability probe. A healthy or
+// merely pressured daemon answers 200 (with the mode, so orchestration can
+// see pressure building); a storage-degraded daemon answers 503 with the
+// cause — it is alive, still serves reads and streams, but must not
+// receive new work.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if s.disk == nil {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	ds := s.disk.Status()
+	body := map[string]string{"status": string(ds.Mode)}
+	if ds.Cause != "" {
+		body["cause"] = ds.Cause
+	}
+	if ds.Mode == DiskDegraded {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // Statusz is the daemon's observability snapshot.
 type Statusz struct {
-	UptimeSec  int64         `json:"uptime_sec"`
-	Queued     int           `json:"queued"`
-	Running    int           `json:"running"`
-	Cache      CacheStats    `json:"cache"`
-	Events     EventLogStats `json:"events"`
-	Pressure   int           `json:"pressure"`
-	PeakHeap   uint64        `json:"peak_heap_bytes"`
-	Downshifts int           `json:"downshifts"`
+	UptimeSec  int64           `json:"uptime_sec"`
+	Queued     int             `json:"queued"`
+	Running    int             `json:"running"`
+	Cache      CacheStats      `json:"cache"`
+	Events     EventLogStats   `json:"events"`
+	Pressure   int             `json:"pressure"`
+	PeakHeap   uint64          `json:"peak_heap_bytes"`
+	Downshifts int             `json:"downshifts"`
+	Disk       *DiskStatus     `json:"disk,omitempty"`
+	Janitor    *JanitorStats   `json:"janitor,omitempty"`
+	Recovery   *RecoveryReport `json:"recovery,omitempty"`
 }
 
-// handleStatusz reports queue depth, cache health, and governor pressure.
+// handleStatusz reports queue depth, cache health, governor pressure, and
+// the storage substrate's state (disk governor, janitor, recovery report).
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	queued, running := s.q.Depth()
 	st := Statusz{
@@ -263,11 +300,20 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Running:   running,
 		Cache:     s.cache.Stats(),
 		Events:    s.q.Events().Stats(),
+		Recovery:  s.q.Recovery(),
 	}
 	if s.gov != nil {
 		st.Pressure = s.gov.Pressure()
 		st.PeakHeap = s.gov.PeakHeapBytes()
 		st.Downshifts = len(s.gov.Downshifts())
+	}
+	if s.disk != nil {
+		ds := s.disk.Status()
+		st.Disk = &ds
+	}
+	if s.janitor != nil {
+		js := s.janitor.Stats()
+		st.Janitor = &js
 	}
 	writeJSON(w, http.StatusOK, st)
 }

@@ -117,6 +117,57 @@ func (o *Options) fill() {
 	}
 }
 
+// retryAfterError wraps a status-coded stream failure that carried an
+// explicit Retry-After pacing hint — the daemon's 429 (saturated), 503
+// (draining or storage-degraded), and 507 (spool over watermark) responses
+// all send one. The reconnect loop honors the server's pacing instead of
+// hammering a daemon that just said exactly when to come back.
+type retryAfterError struct {
+	status int
+	delay  time.Duration
+	msg    string
+}
+
+func (e *retryAfterError) Error() string { return e.msg }
+
+// retryDelay extracts a server-suggested reconnect delay (0 when none).
+func retryDelay(err error) time.Duration {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.delay
+	}
+	return 0
+}
+
+// maxRetryAfter caps how long a server can park this client: a Retry-After
+// beyond this is treated as this (the daemon itself never sends >60s).
+const maxRetryAfter = 5 * time.Minute
+
+// parseRetryAfter parses a Retry-After header value — delta-seconds or an
+// HTTP-date — into a bounded delay (0 when absent or unparseable).
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	var d time.Duration
+	if sec, err := strconv.Atoi(v); err == nil {
+		if sec < 0 {
+			return 0
+		}
+		d = time.Duration(sec) * time.Second
+	} else if t, terr := http.ParseTime(v); terr == nil {
+		d = time.Until(t)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
+}
+
 // Client follows job-event streams from one daemon.
 type Client struct {
 	base string
@@ -174,6 +225,12 @@ func (c *Client) Follow(ctx context.Context, id string, fo FollowOptions) (Event
 			return Event{}, fmt.Errorf("%w (%d attempts, last error: %v)", ErrCircuitOpen, failures, err)
 		}
 		delay := dse.BackoffJitter(c.opts.BackoffBase, failures, id, c.opts.BackoffMax)
+		// A server-supplied Retry-After outranks the local schedule when it
+		// asks for more patience: the daemon knows when its janitor sweeps
+		// or its storage probe fires, and retrying sooner is wasted load.
+		if ra := retryDelay(err); ra > delay {
+			delay = ra
+		}
 		if fo.OnRetry != nil {
 			fo.OnRetry(failures, err, delay)
 		}
@@ -215,7 +272,14 @@ func (c *Client) streamOnce(ctx context.Context, id string, last *uint64, onEven
 		return nil, false, fmt.Errorf("%w: %s", ErrNotFound, id)
 	default:
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return nil, false, fmt.Errorf("dsedclient: events %s: status %d", id, resp.StatusCode)
+		serr := fmt.Errorf("dsedclient: events %s: status %d", id, resp.StatusCode)
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusInsufficientStorage:
+			if d := parseRetryAfter(resp.Header.Get("Retry-After")); d > 0 {
+				return nil, false, &retryAfterError{status: resp.StatusCode, delay: d, msg: serr.Error()}
+			}
+		}
+		return nil, false, serr
 	}
 
 	// Stall watchdog: any traffic — events or heartbeat comments — rearms

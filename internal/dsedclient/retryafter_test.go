@@ -1,0 +1,100 @@
+package dsedclient
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"7", 7 * time.Second},
+		{" 2 ", 2 * time.Second},
+		{"-3", 0},
+		{"garbage", 0},
+		{"99999", maxRetryAfter}, // capped: a server cannot park us forever
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// HTTP-date form: a moment ~3s out parses to a positive bounded delay.
+	date := time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(date); got <= 0 || got > 3*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v, want (0, 3s]", date, got)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(past); got != 0 {
+		t.Errorf("parseRetryAfter(past date) = %v, want 0", got)
+	}
+}
+
+// TestFollowHonorsRetryAfter: when the daemon sheds the stream with 503/507
+// + Retry-After (draining, spool pressure, degraded storage), the follower
+// waits at least the server-stated delay instead of its own much shorter
+// jittered backoff.
+func TestFollowHonorsRetryAfter(t *testing.T) {
+	for _, status := range []int{http.StatusServiceUnavailable, http.StatusInsufficientStorage} {
+		srv, _ := sseServer(t, []func(int64, http.ResponseWriter, *http.Request){
+			func(n int64, w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "shedding", status)
+			},
+			func(n int64, w http.ResponseWriter, r *http.Request) {
+				sendEvent(w, Event{Seq: 1, Job: "j", Type: "state", State: "done"})
+			},
+		})
+		var observed []time.Duration
+		start := time.Now()
+		term, err := New(srv.URL, fastOpts()).Follow(context.Background(), "j", FollowOptions{
+			OnRetry: func(failures int, err error, delay time.Duration) {
+				observed = append(observed, delay)
+			},
+		})
+		if err != nil {
+			t.Fatalf("status %d: follow: %v", status, err)
+		}
+		if term.State != "done" {
+			t.Fatalf("status %d: terminal %+v", status, term)
+		}
+		if len(observed) == 0 || observed[0] < time.Second {
+			t.Fatalf("status %d: retry delay %v, want >= server's 1s Retry-After", status, observed)
+		}
+		if elapsed := time.Since(start); elapsed < time.Second {
+			t.Fatalf("status %d: reconnected after %v, before the server's Retry-After", status, elapsed)
+		}
+	}
+}
+
+// TestFollowRetryAfterIgnoredWhenShorter: a server hint smaller than the
+// local jittered backoff must not shorten the wait — the max of the two
+// governs, so a flapping daemon cannot induce a tight retry loop.
+func TestFollowRetryAfterIgnoredWhenShorter(t *testing.T) {
+	srv, _ := sseServer(t, []func(int64, http.ResponseWriter, *http.Request){
+		func(n int64, w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "shedding", http.StatusServiceUnavailable)
+		},
+		func(n int64, w http.ResponseWriter, r *http.Request) {
+			sendEvent(w, Event{Seq: 1, Job: "j", Type: "state", State: "done"})
+		},
+	})
+	var observed []time.Duration
+	term, err := New(srv.URL, fastOpts()).Follow(context.Background(), "j", FollowOptions{
+		OnRetry: func(failures int, err error, delay time.Duration) {
+			observed = append(observed, delay)
+		},
+	})
+	if err != nil || term.State != "done" {
+		t.Fatalf("follow: term=%+v err=%v", term, err)
+	}
+	if len(observed) == 0 || observed[0] <= 0 {
+		t.Fatalf("retry delay %v: a zero Retry-After must not defeat local backoff", observed)
+	}
+}

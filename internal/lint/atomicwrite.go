@@ -11,9 +11,14 @@ import (
 // Raw os.WriteFile / os.Create / os.Rename are therefore forbidden
 // everywhere except inside internal/artifact itself, which implements the
 // primitive.
+//
+// Since the artifact.FS seam landed, directory mutations and spool
+// enumeration are part of the same contract: os.Remove, os.MkdirAll, and
+// os.ReadDir on durable state must ride the seam too, or fault-injection
+// tests cannot see them and a chaos run silently exercises the real disk.
 var AtomicWrite = &Analyzer{
 	Name: "atomicwrite",
-	Doc:  "persistence must go through internal/artifact's atomic writers, not raw os.WriteFile/os.Create/os.Rename",
+	Doc:  "persistence must go through internal/artifact's FS seam, not raw os.WriteFile/os.Create/os.Rename/os.Remove/os.MkdirAll/os.ReadDir",
 	Run:  runAtomicWrite,
 }
 
@@ -31,6 +36,12 @@ func runAtomicWrite(pass *Pass) {
 				if isPkgFunc(pass, call, "os", name) {
 					pass.Reportf(call.Pos(),
 						"raw os.%s bypasses the atomic persistence layer; use internal/artifact (WriteFileAtomic/AtomicFile)", name)
+				}
+			}
+			for _, name := range [...]string{"Remove", "MkdirAll", "ReadDir"} {
+				if isPkgFunc(pass, call, "os", name) {
+					pass.Reportf(call.Pos(),
+						"raw os.%s bypasses the artifact.FS seam; route it through an artifact.FS so fault injection covers it", name)
 				}
 			}
 			return true

@@ -20,6 +20,19 @@ func badRename(a, b string) error {
 	return os.Rename(a, b) // want `raw os\.Rename bypasses`
 }
 
+func badRemove(p string) error {
+	return os.Remove(p) // want `raw os\.Remove bypasses`
+}
+
+func badMkdirAll(p string) error {
+	return os.MkdirAll(p, 0o755) // want `raw os\.MkdirAll bypasses`
+}
+
+func badReadDir(p string) (int, error) {
+	ents, err := os.ReadDir(p) // want `raw os\.ReadDir bypasses`
+	return len(ents), err
+}
+
 func okRead(p string) ([]byte, error) {
 	return os.ReadFile(p)
 }
