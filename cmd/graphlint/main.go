@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	graphlint [-dir moduleroot] [-list] [patterns ...]
+//	graphlint [-dir moduleroot] [-list] [-format text|json|sarif] [-baseline file] [patterns ...]
 //
 // Patterns follow the go tool's shape: "./..." (the default) walks the
 // whole module, "internal/trace/..." a subtree, "cmd/dse" one package.
@@ -12,8 +12,18 @@
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// Exit codes: 0 clean, 1 findings reported, 2 the tree failed to load or
-// type-check.
+// -baseline names a committed JSON file of known findings; matches are
+// still reported (at "note" level in SARIF) but do not fail the run, so a
+// new analyzer can land with pre-existing debt captured explicitly. Every
+// baseline entry must carry a reason. Entries that match nothing are
+// flagged as stale on stderr.
+//
+// -format selects the output: "text" (default) one finding per line,
+// "json" a machine-readable array, "sarif" a SARIF 2.1.0 log for GitHub
+// code-scanning upload.
+//
+// Exit codes: 0 clean (or all findings baselined), 1 active findings
+// reported, 2 the tree failed to load or type-check.
 package main
 
 import (
@@ -40,8 +50,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	dir := fs.String("dir", "", "module root (default: nearest go.mod above the working directory)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	baselinePath := fs.String("baseline", "", "baseline file of known findings (reported but non-fatal)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: graphlint [-dir moduleroot] [-list] [patterns ...]\n")
+		fmt.Fprintf(stderr, "usage: graphlint [-dir moduleroot] [-list] [-format text|json|sarif] [-baseline file] [patterns ...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -52,6 +64,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
 		return exitClean
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "graphlint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return exitLoadError
 	}
 
 	root := *dir
@@ -68,6 +86,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	var baseline *lint.Baseline
+	if *baselinePath != "" {
+		var err error
+		baseline, err = lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "graphlint:", err)
+			return exitLoadError
+		}
+	}
+
 	loader, err := lint.NewLoader(root)
 	if err != nil {
 		fmt.Fprintln(stderr, "graphlint:", err)
@@ -78,13 +106,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "graphlint:", err)
 		return exitLoadError
 	}
+	for _, w := range loader.Warnings() {
+		fmt.Fprintln(stderr, "graphlint: warning:", w)
+	}
 
 	diags := lint.Run(pkgs, lint.All)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	active, baselined := baseline.Apply(diags)
+
+	switch *format {
+	case "text":
+		for _, d := range active {
+			fmt.Fprintln(stdout, d)
+		}
+		for _, d := range baselined {
+			fmt.Fprintf(stdout, "%s [baselined: %s]\n", d, baseline.Reason(d))
+		}
+	case "json":
+		if err := lint.WriteJSON(stdout, root, active, baselined, baseline); err != nil {
+			fmt.Fprintln(stderr, "graphlint:", err)
+			return exitLoadError
+		}
+	case "sarif":
+		if err := lint.WriteSARIF(stdout, root, active, baselined, baseline); err != nil {
+			fmt.Fprintln(stderr, "graphlint:", err)
+			return exitLoadError
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "graphlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+
+	for _, e := range baseline.Stale() {
+		fmt.Fprintf(stderr, "graphlint: stale baseline entry: %s in %s (%s) matched nothing — delete it\n", e.Analyzer, e.File, e.Reason)
+	}
+	if len(baselined) > 0 {
+		fmt.Fprintf(stderr, "graphlint: %d baselined finding(s) tolerated\n", len(baselined))
+	}
+	if len(active) > 0 {
+		fmt.Fprintf(stderr, "graphlint: %d finding(s) in %d package(s)\n", len(active), len(pkgs))
 		return exitFindings
 	}
 	return exitClean

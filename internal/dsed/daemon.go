@@ -82,7 +82,8 @@ type Daemon struct {
 	sched   *Scheduler
 	srv     *Server
 
-	mu   sync.Mutex
+	mu sync.Mutex
+	// addr is guarded by mu.
 	addr string
 }
 
@@ -151,22 +152,23 @@ func (d *Daemon) Run(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("dsed: listen %s: %w", d.opts.Addr, err)
 	}
+	addr := ln.Addr().String()
 	d.mu.Lock()
-	d.addr = ln.Addr().String()
+	d.addr = addr
 	d.mu.Unlock()
 	if d.opts.AddrFile != "" {
 		// The addr file is a local handshake with the launcher, not spool
 		// state — it stays on the real filesystem so an injected spool
 		// fault cannot break the "daemon is up" signal chaos smokes rely on.
 		if err := artifact.WriteFileAtomic(d.opts.AddrFile, 0o644, func(w io.Writer) error {
-			_, werr := io.WriteString(w, d.addr+"\n")
+			_, werr := io.WriteString(w, addr+"\n")
 			return werr
 		}); err != nil {
 			ln.Close()
 			return fmt.Errorf("dsed: addr file: %w", err)
 		}
 	}
-	d.opts.Logf("dsed: serving on %s (spool %s)", d.addr, d.opts.Dir)
+	d.opts.Logf("dsed: serving on %s (spool %s)", addr, d.opts.Dir)
 	if rep := d.q.Recovery(); rep != nil {
 		d.opts.Logf("dsed: %s", rep)
 	}

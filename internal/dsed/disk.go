@@ -102,22 +102,34 @@ type DiskGovernor struct {
 	dir    string
 	policy DiskPolicy
 
-	mu         sync.Mutex
-	mode       DiskMode
-	cause      string
-	streak     int
+	mu sync.Mutex
+	// mode is guarded by mu.
+	mode DiskMode
+	// cause is guarded by mu.
+	cause string
+	// streak is guarded by mu.
+	streak int
+	// usageBytes is guarded by mu.
 	usageBytes int64
+	// usageFiles is guarded by mu.
 	usageFiles int
-	lastErr    string
+	// lastErr is guarded by mu.
+	lastErr string
 
+	// writeFailures is guarded by mu.
 	writeFailures int64
-	shed          int64
-	probes        int64
-	probeFails    int64
-	recoveries    int64
+	// shed is guarded by mu.
+	shed int64
+	// probes is guarded by mu.
+	probes int64
+	// probeFails is guarded by mu.
+	probeFails int64
+	// recoveries is guarded by mu.
+	recoveries int64
 
 	// writable is closed while writes are allowed and replaced with an
-	// open channel on degradation, so waiters block exactly while degraded.
+	// open channel on degradation, so waiters block exactly while
+	// degraded; the field itself is guarded by mu.
 	writable chan struct{}
 }
 

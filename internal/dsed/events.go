@@ -174,14 +174,20 @@ func (s *Subscriber) Evicted() <-chan struct{} { return s.evicted }
 // that also absorbs a crash between writing the snapshot and rewriting the
 // tail, when the tail still duplicates the snapshot's records.
 type jobStream struct {
-	mu        sync.Mutex
-	path      string
-	snap      string
-	f         artifact.File
-	replayed  bool
-	next      uint64 // next seq to assign (1-based)
+	mu sync.Mutex
+	// path and snap are set once in stream() and immutable afterwards.
+	path string
+	snap string
+	// f is guarded by mu.
+	f artifact.File
+	// replayed is guarded by mu.
+	replayed bool
+	// next is the next seq to assign (1-based); guarded by mu.
+	next uint64
+	// lastState is guarded by mu.
 	lastState JobState
-	subs      map[*Subscriber]struct{}
+	// subs is guarded by mu.
+	subs map[*Subscriber]struct{}
 }
 
 // EventLog is the durable per-job event journal plus its bounded fan-out
@@ -203,7 +209,8 @@ type EventLog struct {
 	// success) — the disk governor's health feed. Set before serving.
 	observe func(error)
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// streams is guarded by mu.
 	streams map[string]*jobStream
 
 	written        atomic.Int64

@@ -78,7 +78,8 @@ type Janitor struct {
 	q      *Queue
 	policy RetentionPolicy
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// stats is guarded by mu.
 	stats JanitorStats
 }
 

@@ -132,12 +132,18 @@ type Queue struct {
 	// the queue, so the lock order is safe.
 	events *EventLog
 
-	mu       sync.Mutex
-	jobs     map[string]*JobRecord
-	pending  []string // FIFO of queued job IDs
+	mu sync.Mutex
+	// jobs is guarded by mu.
+	jobs map[string]*JobRecord
+	// pending is the FIFO of queued job IDs; guarded by mu.
+	pending []string
+	// draining is guarded by mu.
 	draining bool
-	seq      uint64
-	notify   chan struct{} // closed+replaced when pending grows
+	// seq is guarded by mu.
+	seq uint64
+	// notify is closed+replaced when pending grows; guarded by mu.
+	notify chan struct{}
+	// recovery is guarded by mu.
 	recovery *RecoveryReport
 }
 
@@ -208,8 +214,13 @@ func (q *Queue) jobPath(id string) string    { return filepath.Join(q.dir, jobsD
 func (q *Queue) ckptPath(id string) string   { return filepath.Join(q.dir, ckptDir, id+".jsonl") }
 func (q *Queue) resultPath(id string) string { return filepath.Join(q.dir, resultsDir, id+".json") }
 
-// recover rebuilds the in-memory index from the spool.
+// recover rebuilds the in-memory index from the spool. It runs inside
+// OpenQueue before the queue is shared, but takes q.mu anyway: the guarded
+// fields it populates are locked on every other path, and a startup-only
+// exemption is exactly the kind of convention that rots.
 func (q *Queue) recover() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	rep := &RecoveryReport{}
 	entries, err := q.fs.ReadDir(filepath.Join(q.dir, jobsDir))
 	if err != nil {
@@ -267,6 +278,10 @@ func (q *Queue) recover() error {
 		}
 		q.jobs[rec.Spec.ID] = rec
 	}
+	// CorruptFiles feeds the canonical /statusz payload: sort it so the
+	// report's bytes never depend on the FS seam's ReadDir ordering
+	// (os.ReadDir sorts, but injected test filesystems need not).
+	sort.Strings(rep.CorruptFiles)
 	rep.CorruptRetained, rep.CorruptEvicted = q.capCorrupt()
 	sort.Slice(requeue, func(i, j int) bool { return requeue[i].SubmitSeq < requeue[j].SubmitSeq })
 	for _, rec := range requeue {
@@ -341,7 +356,11 @@ func (q *Queue) resultComplete(id string) bool {
 }
 
 // Recovery returns the report of the Open-time recovery pass.
-func (q *Queue) Recovery() *RecoveryReport { return q.recovery }
+func (q *Queue) Recovery() *RecoveryReport {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.recovery
+}
 
 // SetDraining flips intake: once draining, Submit refuses with ErrDraining.
 func (q *Queue) SetDraining(on bool) {

@@ -57,7 +57,8 @@ type Scheduler struct {
 	gov   *guard.Governor
 	opts  SchedulerOptions
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// cancels is guarded by mu.
 	cancels map[string]context.CancelCauseFunc
 }
 

@@ -17,7 +17,8 @@ import (
 // corruption of a structure shared by every job on the box — evicts the
 // entry and re-decodes from the source of truth instead of failing the job.
 type TraceCache struct {
-	mu         sync.Mutex
+	mu sync.Mutex
+	// entries is guarded by mu.
 	entries    map[string]*cacheEntry
 	maxEntries int
 

@@ -1,0 +1,105 @@
+package lint
+
+// Atomicmix enforces the memory-model rule behind every counter the daemon
+// exposes: a variable accessed through sync/atomic anywhere must be
+// accessed through sync/atomic everywhere. Mixing `atomic.AddInt64(&x, 1)`
+// on one path with a plain `x++` or `x == 0` on another is a data race the
+// race detector only catches when a test happens to hit the interleaving;
+// here it is a compile-time finding.
+//
+// The analysis is package-wide and def-use based: pass one collects every
+// variable object whose address is taken as the first argument of a
+// sync/atomic call; pass two flags any other read or write of those
+// objects. Typed atomics (atomic.Int64 and friends) are immune by
+// construction and are not tracked.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable touched via sync/atomic is never read or written non-atomically elsewhere",
+	Run:  runAtomicmix,
+}
+
+// atomicFuncs are the sync/atomic entry points that take &x as their first
+// argument.
+var atomicFuncs = []string{
+	"AddInt32", "AddInt64", "AddUint32", "AddUint64", "AddUintptr",
+	"LoadInt32", "LoadInt64", "LoadUint32", "LoadUint64", "LoadUintptr", "LoadPointer",
+	"StoreInt32", "StoreInt64", "StoreUint32", "StoreUint64", "StoreUintptr", "StorePointer",
+	"SwapInt32", "SwapInt64", "SwapUint32", "SwapUint64", "SwapUintptr", "SwapPointer",
+	"CompareAndSwapInt32", "CompareAndSwapInt64", "CompareAndSwapUint32",
+	"CompareAndSwapUint64", "CompareAndSwapUintptr", "CompareAndSwapPointer",
+}
+
+func runAtomicmix(pass *Pass) {
+	// Pass 1: every object reached as &obj in a sync/atomic call, plus the
+	// exact identifier nodes used inside those calls (which are exempt from
+	// pass 2).
+	atomicObjs := map[types.Object]bool{}
+	exempt := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(pass, call, "sync/atomic", atomicFuncs...) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			obj, id := addrTarget(pass, un.X)
+			if obj == nil {
+				return true
+			}
+			atomicObjs[obj] = true
+			exempt[id] = true
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass 2: any other mention of those objects is a mixed access. The
+	// only non-access mentions are their declarations and further atomic
+	// calls (whose identifiers are in the exempt set).
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || !atomicObjs[obj] || exempt[id] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s is accessed via sync/atomic elsewhere; this plain access races with it — use the atomic API (or a typed atomic) on every path", obj.Name())
+			return true
+		})
+	}
+}
+
+// addrTarget resolves the object whose address is taken: the final field
+// of a selector chain, or a plain variable. Returns the identifier that
+// denotes it so the atomic call site itself can be exempted.
+func addrTarget(pass *Pass, e ast.Expr) (types.Object, *ast.Ident) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.ObjectOf(e).(*types.Var); ok {
+			return v, e
+		}
+	case *ast.SelectorExpr:
+		if v := fieldObject(pass, e); v != nil {
+			return v, e.Sel
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,142 @@
+package lint
+
+// Baseline support: a committed JSON file of known findings that are
+// reported but non-fatal. The point is ratcheting — a new analyzer can land
+// with the tree's pre-existing debt captured explicitly (each entry carries
+// a mandatory reason), while any NEW violation still fails the run. Stale
+// entries (matching nothing) are surfaced so the file shrinks as debt is
+// paid down, instead of fossilizing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// A BaselineEntry accepts one class of finding. File is a module-relative
+// slash path; Message is a regexp matched against the diagnostic message so
+// one entry can cover a finding whose wording carries positions or counts.
+// Reason is mandatory: a baseline without a justification is just a mute
+// button.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Reason   string `json:"reason"`
+
+	re   *regexp.Regexp
+	hits int
+}
+
+// A Baseline is the parsed, validated baseline file.
+type Baseline struct {
+	Entries []*BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads and validates a baseline file. Every entry must name
+// an analyzer and a file, compile as a regexp, and carry a non-empty
+// reason.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseBaseline(data)
+}
+
+// ParseBaseline validates baseline JSON.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	for i, e := range b.Entries {
+		if e.Analyzer == "" || e.File == "" {
+			return nil, fmt.Errorf("baseline entry %d: analyzer and file are required", i)
+		}
+		if strings.TrimSpace(e.Reason) == "" {
+			return nil, fmt.Errorf("baseline entry %d (%s in %s): reason is required", i, e.Analyzer, e.File)
+		}
+		pat := e.Message
+		if pat == "" {
+			pat = ".*"
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("baseline entry %d: bad message regexp: %w", i, err)
+		}
+		e.re = re
+	}
+	return &b, nil
+}
+
+// match reports whether the entry accepts the diagnostic.
+func (e *BaselineEntry) match(d Diagnostic) bool {
+	if e.Analyzer != d.Analyzer {
+		return false
+	}
+	f := filepath.ToSlash(d.Pos.Filename)
+	if f != e.File && !strings.HasSuffix(f, "/"+e.File) {
+		return false
+	}
+	return e.re.MatchString(d.Message)
+}
+
+// Apply splits diagnostics into active (fatal) and baselined (reported,
+// non-fatal) findings. Entries record how many findings they absorbed so
+// Stale can name dead weight afterwards.
+func (b *Baseline) Apply(diags []Diagnostic) (active, baselined []Diagnostic) {
+	if b == nil {
+		return diags, nil
+	}
+	for _, d := range diags {
+		matched := false
+		for _, e := range b.Entries {
+			if e.match(d) {
+				e.hits++
+				matched = true
+				break
+			}
+		}
+		if matched {
+			baselined = append(baselined, d)
+		} else {
+			active = append(active, d)
+		}
+	}
+	return active, baselined
+}
+
+// Reason returns the reason of the first entry matching the diagnostic, or
+// "" when none does.
+func (b *Baseline) Reason(d Diagnostic) string {
+	if b == nil {
+		return ""
+	}
+	for _, e := range b.Entries {
+		if e.match(d) {
+			return e.Reason
+		}
+	}
+	return ""
+}
+
+// Stale returns the entries that matched no finding in the last Apply:
+// debt that has been paid but not yet deleted from the file.
+func (b *Baseline) Stale() []*BaselineEntry {
+	if b == nil {
+		return nil
+	}
+	var out []*BaselineEntry
+	for _, e := range b.Entries {
+		if e.hits == 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}

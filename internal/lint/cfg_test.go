@@ -1,0 +1,273 @@
+package lint
+
+// White-box tests for the control-flow layer: block structure, dominator
+// and post-dominator fixpoints, site lookup, and the dominatesSite relation
+// the fsyncorder analyzer is built on. Functions are parsed from snippets
+// so each test names exactly the shape it pins.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFunc parses `func f(...) {...}` source and returns the body's CFG.
+func parseFunc(t *testing.T, src string) (*token.FileSet, *funcCFG) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fset, buildCFG(fd.Body)
+		}
+	}
+	t.Fatal("no function in snippet")
+	return nil, nil
+}
+
+// callSites returns the sites of every call to the named function.
+func callSites(g *funcCFG, name string) []nodeSite {
+	return g.sites(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fn := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			return fn.Name == name
+		case *ast.SelectorExpr:
+			return fn.Sel.Name == name
+		}
+		return false
+	})
+}
+
+// one returns the single site of the named call, failing otherwise.
+func one(t *testing.T, g *funcCFG, name string) nodeSite {
+	t.Helper()
+	s := callSites(g, name)
+	if len(s) != 1 {
+		t.Fatalf("callSites(%s) = %d sites, want 1", name, len(s))
+	}
+	return s[0]
+}
+
+func TestCFGStraightLineDominance(t *testing.T) {
+	_, g := parseFunc(t, `
+func f() {
+	first()
+	second()
+}`)
+	dom := g.dominators()
+	a, b := one(t, g, "first"), one(t, g, "second")
+	if !dominatesSite(dom, a, b) {
+		t.Error("first() must dominate second() in straight-line code")
+	}
+	if dominatesSite(dom, b, a) {
+		t.Error("second() must not dominate first()")
+	}
+}
+
+func TestCFGBranchDominance(t *testing.T) {
+	_, g := parseFunc(t, `
+func f(ok bool) {
+	before()
+	if ok {
+		inside()
+	}
+	after()
+}`)
+	dom := g.dominators()
+	before, inside, after := one(t, g, "before"), one(t, g, "inside"), one(t, g, "after")
+	if !dominatesSite(dom, before, after) {
+		t.Error("before() must dominate after(): it precedes the branch")
+	}
+	if dominatesSite(dom, inside, after) {
+		t.Error("inside() must not dominate after(): the else path skips it")
+	}
+	if !dominatesSite(dom, before, inside) {
+		t.Error("before() must dominate inside()")
+	}
+}
+
+func TestCFGBothBranchesNoDominance(t *testing.T) {
+	// A site in each arm: neither dominates the join. This is exactly why
+	// fsyncorder's must-check rejects sync-on-one-branch even when the
+	// other branch also syncs — dominance needs a single covering site.
+	// (lockdiscipline's meet-over-paths handles the both-arms case.)
+	_, g := parseFunc(t, `
+func f(ok bool) {
+	if ok {
+		inside()
+	} else {
+		elsewhere()
+	}
+	after()
+}`)
+	dom := g.dominators()
+	inside, elsewhere, after := one(t, g, "inside"), one(t, g, "elsewhere"), one(t, g, "after")
+	if dominatesSite(dom, inside, after) || dominatesSite(dom, elsewhere, after) {
+		t.Error("neither arm alone may dominate the join point")
+	}
+}
+
+func TestCFGEarlyReturnMakesRemainderDominated(t *testing.T) {
+	_, g := parseFunc(t, `
+func f(err error) {
+	if err != nil {
+		return
+	}
+	guarded()
+	after()
+}`)
+	dom := g.dominators()
+	guarded, after := one(t, g, "guarded"), one(t, g, "after")
+	if !dominatesSite(dom, guarded, after) {
+		t.Error("guarded() must dominate after(): the error path returned")
+	}
+}
+
+func TestCFGPanicIsTerminal(t *testing.T) {
+	_, g := parseFunc(t, `
+func f(bad bool) {
+	if bad {
+		panic("boom")
+	}
+	survivor()
+}`)
+	// The panic arm must not fall through into survivor()'s block: the
+	// panic block's only successor is the exit.
+	site := one(t, g, "survivor")
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				for _, s := range blk.succs {
+					if s == site.block {
+						t.Error("panic block must not flow into the code after the if")
+					}
+					if s != g.exit {
+						t.Errorf("panic block successor is block %d, want exit", s.index)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	_, g := parseFunc(t, `
+func f(xs []int) {
+	for _, x := range xs {
+		body(x)
+	}
+	after()
+}`)
+	dom := g.dominators()
+	body, after := one(t, g, "body"), one(t, g, "after")
+	if dominatesSite(dom, body, after) {
+		t.Error("loop body must not dominate the code after the loop (zero iterations skip it)")
+	}
+	// The body block must have a path back to its own block (through the
+	// range head): loops are cyclic.
+	seen := map[*cfgBlock]bool{}
+	var reach func(b *cfgBlock)
+	reach = func(b *cfgBlock) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.succs {
+			reach(s)
+		}
+	}
+	for _, s := range body.block.succs {
+		reach(s)
+	}
+	if !seen[body.block] {
+		t.Error("range body must be reachable from itself via the back edge")
+	}
+}
+
+func TestCFGPostDominators(t *testing.T) {
+	_, g := parseFunc(t, `
+func f(ok bool) {
+	if ok {
+		inside()
+	}
+	always()
+}`)
+	pdom := g.postDominators()
+	inside, always := one(t, g, "inside"), one(t, g, "always")
+	if !pdom[inside.block.index].has(always.block.index) {
+		t.Error("always() block must post-dominate the branch arm")
+	}
+	if pdom[always.block.index].has(inside.block.index) {
+		t.Error("the branch arm must not post-dominate the join")
+	}
+}
+
+func TestCFGGotoResolvesForward(t *testing.T) {
+	_, g := parseFunc(t, `
+func f(skip bool) {
+	if skip {
+		goto done
+	}
+	work()
+done:
+	after()
+}`)
+	dom := g.dominators()
+	work, after := one(t, g, "work"), one(t, g, "after")
+	if dominatesSite(dom, work, after) {
+		t.Error("work() must not dominate after(): the goto bypasses it")
+	}
+}
+
+func TestCFGSitesSkipFuncLits(t *testing.T) {
+	_, g := parseFunc(t, `
+func f() {
+	outer()
+	go func() {
+		inner()
+	}()
+}`)
+	if n := len(callSites(g, "inner")); n != 0 {
+		t.Errorf("sites must not descend into function literals, found %d inner() sites", n)
+	}
+	if n := len(callSites(g, "outer")); n != 1 {
+		t.Errorf("outer() sites = %d, want 1", n)
+	}
+}
+
+func TestCFGSwitchClauses(t *testing.T) {
+	_, g := parseFunc(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		caseOne()
+	case 2:
+		caseTwo()
+	}
+	after()
+}`)
+	dom := g.dominators()
+	c1, c2, after := one(t, g, "caseOne"), one(t, g, "caseTwo"), one(t, g, "after")
+	if dominatesSite(dom, c1, after) || dominatesSite(dom, c2, after) {
+		t.Error("no single switch clause may dominate the code after the switch")
+	}
+	if dominatesSite(dom, c1, c2) || dominatesSite(dom, c2, c1) {
+		t.Error("sibling clauses must not dominate each other")
+	}
+}

@@ -1,0 +1,96 @@
+package lint
+
+// Def-use helpers shared by the flow-sensitive analyzers: canonical keys
+// for lvalue-ish expressions (so `st.mu` in one statement and `st.mu` in
+// another compare equal), and object def/use extraction over statements.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exprKey renders a selector chain rooted at an identifier as a canonical
+// dotted string: `mu` -> "mu", `st.mu` -> "st.mu", `l.hub.mu` -> "l.hub.mu".
+// Pointer derefs are transparent. Anything else (map index, call result,
+// etc.) has no stable identity and yields "".
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.UnaryExpr:
+		return exprKey(e.X)
+	}
+	return ""
+}
+
+// baseIdent returns the root identifier of a selector chain, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return baseIdent(e.X)
+	case *ast.StarExpr:
+		return baseIdent(e.X)
+	case *ast.UnaryExpr:
+		return baseIdent(e.X)
+	case *ast.IndexExpr:
+		return baseIdent(e.X)
+	}
+	return nil
+}
+
+// assignTargets collects the variable objects a statement assigns to
+// (plain and := assignments, incdec, and range key/value).
+func assignTargets(pass *Pass, s ast.Stmt) []types.Object {
+	var out []types.Object
+	add := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, l := range s.Lhs {
+			add(l)
+		}
+	case *ast.IncDecStmt:
+		add(s.X)
+	case *ast.RangeStmt:
+		if s.Key != nil {
+			add(s.Key)
+		}
+		if s.Value != nil {
+			add(s.Value)
+		}
+	}
+	return out
+}
+
+// declaredIn reports whether obj's declaration position falls inside node
+// (used to tell loop-local slices from ones that outlive the loop).
+func declaredIn(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// fieldObject resolves the field a selector expression denotes, or nil when
+// the selector is not a field access.
+func fieldObject(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	// Package-qualified or unresolved selectors land here.
+	return nil
+}

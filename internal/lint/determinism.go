@@ -1,0 +1,264 @@
+package lint
+
+// Determinism enforces the byte-identical-output contract the daemon's
+// crash-recovery proof rests on (PRs 6/9): canonical reports, golden
+// fixtures, and journal records must not depend on map iteration order,
+// wall-clock time, process-local randomness, or goroutine completion order.
+//
+// Scope: "canonical output" functions — any function that takes an
+// io.Writer parameter, or whose name begins (case-insensitively) with
+// Canonical, Encode, Marshal, Render, Format, Plot, or Export. That is the
+// report/Pareto assembly surface, the golden-fixture producers, and the
+// journal encoders the contract names.
+//
+// Three findings, all flow-sensitive over the function body:
+//
+//   - a `range` over a map whose body feeds output — writes through an
+//     io.Writer / fmt.Fprint* / strings.Builder, or appends to a slice that
+//     outlives the loop — unless every such slice is passed to a sort call
+//     after the loop (the collect-keys-then-sort idiom);
+//   - a direct call to time.Now/Since/Until or anything in math/rand:
+//     canonical bytes must come from injected seams (a clock or seed
+//     parameter/field), never ambient nondeterminism;
+//   - an append from inside a `go` literal to a slice declared outside it:
+//     the element order then depends on goroutine completion order.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "canonical-output paths must not depend on map order, wall clocks, randomness, or goroutine scheduling",
+	Run:  runDeterminism,
+}
+
+// canonicalPrefixes mark function names that produce canonical bytes.
+var canonicalPrefixes = []string{"canonical", "encode", "marshal", "render", "format", "plot", "export"}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !isCanonicalFunc(pass, fn) {
+				continue
+			}
+			checkDeterminism(pass, fn.Body)
+		}
+	}
+}
+
+// isCanonicalFunc reports whether fn is a canonical-output path: it takes
+// an io.Writer, or its name carries a canonical prefix.
+func isCanonicalFunc(pass *Pass, fn *ast.FuncDecl) bool {
+	name := strings.ToLower(fn.Name.Name)
+	for _, p := range canonicalPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, p := range fn.Type.Params.List {
+			if isIOWriter(pass.TypeOf(p.Type)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isIOWriter reports whether t is exactly the io.Writer interface type.
+func isIOWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "io" && obj.Name() == "Writer"
+}
+
+// checkDeterminism runs all three checks over one canonical function body.
+func checkDeterminism(pass *Pass, body *ast.BlockStmt) {
+	// Collect sort-call sites up front: any call into sort or slices
+	// mentioning a variable counts as canonicalizing that variable.
+	sorted := map[types.Object][]ast.Node{} // object -> sort call nodes
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isPkgFunc(pass, call, "sort",
+			"Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable") &&
+			!isPkgFunc(pass, call, "slices",
+				"Sort", "SortFunc", "SortStableFunc") {
+			return true
+		}
+		for _, arg := range call.Args {
+			for obj := range referencedObjects(pass, arg) {
+				sorted[obj] = append(sorted[obj], call)
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			checkMapRange(pass, n, sorted)
+		case *ast.CallExpr:
+			if isPkgFunc(pass, n, "time", "Now", "Since", "Until") {
+				pass.Reportf(n.Pos(),
+					"canonical output derived from the wall clock; inject a clock seam instead of calling time.%s", calledName(n))
+			}
+			if isPkgPathCall(pass, n, "math/rand") || isPkgPathCall(pass, n, "math/rand/v2") {
+				pass.Reportf(n.Pos(),
+					"canonical output derived from math/rand; inject a seeded source through a seam instead")
+			}
+		case *ast.GoStmt:
+			checkGoroutineAppend(pass, n, body)
+		}
+		return true
+	})
+}
+
+// calledName renders the selector/ident name of a call for messages.
+func calledName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	case *ast.Ident:
+		return fn.Name
+	}
+	return "?"
+}
+
+// isPkgPathCall reports whether the call resolves to any function of the
+// package with the given import path.
+func isPkgPathCall(pass *Pass, call *ast.CallExpr, pkgPath string) bool {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	case *ast.Ident:
+		id = fn
+	default:
+		return false
+	}
+	obj, ok := pass.ObjectOf(id).(*types.Func)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// checkMapRange flags a map iteration whose body feeds output without a
+// canonicalizing sort downstream.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, sorted map[types.Object][]ast.Node) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	// Classify the loop body: direct writes are an immediate finding;
+	// appends to outer slices are fine only when each target is sorted
+	// after the loop.
+	var appendTargets []types.Object
+	directWrite := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isOutputWrite(pass, n) {
+				directWrite = true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isB := pass.ObjectOf(id).(*types.Builtin); isB && len(n.Args) > 0 {
+					if tid := baseIdent(n.Args[0]); tid != nil {
+						if obj := pass.ObjectOf(tid); obj != nil && !declaredIn(obj, rng) {
+							appendTargets = append(appendTargets, obj)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if directWrite {
+		pass.Reportf(rng.Pos(),
+			"map iteration feeds canonical output directly; collect the keys, sort them, then emit in key order")
+		return
+	}
+	for _, obj := range appendTargets {
+		ok := false
+		for _, site := range sorted[obj] {
+			if site.Pos() > rng.End() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(rng.Pos(),
+				"map iteration appends to %s which is never sorted afterwards; canonical output inherits map order", obj.Name())
+			return
+		}
+	}
+}
+
+// isOutputWrite reports whether the call emits bytes: fmt.Fprint*, or a
+// Write/WriteString/WriteByte/WriteRune method call.
+func isOutputWrite(pass *Pass, call *ast.CallExpr) bool {
+	if isPkgFunc(pass, call, "fmt", "Fprint", "Fprintf", "Fprintln") {
+		return true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		// Only count method calls (a receiver with that method), not
+		// package funcs like artifact.WriteFileAtomic.
+		if _, isSel := pass.Info.Selections[sel]; isSel {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGoroutineAppend flags appends inside a go literal to slices declared
+// outside it: completion order then decides element order.
+func checkGoroutineAppend(pass *Pass, g *ast.GoStmt, enclosing *ast.BlockStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			return true
+		}
+		if _, isB := pass.ObjectOf(id).(*types.Builtin); !isB || len(call.Args) == 0 {
+			return true
+		}
+		tid := baseIdent(call.Args[0])
+		if tid == nil {
+			return true
+		}
+		obj := pass.ObjectOf(tid)
+		if obj == nil || declaredIn(obj, lit) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"append to %s from a goroutine makes element order depend on completion order; collect per-goroutine results and merge deterministically", obj.Name())
+		return true
+	})
+}

@@ -1,0 +1,6 @@
+package lint
+
+// Test-only exports. SetCheckHook lets loader tests simulate a
+// type-checker panic on a chosen package without needing a construct that
+// actually crashes go/types.
+func (l *Loader) SetCheckHook(h func(path string)) { l.checkHook = h }

@@ -1,0 +1,119 @@
+package lint
+
+// Fsyncorder enforces the PR 3 atomic-write contract flow-sensitively. The
+// atomicwrite analyzer bans raw renames outside internal/artifact by path;
+// this analyzer checks the ordering inside whatever code is allowed to
+// rename: a function that creates a temp file and renames it into place
+// must fsync the file on every path before the rename (a dominating Sync
+// call in the CFG), and must fsync the parent directory after the rename
+// (a SyncDir call downstream of it) so the new name itself survives a
+// power cut.
+//
+// Scope: a function body is in scope when it calls a rename (os.Rename or
+// any two-argument Rename method) and also either creates a temp file
+// (os.CreateTemp or any CreateTemp method — the FS seam) or fsyncs
+// something — i.e. it is visibly part of a write-then-publish sequence.
+// Functions that only move existing files (corrupt-record set-aside,
+// quarantine) create no new bytes and are out of scope: their content was
+// already durable.
+
+import (
+	"go/ast"
+)
+
+var Fsyncorder = &Analyzer{
+	Name: "fsyncorder",
+	Doc:  "a temp-write → rename sequence has a dominating file fsync and a directory fsync after the rename",
+	Run:  runFsyncorder,
+}
+
+func runFsyncorder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFsyncOrder(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFsyncOrder(pass, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkFsyncOrder analyzes one function body (nested literals are their
+// own scopes and are skipped by the CFG's site walker).
+func checkFsyncOrder(pass *Pass, body *ast.BlockStmt) {
+	g := buildCFG(body)
+
+	renames := g.sites(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		return ok && isNamedCall(pass, call, "Rename") && len(call.Args) == 2
+	})
+	if len(renames) == 0 {
+		return
+	}
+	createTemps := g.sites(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		return ok && isNamedCall(pass, call, "CreateTemp")
+	})
+	syncs := g.sites(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		return ok && isNamedCall(pass, call, "Sync") && len(call.Args) == 0
+	})
+	if len(createTemps) == 0 && len(syncs) == 0 {
+		// A pure move of already-durable bytes; nothing to order.
+		return
+	}
+	dirSyncs := g.sites(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		return ok && isNamedCall(pass, call, "SyncDir")
+	})
+
+	dom := g.dominators()
+	for _, ren := range renames {
+		// Rule 1: some fsync of the written file dominates the rename — on
+		// every path from entry to this rename, the data was flushed first.
+		dominated := false
+		for _, syn := range syncs {
+			if dominatesSite(dom, syn, ren) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			pass.Reportf(ren.pos,
+				"rename of a temp file with no dominating fsync: on some path the data is renamed into place before it is durable")
+		}
+		// Rule 2: the parent directory is fsynced after the rename on the
+		// success path — otherwise the new name itself can vanish in a
+		// power cut even though the inode was flushed.
+		followed := false
+		for _, ds := range dirSyncs {
+			if ds.pos > ren.pos {
+				followed = true
+				break
+			}
+		}
+		if !followed {
+			pass.Reportf(ren.pos,
+				"rename not followed by a directory fsync (SyncDir): the new name is not durable until the directory entry is flushed")
+		}
+	}
+}
+
+// isNamedCall reports whether the call's function is a selector or ident
+// with the given name (os.CreateTemp, fsys.Rename, f.Sync, ...). The FS
+// seam means renames and syncs arrive through interface methods, so this
+// matches by name rather than by package of origin.
+func isNamedCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fn.Sel.Name == name
+	case *ast.Ident:
+		return fn.Name == name
+	}
+	return false
+}

@@ -69,6 +69,8 @@ type Analyzer struct {
 }
 
 // All is the full graphlint suite, in the order findings are attributed.
+// The first seven are the syntactic contract analyzers from PRs 5/6/9; the
+// last four are flow-sensitive, built on the CFG + def-use layer (cfg.go).
 var All = []*Analyzer{
 	AtomicWrite,
 	ErrTaxonomy,
@@ -77,6 +79,10 @@ var All = []*Analyzer{
 	LeakyGoroutine,
 	HTTPCtx,
 	SSEContract,
+	Determinism,
+	Lockdiscipline,
+	Atomicmix,
+	Fsyncorder,
 }
 
 // Run executes every analyzer over every package and returns the surviving
@@ -102,7 +108,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		for _, a := range analyzers {
 			pass.name = a.Name
-			a.Run(pass)
+			runIsolated(pass, a, pkg, &diags)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -119,6 +125,28 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		return a.Analyzer < b.Analyzer
 	})
 	return diags
+}
+
+// runIsolated executes one analyzer over one package with panic capture: a
+// crash on an exotic construct (a generic instantiation the analyzer never
+// anticipated, say) becomes a structured finding of the pseudo-analyzer
+// "internal" instead of killing the whole run. The contract suite must
+// degrade like the pipeline it lints.
+func runIsolated(pass *Pass, a *Analyzer, pkg *Package, diags *[]Diagnostic) {
+	defer func() {
+		if r := recover(); r != nil {
+			pos := token.Position{Filename: pkg.Dir}
+			if len(pkg.Files) > 0 {
+				pos = pkg.Fset.Position(pkg.Files[0].Pos())
+			}
+			*diags = append(*diags, Diagnostic{
+				Analyzer: "internal",
+				Pos:      pos,
+				Message:  fmt.Sprintf("analyzer %s panicked on %s: %v", a.Name, pkg.Path, r),
+			})
+		}
+	}()
+	a.Run(pass)
 }
 
 // isPkgFunc reports whether the call resolves to the named function (or

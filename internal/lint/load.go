@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -37,8 +38,34 @@ type Loader struct {
 	pkgs map[string]*Package
 	// loading guards against import cycles, which the go toolchain
 	// rejects anyway but would otherwise recurse forever here.
-	loading map[string]bool
+	loading  map[string]bool
+	warnings []LoadWarning
+	// checkHook, when set, runs just before type-checking each package.
+	// Tests use it to simulate a type-checker panic on demand.
+	checkHook func(path string)
 }
+
+// A LoadWarning records a package the loader skipped instead of failing
+// the whole run — the type checker panicked on it (historically: exotic
+// generic instantiations). The lint run degrades to partial coverage with
+// an explicit record rather than dying.
+type LoadWarning struct {
+	Path   string // import path of the skipped package
+	Dir    string // its directory
+	Reason string // why it was skipped
+}
+
+func (w LoadWarning) String() string {
+	return fmt.Sprintf("skipped %s (%s): %s", w.Path, w.Dir, w.Reason)
+}
+
+// Warnings returns the structured warnings accumulated by LoadAll, in the
+// order the packages were encountered.
+func (l *Loader) Warnings() []LoadWarning { return l.warnings }
+
+// errCheckPanic marks a type-checker panic converted into an error by the
+// loader's panic isolation. LoadAll treats it as skippable.
+var errCheckPanic = errors.New("type checker panicked")
 
 // NewLoader builds a loader for the module rooted at dir (the directory
 // containing go.mod).
@@ -113,6 +140,13 @@ func (l *Loader) LoadAll(patterns ...string) ([]*Package, error) {
 	for _, dir := range dirs {
 		pkg, err := l.LoadDir(dir)
 		if err != nil {
+			// A type-checker panic (recorded as a structured warning by
+			// load) degrades that one package to "skipped"; everything
+			// else still fails the run — a broken tree must not lint
+			// clean by accident.
+			if errors.Is(err, errCheckPanic) {
+				continue
+			}
 			return nil, err
 		}
 		out = append(out, pkg)
@@ -276,13 +310,31 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
 		return l.importPkg(ipath)
 	})}
-	tpkg, err := conf.Check(path, l.fset, files, info)
+	tpkg, err := l.check(&conf, path, files, info)
 	if err != nil {
+		if errors.Is(err, errCheckPanic) {
+			l.warnings = append(l.warnings, LoadWarning{Path: path, Dir: dir, Reason: err.Error()})
+		}
 		return nil, fmt.Errorf("typecheck %s: %w", path, err)
 	}
 	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// check runs the type checker with panic isolation. go/types instantiates
+// generics natively, but a panic on an exotic construct must degrade to a
+// structured skip (instantiate-or-skip), not kill the lint run.
+func (l *Loader) check(conf *types.Config, path string, files []*ast.File, info *types.Info) (tpkg *types.Package, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tpkg, err = nil, fmt.Errorf("%w: %v", errCheckPanic, r)
+		}
+	}()
+	if l.checkHook != nil {
+		l.checkHook(path)
+	}
+	return conf.Check(path, l.fset, files, info)
 }
 
 // importPkg resolves an import path during type checking: module-internal

@@ -1,0 +1,158 @@
+package lint_test
+
+// Loader hardening tests: a throwaway module full of generics must load
+// and lint without panics, and a type-checker panic on one package must
+// degrade to a structured warning instead of killing the run.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphdse/internal/lint"
+)
+
+// writeThrowawayModule materializes a tiny generics-heavy module in a temp
+// dir: a generic container package, a package instantiating it, and a
+// plain package, so the loader exercises instantiation across package
+// boundaries.
+func writeThrowawayModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module throwaway\n\ngo 1.24\n")
+	write("box/box.go", `// Package box is a generic container.
+package box
+
+type Box[T any] struct{ v T }
+
+func New[T any](v T) Box[T]  { return Box[T]{v: v} }
+func (b Box[T]) Get() T      { return b.v }
+func Map[T, U any](b Box[T], f func(T) U) Box[U] { return New(f(b.Get())) }
+
+type Number interface{ ~int | ~int64 | ~float64 }
+
+func Sum[N Number](xs []N) N {
+	var total N
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+`)
+	write("use/use.go", `// Package use instantiates box across a package boundary.
+package use
+
+import "throwaway/box"
+
+func Doubled(xs []int) int {
+	b := box.New(box.Sum(xs))
+	return box.Map(b, func(v int) int { return v * 2 }).Get()
+}
+
+type pair[K comparable, V any] struct {
+	k K
+	v V
+}
+
+func keys[K comparable, V any](ps []pair[K, V]) []K {
+	out := make([]K, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, p.k)
+	}
+	return out
+}
+
+var _ = keys[string, int]
+`)
+	write("plain/plain.go", `// Package plain has no generics at all.
+package plain
+
+func Add(a, b int) int { return a + b }
+`)
+	return root
+}
+
+func TestLoaderGenericsModule(t *testing.T) {
+	root := writeThrowawayModule(t)
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll on generics module: %v", err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("loaded %d packages, want 3: %v", len(pkgs), paths(pkgs))
+	}
+	if len(loader.Warnings()) != 0 {
+		t.Fatalf("unexpected load warnings: %v", loader.Warnings())
+	}
+	// The full suite must traverse generic declarations and instantiations
+	// without crashing. Any panic would surface as an "internal" finding
+	// through runIsolated, so a diagnostic-free run proves both no
+	// contract violations and no analyzer crashes.
+	for _, d := range lint.Run(pkgs, lint.All) {
+		t.Errorf("unexpected diagnostic on generics module: %s", d)
+	}
+}
+
+func TestLoaderCheckPanicSkipsPackage(t *testing.T) {
+	root := writeThrowawayModule(t)
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.SetCheckHook(func(path string) {
+		if strings.HasSuffix(path, "/use") {
+			panic("synthetic instantiation blow-up")
+		}
+	})
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll must skip the panicking package, not fail: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (use skipped): %v", len(pkgs), paths(pkgs))
+	}
+	warns := loader.Warnings()
+	if len(warns) != 1 {
+		t.Fatalf("warnings = %v, want exactly one", warns)
+	}
+	w := warns[0]
+	if w.Path != "throwaway/use" {
+		t.Errorf("warning path = %q, want throwaway/use", w.Path)
+	}
+	if !strings.Contains(w.Reason, "synthetic instantiation blow-up") {
+		t.Errorf("warning reason %q must carry the panic value", w.Reason)
+	}
+	if !strings.Contains(w.String(), "skipped throwaway/use") {
+		t.Errorf("warning rendering %q must identify the skipped package", w)
+	}
+}
+
+func TestLoaderCheckPanicStillFatalForDirectLoad(t *testing.T) {
+	// Loading one directory explicitly (not via patterns) keeps the error:
+	// the caller asked for that package, so silently skipping it would
+	// lie. Only the module-wide walk degrades.
+	root := writeThrowawayModule(t)
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.SetCheckHook(func(string) { panic("boom") })
+	if _, err := loader.LoadDir(filepath.Join(root, "plain")); err == nil {
+		t.Fatal("LoadDir on a panicking package must return an error")
+	}
+}

@@ -1,0 +1,401 @@
+package lint
+
+// Lockdiscipline enforces the daemon's mutex contract flow-sensitively:
+//
+//   - a struct field annotated `// guarded by <mu>` (in its doc or line
+//     comment; <mu> names a sibling mutex field) may only be read or
+//     written at program points where that mutex is held on every path —
+//     a forward must-analysis of Lock/RLock/Unlock/RUnlock over the CFG;
+//   - while any mutex is held, the code must not perform an operation that
+//     can block on the outside world: an fsync (a Sync/SyncDir call), a
+//     blocking channel send (one not inside a select with a default), or
+//     an http.ResponseWriter / http.ResponseController write. This is the
+//     dsed hub's "never block the scheduler" rule: the publisher evicts a
+//     slow subscriber instead of ever waiting on one.
+//
+// Conventions the analysis understands:
+//
+//   - `defer mu.Unlock()` leaves the mutex held for the rest of the
+//     function (the deferred unlock runs at return, not at the defer);
+//   - a method whose name ends in "Locked" asserts — per the repo's naming
+//     convention — that its caller holds every mutex of the receiver, so
+//     its receiver's annotated mutexes are treated as held at entry;
+//   - the analysis is intraprocedural: it sees locks taken in this
+//     function body only. Helpers that require a held lock must carry the
+//     Locked suffix.
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+var Lockdiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "`// guarded by <mu>` fields are only touched with the mutex held, and no mutex is held across fsync/channel-send/response writes",
+	Run:  runLockdiscipline,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedField records one annotated field: its object and the name of the
+// sibling mutex that guards it.
+type guardedField struct {
+	mu string
+}
+
+func runLockdiscipline(pass *Pass) {
+	guarded := collectGuardedFields(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLockFlow(pass, fn, guarded)
+		}
+	}
+}
+
+// collectGuardedFields scans struct declarations for `guarded by <mu>`
+// field annotations, keyed by the field's types.Var object.
+func collectGuardedFields(pass *Pass) map[*types.Var]guardedField {
+	out := map[*types.Var]guardedField{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.ObjectOf(name).(*types.Var); ok {
+						out[v] = guardedField{mu: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardAnnotation extracts the mutex name from a field's comments.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockState is the must-held set at one program point: canonical mutex
+// keys ("st.mu") mapped to true. The meet over paths is set intersection.
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s lockState) equal(o lockState) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func intersectStates(a, b lockState) lockState {
+	out := lockState{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// checkLockFlow analyzes one function: fixpoint lock-state propagation over
+// the CFG, then a walk of every block under its entry state.
+func checkLockFlow(pass *Pass, fn *ast.FuncDecl, guarded map[*types.Var]guardedField) {
+	g := buildCFG(fn.Body)
+
+	entry := lockState{}
+	if strings.HasSuffix(fn.Name.Name, "Locked") && fn.Recv != nil && len(fn.Recv.List) == 1 {
+		// The Locked suffix asserts the caller holds the receiver's locks.
+		if len(fn.Recv.List[0].Names) == 1 {
+			recv := fn.Recv.List[0].Names[0].Name
+			for _, mu := range receiverMutexNames(pass, fn) {
+				entry[recv+"."+mu] = true
+			}
+		}
+	}
+
+	// Blocking channel sends: a send inside a select that has a default
+	// clause never blocks, so pre-compute the exempt set.
+	nonBlockingSends := map[ast.Node]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cs := range sel.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, cs := range sel.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok && cc.Comm != nil {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					nonBlockingSends[send] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Fixpoint: in-state per block (must analysis, meet = intersection).
+	in := make([]lockState, len(g.blocks))
+	for i := range in {
+		in[i] = nil // unvisited
+	}
+	in[g.entry.index] = entry
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := applyBlock(pass, blk, in[blk.index].clone(), nil, nil, nil)
+		for _, s := range blk.succs {
+			var nv lockState
+			if in[s.index] == nil {
+				nv = out.clone()
+			} else {
+				nv = intersectStates(in[s.index], out)
+			}
+			if in[s.index] == nil || !nv.equal(in[s.index]) {
+				in[s.index] = nv
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Report pass: re-run each reachable block's transfer with checks on.
+	for _, blk := range g.blocks {
+		if in[blk.index] == nil {
+			continue
+		}
+		applyBlock(pass, blk, in[blk.index].clone(), guarded, nonBlockingSends, fn)
+	}
+}
+
+// receiverMutexNames lists the mutex-typed fields of fn's receiver struct.
+func receiverMutexNames(pass *Pass, fn *ast.FuncDecl) []string {
+	t := pass.TypeOf(fn.Recv.List[0].Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isMutexType(f.Type()) {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (or a
+// pointer to one).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// applyBlock runs the transfer function over one block's nodes in order.
+// When guarded is non-nil it also reports violations (the fixpoint pass
+// passes nil to stay silent while states are still converging).
+func applyBlock(pass *Pass, blk *cfgBlock, state lockState, guarded map[*types.Var]guardedField, nonBlockingSends map[ast.Node]bool, fn *ast.FuncDecl) lockState {
+	reporting := guarded != nil
+	for _, n := range blk.nodes {
+		// Walk the node's subtree in source order, updating lock state at
+		// each Lock/Unlock and checking accesses between them.
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				// A nested literal runs later (or concurrently); its body
+				// has its own discipline and is analyzed separately only if
+				// it is a *Locked method — which literals cannot be. Skip.
+				return false
+			case *ast.DeferStmt:
+				// A deferred unlock does not release here; a deferred lock
+				// (pathological) is ignored too.
+				return false
+			case *ast.CallExpr:
+				if key, op := lockOp(pass, m); key != "" {
+					switch op {
+					case "Lock", "RLock":
+						state[key] = true
+					case "Unlock", "RUnlock":
+						delete(state, key)
+					}
+					return false
+				}
+				if reporting && len(state) > 0 {
+					if name, blocking := blockingCall(pass, m); blocking {
+						pass.Reportf(m.Pos(),
+							"%s while holding %s: a mutex must never be held across an operation that can block on the outside world", name, heldList(state))
+					}
+				}
+			case *ast.SendStmt:
+				if reporting && len(state) > 0 && !nonBlockingSends[m] {
+					pass.Reportf(m.Pos(),
+						"blocking channel send while holding %s; use a select with a default so a slow receiver cannot stall the lock holder", heldList(state))
+				}
+			case *ast.SelectorExpr:
+				if reporting {
+					checkGuardedAccess(pass, m, state, guarded)
+				}
+			}
+			return true
+		})
+	}
+	return state
+}
+
+// lockOp recognizes mu.Lock()/RLock()/Unlock()/RUnlock() calls on a
+// keyable mutex expression, returning the canonical key and the op.
+func lockOp(pass *Pass, call *ast.CallExpr) (key, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	if t := pass.TypeOf(sel.X); t == nil || !isMutexType(t) {
+		return "", ""
+	}
+	k := exprKey(sel.X)
+	if k == "" {
+		return "", ""
+	}
+	return k, sel.Sel.Name
+}
+
+// blockingCall recognizes operations that may block the outside world:
+// fsyncs and HTTP response writes.
+func blockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if _, isMethod := pass.Info.Selections[sel]; !isMethod {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Sync", "SyncDir":
+		return "fsync (" + sel.Sel.Name + ")", true
+	case "Write", "WriteString", "Flush":
+		if t := pass.TypeOf(sel.X); isResponseWriterish(t) {
+			return "HTTP response " + sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// isResponseWriterish reports whether t is http.ResponseWriter or
+// *http.ResponseController.
+func isResponseWriterish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" &&
+		(obj.Name() == "ResponseWriter" || obj.Name() == "ResponseController")
+}
+
+// checkGuardedAccess reports a guarded-field access whose guard is not in
+// the current must-held set.
+func checkGuardedAccess(pass *Pass, sel *ast.SelectorExpr, state lockState, guarded map[*types.Var]guardedField) {
+	fieldVar := fieldObject(pass, sel)
+	if fieldVar == nil {
+		return
+	}
+	gf, ok := guarded[fieldVar]
+	if !ok {
+		return
+	}
+	base := exprKey(sel.X)
+	if base == "" {
+		// No stable identity for the receiver expression; the guard cannot
+		// be matched, so stay silent rather than guess.
+		return
+	}
+	need := base + "." + gf.mu
+	if state[need] {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"field %s is guarded by %s, which is not held on every path to this access", sel.Sel.Name, need)
+}
+
+// heldList renders the held set for messages, smallest key first for
+// deterministic output.
+func heldList(state lockState) string {
+	var keys []string
+	for k := range state {
+		keys = append(keys, k)
+	}
+	// insertion sort; the set is tiny
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return strings.Join(keys, ", ")
+}

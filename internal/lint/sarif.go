@@ -1,0 +1,184 @@
+package lint
+
+// SARIF 2.1.0 emission, the subset GitHub code scanning consumes: one run,
+// one rule per analyzer, one result per finding with a physical location.
+// Baselined findings are emitted at level "note" so they annotate the PR
+// without failing the check; active findings are "error". encoding/json
+// sorts map keys and the inputs arrive position-sorted from Run, so the
+// bytes are deterministic for a given tree — CI can cache or diff them.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+const sarifSchema = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifURI relativizes a diagnostic filename against the module root and
+// normalizes it to the forward-slash form SARIF requires.
+func sarifURI(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// WriteSARIF writes one SARIF run covering both active and baselined
+// findings. root is the module root used to relativize paths; baseline may
+// be nil. Rules are emitted for the full analyzer set so rule IDs resolve
+// even on a clean tree.
+func WriteSARIF(w io.Writer, root string, active, baselined []Diagnostic, baseline *Baseline) error {
+	driver := sarifDriver{
+		Name:  "graphlint",
+		Rules: make([]sarifRule, 0, len(All)+2),
+	}
+	for _, a := range All {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	// Pseudo-analyzers that Run can attribute findings to.
+	driver.Rules = append(driver.Rules,
+		sarifRule{ID: "suppress", ShortDescription: sarifMessage{Text: "malformed //lint:ignore directive"}},
+		sarifRule{ID: "internal", ShortDescription: sarifMessage{Text: "analyzer crashed; finding is the crash itself"}},
+	)
+
+	results := make([]sarifResult, 0, len(active)+len(baselined))
+	add := func(d Diagnostic, level, suffix string) {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   level,
+			Message: sarifMessage{Text: d.Message + suffix},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       sarifURI(root, d.Pos.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	for _, d := range active {
+		add(d, "error", "")
+	}
+	for _, d := range baselined {
+		suffix := " [baselined]"
+		if r := baseline.Reason(d); r != "" {
+			suffix = " [baselined: " + r + "]"
+		}
+		add(d, "note", suffix)
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// jsonFinding is the machine-readable text-adjacent format: one object per
+// finding, baselined ones flagged with their reason.
+type jsonFinding struct {
+	Analyzer  string `json:"analyzer"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Column    int    `json:"column"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+// WriteJSON writes the findings as a JSON array (never null: a clean tree
+// is `[]`), active first, then baselined, both position-sorted.
+func WriteJSON(w io.Writer, root string, active, baselined []Diagnostic, baseline *Baseline) error {
+	out := make([]jsonFinding, 0, len(active)+len(baselined))
+	for _, d := range active {
+		out = append(out, jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     sarifURI(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	for _, d := range baselined {
+		out = append(out, jsonFinding{
+			Analyzer:  d.Analyzer,
+			File:      sarifURI(root, d.Pos.Filename),
+			Line:      d.Pos.Line,
+			Column:    d.Pos.Column,
+			Message:   d.Message,
+			Baselined: true,
+			Reason:    baseline.Reason(d),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

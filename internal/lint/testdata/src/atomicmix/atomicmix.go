@@ -1,0 +1,80 @@
+// Package atomicmix is the graphlint corpus for the atomicmix analyzer: a
+// variable touched via sync/atomic anywhere must never be read or written
+// non-atomically elsewhere.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits   int64
+	misses int64
+	plain  int64
+	typed  atomic.Int64
+}
+
+// bump is the atomic side: it marks hits and misses as atomic-only.
+func (c *counters) bump(hit bool) {
+	if hit {
+		atomic.AddInt64(&c.hits, 1)
+	} else {
+		atomic.AddInt64(&c.misses, 1)
+	}
+}
+
+// badPlainRead reads an atomically-updated field without the atomic API.
+func (c *counters) badPlainRead() int64 {
+	return c.hits // want `hits is accessed via sync/atomic elsewhere`
+}
+
+// badPlainWrite resets one with plain assignment.
+func (c *counters) badPlainWrite() {
+	c.misses = 0 // want `misses is accessed via sync/atomic elsewhere`
+}
+
+// okAtomicRead stays on the API.
+func (c *counters) okAtomicRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// okPlain never touches the atomic fields: plain accesses to plain fields
+// are fine.
+func (c *counters) okPlain() int64 {
+	c.plain++
+	return c.plain
+}
+
+// okTyped uses a typed atomic: immune by construction, untracked.
+func (c *counters) okTyped() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// package-level variables are tracked the same way.
+var seq uint64
+
+func next() uint64 {
+	return atomic.AddUint64(&seq, 1)
+}
+
+func badPeek() uint64 {
+	return seq // want `seq is accessed via sync/atomic elsewhere`
+}
+
+// suppressedInit carries a reasoned suppression for a pre-publication
+// write (the one legitimate mixed access: before any goroutine exists).
+type gauge struct {
+	val int64
+	mu  sync.Mutex
+}
+
+func newGauge(start int64) *gauge {
+	g := &gauge{}
+	//lint:ignore atomicmix corpus: constructor runs before the value is shared, no concurrent access exists yet
+	g.val = start
+	return g
+}
+
+func (g *gauge) add(d int64) { atomic.AddInt64(&g.val, d) }

@@ -1,0 +1,165 @@
+// Package determinism is the graphlint corpus for the determinism
+// analyzer: canonical-output paths must not depend on map iteration order,
+// wall clocks, randomness, or goroutine completion order.
+package determinism
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// badRenderCounts is the synthetic unsorted-map report writer: emission in
+// map order makes the report bytes differ run to run.
+func badRenderCounts(w io.Writer, counts map[string]int) {
+	for k, v := range counts { // want `map iteration feeds canonical output directly`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// encodeKeysUnsorted appends map keys to the output slice and never sorts them.
+func encodeKeysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys which is never sorted afterwards`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// okRenderSorted is the collect-keys-then-sort idiom: the append target is
+// sorted after the loop, so emission order is canonical.
+func okRenderSorted(w io.Writer, counts map[string]int) {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, counts[k])
+	}
+}
+
+// okRenderSlices is the same idiom via the slices package... spelled with
+// sort.Slice here to stay within the corpus imports.
+func marshalSortSlice(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// okAggregate folds a map into order-insensitive scalars: no output order
+// to corrupt.
+func okAggregateRender(w io.Writer, counts map[string]int) {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	fmt.Fprintf(w, "total=%d\n", total)
+}
+
+// encodeInvert builds another map — insertion order is irrelevant.
+func encodeInvert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// badRenderClock stamps canonical output with the wall clock.
+func badRenderClock(w io.Writer) {
+	fmt.Fprintf(w, "generated at %v\n", time.Now()) // want `canonical output derived from the wall clock`
+}
+
+// encodeRandSalted salts canonical bytes with process-local randomness.
+func encodeRandSalted() []byte {
+	return []byte{byte(rand.Intn(256))} // want `canonical output derived from math/rand`
+}
+
+// okClockSeam threads an injected clock: no ambient time call.
+func okRenderClockSeam(w io.Writer, now func() time.Time) {
+	fmt.Fprintf(w, "generated at %v\n", now())
+}
+
+// badGoroutineAppend races goroutine completion order into the report
+// assembly.
+func badRenderParallel(w io.Writer, parts []string) {
+	var out []string
+	done := make(chan struct{})
+	for _, p := range parts {
+		p := p
+		go func() {
+			defer close(done)
+			out = append(out, p+"!") // want `append to out from a goroutine`
+		}()
+	}
+	<-done
+	for _, p := range out {
+		fmt.Fprintln(w, p)
+	}
+}
+
+// okGoroutineIndexed writes results by index: completion order cannot
+// reorder the output.
+func okRenderParallelIndexed(w io.Writer, parts []string) {
+	out := make([]string, len(parts))
+	done := make(chan struct{}, len(parts))
+	for i, p := range parts {
+		i, p := i, p
+		go func() {
+			out[i] = p + "!"
+			done <- struct{}{}
+		}()
+	}
+	for range parts {
+		<-done
+	}
+	for _, p := range out {
+		fmt.Fprintln(w, p)
+	}
+}
+
+// notCanonical has no io.Writer and no canonical prefix: a map range here
+// is outside the contract (ordinary business logic may iterate freely).
+func notCanonical(counts map[string]int) int {
+	worst := 0
+	for _, v := range counts {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// suppressedRender carries a reasoned suppression.
+func suppressedRender(w io.Writer, counts map[string]int) {
+	//lint:ignore determinism corpus: debug dump, explicitly documented as unordered
+	for k, v := range counts {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// renderGeneric proves the analyzer traverses generic functions: same
+// contract, type-parameterized.
+func renderGeneric[V any](w io.Writer, m map[string]V) {
+	for k, v := range m { // want `map iteration feeds canonical output directly`
+		fmt.Fprintf(w, "%s=%v\n", k, v)
+	}
+}
+
+// okRenderGeneric is the sorted generic variant.
+func okRenderGeneric[V any](w io.Writer, m map[string]V) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%v\n", k, m[k])
+	}
+}

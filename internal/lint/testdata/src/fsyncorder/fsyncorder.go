@@ -1,0 +1,117 @@
+// Package fsyncorder is the graphlint corpus for the fsyncorder analyzer:
+// a temp-write → rename sequence must fsync the file on every path before
+// the rename and fsync the directory after it.
+package fsyncorder
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// syncDir models the artifact layer's directory fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SyncDir is the seam-shaped spelling the analyzer recognizes downstream
+// of a rename.
+func SyncDir(dir string) error { return syncDir(dir) }
+
+// badNoFsync publishes bytes that may still be in the page cache.
+func badNoFsync(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Close()
+	if err := os.Rename(f.Name(), path); err != nil { // want `no dominating fsync` `not followed by a directory fsync`
+		return err
+	}
+	return nil
+}
+
+// badFsyncOneBranch syncs on only one path: the fast path renames
+// unflushed data.
+func badFsyncOneBranch(path string, data []byte, fast bool) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if !fast {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	f.Close()
+	if err := os.Rename(f.Name(), path); err != nil { // want `no dominating fsync`
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// badNoDirSync flushes the file but never the directory entry.
+func badNoDirSync(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close()
+	return os.Rename(f.Name(), path) // want `not followed by a directory fsync`
+}
+
+// okFullSequence is the PR 3 contract: temp + fsync + rename + dir fsync.
+func okFullSequence(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// okPureMove renames already-durable bytes: no temp creation, no fsync in
+// the function, out of scope (set-aside of a corrupt record).
+func okPureMove(path string) error {
+	return os.Rename(path, path+".corrupt")
+}
+
+// suppressedRename carries a reasoned suppression (a best-effort cache
+// file whose loss is harmless).
+func suppressedRename(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, _ = f.Write(data)
+	f.Close()
+	//lint:ignore fsyncorder corpus: best-effort cache entry, a torn file is re-derived on read
+	return os.Rename(f.Name(), path)
+}

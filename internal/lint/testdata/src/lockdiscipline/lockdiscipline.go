@@ -1,0 +1,138 @@
+// Package lockdiscipline is the graphlint corpus for the lockdiscipline
+// analyzer: `// guarded by <mu>` fields are only touched with the mutex
+// held, and no mutex is held across fsync/channel-send/response writes.
+package lockdiscipline
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+type hub struct {
+	mu sync.Mutex
+	// count is guarded by mu.
+	count int
+	// subs is guarded by mu.
+	subs map[string]chan int
+	// free has no annotation: the analyzer leaves it alone.
+	free int
+}
+
+// badUnlockedRead touches a guarded field with no lock in sight.
+func (h *hub) badUnlockedRead() int {
+	return h.count // want `field count is guarded by h.mu, which is not held`
+}
+
+// badUnlockedWrite writes a guarded field after releasing the lock.
+func (h *hub) badUnlockedWrite() {
+	h.mu.Lock()
+	h.count++
+	h.mu.Unlock()
+	h.count++ // want `field count is guarded by h.mu, which is not held`
+}
+
+// badOneBranch holds the lock on only one path to the access: a must
+// analysis rejects it.
+func (h *hub) badOneBranch(lock bool) {
+	if lock {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+	}
+	h.count++ // want `field count is guarded by h.mu, which is not held on every path`
+}
+
+// okLocked brackets the access.
+func (h *hub) okLocked() {
+	h.mu.Lock()
+	h.count++
+	h.mu.Unlock()
+}
+
+// okDeferred holds via defer: the unlock runs at return, so the access is
+// covered.
+func (h *hub) okDeferred() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// okBothBranches locks on every path.
+func (h *hub) okBothBranches(fast bool) {
+	if fast {
+		h.mu.Lock()
+	} else {
+		h.mu.Lock()
+	}
+	h.count++
+	h.mu.Unlock()
+}
+
+// okFree touches the unannotated field without the lock: no finding.
+func (h *hub) okFree() int {
+	return h.free
+}
+
+// drainLocked carries the Locked suffix: the caller asserts it holds the
+// receiver's mutexes, so the access is covered at entry.
+func (h *hub) drainLocked() int {
+	return h.count
+}
+
+// badSyncUnderLock fsyncs while holding the mutex.
+func (h *hub) badSyncUnderLock(f *os.File) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f.Sync() // want `fsync \(Sync\) while holding h.mu`
+}
+
+// okSyncAfterUnlock releases before flushing.
+func (h *hub) okSyncAfterUnlock(f *os.File) {
+	h.mu.Lock()
+	h.count++
+	h.mu.Unlock()
+	f.Sync()
+}
+
+// badBlockingSend can park forever on a slow receiver with the lock held.
+func (h *hub) badBlockingSend(ch chan int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch <- h.count // want `blocking channel send while holding h.mu`
+}
+
+// okNonBlockingSend is the hub idiom: a select with a default never waits
+// on a subscriber.
+func (h *hub) okNonBlockingSend(ch chan int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case ch <- h.count:
+	default:
+	}
+}
+
+// badResponseWriteUnderLock writes an HTTP response with the lock held: a
+// stalled peer pins the hub.
+func (h *hub) badResponseWriteUnderLock(w http.ResponseWriter) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w.Write([]byte("x")) // want `HTTP response Write while holding h.mu`
+}
+
+// suppressedSync carries a reasoned suppression: the per-stream journal
+// lock intentionally serializes append+fsync.
+func (h *hub) suppressedSync(f *os.File) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//lint:ignore lockdiscipline corpus: journal append+fsync is intentionally serialized per stream
+	f.Sync()
+}
+
+// okSendUnlocked sends after the critical section.
+func (h *hub) okSendUnlocked(ch chan int) {
+	h.mu.Lock()
+	v := h.count
+	h.mu.Unlock()
+	ch <- v
+}
